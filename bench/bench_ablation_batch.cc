@@ -1,0 +1,75 @@
+// Ablation: mini-batch fraction (Sec. 4.2.2 "Batching"): the paper claims
+// sampling ~4% of the dataset per mini-batch already yields high-quality
+// partitions, because a uniform sample preserves the data distribution the
+// balance term needs. Sweeps the batch fraction at a fixed number of epochs.
+//
+// Also covers design ablation 5 (DESIGN.md): hard argmax neighbor-histogram
+// targets vs. soft expected-bin targets.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+
+namespace usp::bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetScale();
+  const Workload& w = SiftLikeWorkload();
+  constexpr size_t kBins = 16;
+  const size_t n = w.base.rows();
+
+  std::printf("=== Ablation: mini-batch fraction (sift-like, %zu bins) ===\n",
+              kBins);
+  std::printf("  %10s %12s %14s %12s %12s\n", "fraction", "batch-size",
+              "balance-ratio", "acc@1probe", "acc@2probes");
+
+  for (double fraction : {0.01, 0.04, 0.125, 0.5, 1.0}) {
+    UspTrainConfig config;
+    config.num_bins = kBins;
+    config.eta = 7.0f;
+    config.epochs = scale.epochs;
+    config.batch_size =
+        std::max<size_t>(32, static_cast<size_t>(fraction * n));
+    config.seed = 61;
+    UspPartitioner partitioner(config);
+    partitioner.Train(w.base, w.knn_matrix);
+    PartitionIndex index(&w.base, &partitioner);
+    const auto at1 = index.SearchBatch(w.queries, 10, 1);
+    const auto at2 = index.SearchBatch(w.queries, 10, 2);
+    std::printf("  %9.1f%% %12zu %14.2f %12.4f %12.4f\n", 100 * fraction,
+                config.batch_size,
+                BalanceRatio(index.assignments(), kBins),
+                KnnAccuracy(at1, w.ground_truth.indices, w.ground_truth.k),
+                KnnAccuracy(at2, w.ground_truth.indices, w.ground_truth.k));
+  }
+
+  std::printf("\n=== Ablation: hard vs soft neighbor-bin targets ===\n");
+  std::printf("  %10s %14s %12s\n", "targets", "balance-ratio", "acc@1probe");
+  for (bool soft : {false, true}) {
+    UspTrainConfig config;
+    config.num_bins = kBins;
+    config.eta = 7.0f;
+    config.epochs = scale.epochs;
+    config.batch_size = 512;
+    config.soft_targets = soft;
+    config.seed = 62;
+    UspPartitioner partitioner(config);
+    partitioner.Train(w.base, w.knn_matrix);
+    PartitionIndex index(&w.base, &partitioner);
+    const auto result = index.SearchBatch(w.queries, 10, 1);
+    std::printf("  %10s %14.2f %12.4f\n", soft ? "soft" : "hard",
+                BalanceRatio(index.assignments(), kBins),
+                KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k));
+  }
+}
+
+}  // namespace
+}  // namespace usp::bench
+
+int main() {
+  usp::bench::Run();
+  return 0;
+}

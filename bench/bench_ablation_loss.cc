@@ -1,0 +1,70 @@
+// Ablation: the balance parameter eta (Sec. 5.1.4 discusses its trade-off).
+// Sweeps eta including 0 (no computational-cost term), reporting partition
+// balance, the exact quality cost (Eq. 2), and 1-probe index accuracy.
+//
+// Expected: eta = 0 collapses towards few giant bins (great quality cost,
+// useless candidate sets); large eta flattens the partition at some quality
+// cost; the paper's chosen values sit at the knee.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/loss.h"
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+
+namespace usp::bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = GetScale();
+  const Workload& w = SiftLikeWorkload();
+  constexpr size_t kBins = 16;
+
+  std::printf("=== Ablation: loss balance parameter eta (sift-like, %zu bins) "
+              "===\n",
+              kBins);
+  std::printf("  %8s %14s %14s %16s %12s %12s\n", "eta", "balance-ratio",
+              "largest-bin", "quality (Eq.2)", "acc@1probe", "mean|C|@1");
+
+  for (float eta : {0.0f, 1.0f, 4.0f, 7.0f, 15.0f, 30.0f}) {
+    UspTrainConfig config;
+    config.num_bins = kBins;
+    config.eta = eta;
+    config.epochs = scale.epochs;
+    config.batch_size = 512;
+    config.seed = 51;
+    UspPartitioner partitioner(config);
+    partitioner.Train(w.base, w.knn_matrix);
+
+    const auto bins = partitioner.AssignBins(w.base);
+    const auto histogram = BinHistogram(bins, kBins);
+    size_t largest = 0;
+    for (size_t count : histogram) largest = std::max(largest, count);
+
+    // Exact quality cost of Eq. 2 over the dataset.
+    std::vector<uint32_t> neighbor_bins(w.base.rows() * w.knn_matrix.k);
+    for (size_t i = 0; i < w.base.rows(); ++i) {
+      const uint32_t* nbrs = w.knn_matrix.Row(i);
+      for (size_t t = 0; t < w.knn_matrix.k; ++t) {
+        neighbor_bins[i * w.knn_matrix.k + t] = bins[nbrs[t]];
+      }
+    }
+    const double quality = ExactQualityCost(bins, neighbor_bins,
+                                            w.base.rows(), w.knn_matrix.k);
+
+    PartitionIndex index(&w.base, &partitioner, bins);
+    const auto result = index.SearchBatch(w.queries, 10, 1);
+    std::printf("  %8.1f %14.2f %14zu %16.3f %12.4f %12.1f\n", eta,
+                BalanceRatio(bins, kBins), largest, quality,
+                KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+                result.MeanCandidates());
+  }
+}
+
+}  // namespace
+}  // namespace usp::bench
+
+int main() {
+  usp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Figure 5 (a-d): 10-NN accuracy vs. candidate-set size for USP (1 and 3
+// model ensembles) against Neural LSH, K-means, and Cross-polytope LSH, at 16
+// bins (flat) and 256 bins (hierarchical 16x16 for USP, as in the paper).
+//
+// Expected shape (paper): USP(e=3) > USP(e=1) ~ Neural LSH > K-means >> LSH
+// on both datasets; the gap widens at 256 bins. Scale via USP_BENCH_* env
+// vars (see bench/common.h).
+#include <cstdio>
+
+#include "baselines/cross_polytope_lsh.h"
+#include "baselines/kmeans.h"
+#include "bench/common.h"
+#include "core/ensemble.h"
+#include "core/hierarchical.h"
+#include "core/partitioner.h"
+#include "eval/sweep.h"
+#include "graphpart/neural_lsh.h"
+#include "util/timer.h"
+
+namespace usp::bench {
+namespace {
+
+UspTrainConfig UspConfig(size_t bins, float eta, size_t epochs) {
+  UspTrainConfig config;
+  config.num_bins = bins;
+  config.eta = eta;
+  config.epochs = epochs;
+  config.batch_size = 512;
+  config.hidden_dim = 128;  // paper Sec. 5.2
+  config.seed = 11;
+  return config;
+}
+
+void SixteenBins(const Workload& w, float eta) {
+  const BenchScale scale = GetScale();
+  constexpr size_t kBins = 16;
+
+  // USP, single model and 3-model ensemble (Alg. 3/4).
+  UspEnsembleConfig ensemble_config;
+  ensemble_config.model = UspConfig(kBins, eta, scale.epochs);
+  ensemble_config.num_models = 3;
+  UspEnsemble ensemble(ensemble_config);
+  WallTimer timer;
+  ensemble.Train(w.base, w.knn_matrix);
+  std::printf("  [trained USP ensemble e=3 in %.1fs]\n",
+              timer.ElapsedSeconds());
+
+  {
+    PartitionIndex single(&w.base, &ensemble.model(0));
+    const Matrix scores = single.ScoreQueries(w.queries);
+    auto search = [&](size_t probes) {
+      return single.SearchBatchWithScores(w.queries, scores, 10, probes);
+    };
+    PrintCurve("fig5/16bins", w, "USP (ours, e=1)",
+               ProbeSweep(search, DefaultProbeCounts(kBins),
+                          w.ground_truth.indices, w.ground_truth.k));
+  }
+  {
+    auto search = [&](size_t probes) {
+      return ensemble.SearchBatch(w.queries, 10, probes);
+    };
+    PrintCurve("fig5/16bins", w, "USP (ours, e=3)",
+               ProbeSweep(search, DefaultProbeCounts(kBins),
+                          w.ground_truth.indices, w.ground_truth.k));
+  }
+
+  // Neural LSH (graph partition + supervised MLP, hidden 512 per Table 2).
+  NeuralLshConfig nlsh_config;
+  nlsh_config.num_bins = kBins;
+  nlsh_config.hidden_dim = 512;
+  nlsh_config.epochs = scale.epochs;
+  nlsh_config.seed = 7;
+  NeuralLsh nlsh(nlsh_config);
+  timer.Reset();
+  nlsh.Train(w.base, w.knn_matrix);
+  std::printf("  [trained Neural LSH in %.1fs (partition %.1fs + train %.1fs)]\n",
+              timer.ElapsedSeconds(), nlsh.partition_seconds(),
+              nlsh.train_seconds());
+  PrintCurve("fig5/16bins", w, "Neural LSH", SweepScorer(w, nlsh, kBins));
+
+  // K-means.
+  KMeansConfig km_config;
+  km_config.num_clusters = kBins;
+  km_config.seed = 3;
+  KMeansPartitioner kmeans(w.base, km_config);
+  PrintCurve("fig5/16bins", w, "K-means", SweepScorer(w, kmeans, kBins));
+
+  // Cross-polytope LSH (data-oblivious).
+  CrossPolytopeLsh lsh(w.base.cols(), kBins, 13);
+  PrintCurve("fig5/16bins", w, "Cross-polytope LSH",
+             SweepScorer(w, lsh, kBins));
+}
+
+void TwoFiftySixBins(const Workload& w, float eta) {
+  const BenchScale scale = GetScale();
+  constexpr size_t kBins = 256;
+
+  // USP hierarchical 16 x 16 (paper: "first splitting into 16 bins and then
+  // sub-splitting each bin into 16 more bins").
+  HierarchicalConfig tree_config;
+  tree_config.fanouts = {16, 16};
+  tree_config.model = UspConfig(16, eta, scale.epochs);
+  HierarchicalUspPartitioner usp_tree(tree_config);
+  WallTimer timer;
+  usp_tree.Train(w.base, w.knn_matrix);
+  std::printf("  [trained USP hierarchical 16x16 in %.1fs, %zu models]\n",
+              timer.ElapsedSeconds(), usp_tree.NumModels());
+  PrintCurve("fig5/256bins", w, "USP (ours, hierarchical)",
+             SweepScorer(w, usp_tree, kBins));
+
+  NeuralLshConfig nlsh_config;
+  nlsh_config.num_bins = kBins;
+  nlsh_config.hidden_dim = 512;
+  nlsh_config.epochs = scale.epochs;
+  nlsh_config.seed = 7;
+  NeuralLsh nlsh(nlsh_config);
+  timer.Reset();
+  nlsh.Train(w.base, w.knn_matrix);
+  std::printf("  [trained Neural LSH-256 in %.1fs]\n", timer.ElapsedSeconds());
+  PrintCurve("fig5/256bins", w, "Neural LSH", SweepScorer(w, nlsh, kBins));
+
+  KMeansConfig km_config;
+  km_config.num_clusters = kBins;
+  km_config.seed = 3;
+  KMeansPartitioner kmeans(w.base, km_config);
+  PrintCurve("fig5/256bins", w, "K-means", SweepScorer(w, kmeans, kBins));
+
+  CrossPolytopeLsh lsh(w.base.cols(), kBins, 13);
+  PrintCurve("fig5/256bins", w, "Cross-polytope LSH",
+             SweepScorer(w, lsh, kBins));
+}
+
+void Run() {
+  // Eta values per dataset/bin count follow Table 3 of the paper.
+  std::printf("=== Figure 5a: SIFT-like, 16 bins ===\n");
+  SixteenBins(SiftLikeWorkload(), 7.0f);
+  std::printf("\n=== Figure 5b: MNIST-like, 16 bins ===\n");
+  SixteenBins(MnistLikeWorkload(), 7.0f);
+  std::printf("\n=== Figure 5c: SIFT-like, 256 bins ===\n");
+  TwoFiftySixBins(SiftLikeWorkload(), 10.0f);
+  std::printf("\n=== Figure 5d: MNIST-like, 256 bins ===\n");
+  TwoFiftySixBins(MnistLikeWorkload(), 30.0f);
+}
+
+}  // namespace
+}  // namespace usp::bench
+
+int main() {
+  usp::bench::Run();
+  return 0;
+}

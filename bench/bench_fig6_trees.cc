@@ -1,0 +1,82 @@
+// Figure 6 (a-b): binary decision trees with hyperplane partitions at depth
+// 10 (up to 1024 bins): USP with a logistic-regression learner (hierarchical
+// 2-way tree) vs. Regression LSH, 2-means tree, PCA tree, random-projection
+// tree, learned KD-tree, and boosted search tree.
+//
+// Expected shape (paper): USP-LR > Regression LSH > 2-means/PCA > learned KD
+// > boosted > RP, with the gap largest in the high-accuracy regime.
+#include <cstdio>
+
+#include "baselines/partition_tree.h"
+#include "bench/common.h"
+#include "core/hierarchical.h"
+#include "graphpart/graph.h"
+#include "graphpart/regression_lsh.h"
+#include "util/timer.h"
+
+namespace usp::bench {
+namespace {
+
+constexpr size_t kDepth = 10;  // 2^10 = 1024 bins
+
+void RunDataset(const Workload& w) {
+  const BenchScale scale = GetScale();
+  const Graph graph = BuildKnnGraph(w.knn_matrix, w.base.rows());
+
+  // USP with logistic regression, recursive 2-way splits (Sec. 5.4.2).
+  {
+    HierarchicalConfig config;
+    config.fanouts.assign(kDepth, 2);
+    config.model.model = UspModelKind::kLogisticRegression;
+    config.model.num_bins = 2;
+    config.model.eta = 7.0f;
+    config.model.epochs = scale.epochs;
+    config.model.batch_size = 512;
+    config.model.seed = 5;
+    config.min_points_per_child = 16;
+    HierarchicalUspPartitioner usp_tree(config);
+    WallTimer timer;
+    usp_tree.Train(w.base, w.knn_matrix);
+    std::printf("  [USP logistic tree: %zu models in %.1fs]\n",
+                usp_tree.NumModels(), timer.ElapsedSeconds());
+    PrintCurve("fig6/1024bins", w, "USP (ours, logistic)",
+               SweepScorer(w, usp_tree, usp_tree.num_bins()));
+  }
+
+  PartitionTreeConfig tree_config;
+  tree_config.depth = kDepth;
+  tree_config.min_leaf_size = 4;
+  tree_config.seed = 9;
+
+  struct NamedSplit {
+    const char* name;
+    HyperplaneSplitFn split;
+  };
+  const NamedSplit baselines[] = {
+      {"Regression LSH", RegressionLshSplit(&graph)},
+      {"2-means tree", TwoMeansSplit()},
+      {"PCA tree", PcaSplit()},
+      {"Random-projection tree", RandomProjectionSplit()},
+      {"Learned KD-tree", LearnedKdSplit()},
+      {"Boosted search tree", BoostedSearchSplit()},
+  };
+  for (const auto& baseline : baselines) {
+    WallTimer timer;
+    PartitionTree tree(w.base, tree_config, baseline.split, &w.knn_matrix);
+    std::printf("  [%s: %zu leaves in %.1fs]\n", baseline.name,
+                tree.num_bins(), timer.ElapsedSeconds());
+    PrintCurve("fig6/1024bins", w, baseline.name,
+               SweepScorer(w, tree, tree.num_bins()));
+  }
+}
+
+}  // namespace
+}  // namespace usp::bench
+
+int main() {
+  std::printf("=== Figure 6a: SIFT-like, 1024 bins (depth-10 trees) ===\n");
+  usp::bench::RunDataset(usp::bench::SiftLikeWorkload());
+  std::printf("\n=== Figure 6b: MNIST-like, 1024 bins (depth-10 trees) ===\n");
+  usp::bench::RunDataset(usp::bench::MnistLikeWorkload());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Preprocessing-cost claim (Sec. 4.2.1): "Preparing this [k'-NN] matrix takes
+// approximately 30 minutes on the million-sized dataset". Google-benchmark
+// timings of BuildKnnMatrix across dataset sizes; the O(n^2 d) scaling lets
+// the 1M-point cost be extrapolated from these points.
+#include <benchmark/benchmark.h>
+
+#include "dataset/synthetic.h"
+#include "knn/brute_force.h"
+
+namespace {
+
+void BM_BuildKnnMatrix(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const usp::Matrix data = usp::MakeSiftLike(n, 42);
+  for (auto _ : state) {
+    const usp::KnnResult knn = usp::BuildKnnMatrix(data, 10);
+    benchmark::DoNotOptimize(knn.indices.data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+  state.counters["points"] = static_cast<double>(n);
+}
+
+BENCHMARK(BM_BuildKnnMatrix)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Complexity(benchmark::oNSquared);
+
+void BM_BruteForceQueries(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const usp::Matrix base = usp::MakeSiftLike(n, 42);
+  const usp::Matrix queries = usp::MakeSiftLike(100, 77);
+  for (auto _ : state) {
+    const usp::KnnResult result = usp::BruteForceKnn(base, queries, 10);
+    benchmark::DoNotOptimize(result.indices.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+
+BENCHMARK(BM_BruteForceQueries)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

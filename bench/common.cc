@@ -1,0 +1,88 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+#include "util/env.h"
+
+namespace usp::bench {
+
+BenchScale GetScale() {
+  BenchScale s;
+  s.sift_n = static_cast<size_t>(EnvInt("USP_BENCH_SIFT_N", 8000));
+  s.mnist_n = static_cast<size_t>(EnvInt("USP_BENCH_MNIST_N", 4000));
+  s.num_queries = static_cast<size_t>(EnvInt("USP_BENCH_QUERIES", 300));
+  s.epochs = static_cast<size_t>(EnvInt("USP_BENCH_EPOCHS", 18));
+  return s;
+}
+
+const Workload& SiftLikeWorkload() {
+  static const Workload* w = [] {
+    const BenchScale scale = GetScale();
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kSiftLike;
+    spec.num_base = scale.sift_n;
+    spec.num_queries = scale.num_queries;
+    spec.gt_k = 10;
+    spec.knn_k = 10;
+    spec.seed = 42;
+    return new Workload(MakeWorkload(spec));
+  }();
+  return *w;
+}
+
+const Workload& MnistLikeWorkload() {
+  static const Workload* w = [] {
+    const BenchScale scale = GetScale();
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kMnistLike;
+    spec.num_base = scale.mnist_n;
+    spec.num_queries = scale.num_queries;
+    spec.gt_k = 10;
+    spec.knn_k = 10;
+    spec.seed = 7;
+    return new Workload(MakeWorkload(spec));
+  }();
+  return *w;
+}
+
+void PrintSeries(const std::string& figure, const std::string& dataset,
+                 const std::string& method,
+                 const std::vector<double>& mean_candidates,
+                 const std::vector<double>& accuracies, size_t dataset_size) {
+  std::printf("\n[%s] dataset=%s method=%s (n=%zu)\n", figure.c_str(),
+              dataset.c_str(), method.c_str(), dataset_size);
+  std::printf("  %12s  %10s  %10s\n", "mean|C|", "|C|/n %", "10NN-acc");
+  for (size_t i = 0; i < mean_candidates.size(); ++i) {
+    std::printf("  %12.1f  %9.2f%%  %10.4f\n", mean_candidates[i],
+                100.0 * mean_candidates[i] / static_cast<double>(dataset_size),
+                accuracies[i]);
+  }
+}
+
+void PrintKeyValue(const std::string& label, const std::string& value) {
+  std::printf("  %-48s %s\n", label.c_str(), value.c_str());
+}
+
+std::vector<SweepPoint> SweepScorer(const Workload& w, const BinScorer& scorer,
+                                    size_t max_probes) {
+  PartitionIndex index(&w.base, &scorer);
+  const Matrix scores = index.ScoreQueries(w.queries);
+  auto search = [&](size_t probes) {
+    return index.SearchBatchWithScores(w.queries, scores, 10, probes);
+  };
+  return ProbeSweep(search, DefaultProbeCounts(max_probes),
+                    w.ground_truth.indices, w.ground_truth.k);
+}
+
+void PrintCurve(const std::string& figure, const Workload& w,
+                const std::string& method,
+                const std::vector<SweepPoint>& curve) {
+  std::vector<double> candidates, accuracies;
+  for (const auto& point : curve) {
+    candidates.push_back(point.mean_candidates);
+    accuracies.push_back(point.accuracy);
+  }
+  PrintSeries(figure, w.name, method, candidates, accuracies, w.base.rows());
+}
+
+}  // namespace usp::bench

@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark binaries: env-scalable workload sizes and
+// table/series printers so every bench emits paper-style output.
+#ifndef USP_BENCH_COMMON_H_
+#define USP_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bin_scorer.h"
+#include "dataset/workload.h"
+#include "eval/sweep.h"
+
+namespace usp::bench {
+
+/// Workload sizes used by the benches. Defaults are laptop-scale; raise via
+/// environment: USP_BENCH_SIFT_N, USP_BENCH_MNIST_N, USP_BENCH_QUERIES.
+struct BenchScale {
+  size_t sift_n;
+  size_t mnist_n;
+  size_t num_queries;
+  size_t epochs;  ///< USP_BENCH_EPOCHS
+};
+
+/// Reads the scale from the environment (with defaults).
+BenchScale GetScale();
+
+/// Cached workload constructors (built once per process).
+const Workload& SiftLikeWorkload();
+const Workload& MnistLikeWorkload();
+
+/// Prints one accuracy-vs-candidates series in a fixed-width table:
+/// rows of (mean |C|, |C| as % of n, accuracy).
+void PrintSeries(const std::string& figure, const std::string& dataset,
+                 const std::string& method,
+                 const std::vector<double>& mean_candidates,
+                 const std::vector<double>& accuracies, size_t dataset_size);
+
+/// Prints a one-line summary row: "<label>: <value>".
+void PrintKeyValue(const std::string& label, const std::string& value);
+
+/// Builds a PartitionIndex over `scorer`, sweeps probe counts up to the bin
+/// count, and returns the accuracy/candidates curve (10-NN).
+std::vector<SweepPoint> SweepScorer(const Workload& w, const BinScorer& scorer,
+                                    size_t max_probes);
+
+/// Prints a curve returned by SweepScorer/ProbeSweep.
+void PrintCurve(const std::string& figure, const Workload& w,
+                const std::string& method,
+                const std::vector<SweepPoint>& curve);
+
+}  // namespace usp::bench
+
+#endif  // USP_BENCH_COMMON_H_

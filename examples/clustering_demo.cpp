@@ -1,0 +1,96 @@
+// Clustering demo (Sec. 5.5 / Table 5): uses the unsupervised space
+// partitioner as a general clustering algorithm on the scikit-learn
+// benchmark shapes and renders the labelings as ASCII scatter plots next to
+// DBSCAN, K-means and spectral clustering.
+//
+//   $ ./build/examples/clustering_demo
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/kmeans.h"
+#include "cluster/dbscan.h"
+#include "cluster/metrics.h"
+#include "cluster/spectral.h"
+#include "core/partitioner.h"
+#include "dataset/synthetic.h"
+#include "knn/brute_force.h"
+
+using namespace usp;
+
+namespace {
+
+void Render(const Matrix& points, const std::vector<uint32_t>& labels,
+            const std::string& title, double ari) {
+  constexpr int kWidth = 56, kHeight = 14;
+  float min_x = 1e30f, max_x = -1e30f, min_y = 1e30f, max_y = -1e30f;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    min_x = std::min(min_x, points(i, 0));
+    max_x = std::max(max_x, points(i, 0));
+    min_y = std::min(min_y, points(i, 1));
+    max_y = std::max(max_y, points(i, 1));
+  }
+  std::vector<std::string> grid(kHeight, std::string(kWidth, ' '));
+  const char glyphs[] = "o+x*#@%&";
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const int cx = static_cast<int>((points(i, 0) - min_x) /
+                                    (max_x - min_x + 1e-9f) * (kWidth - 1));
+    const int cy = static_cast<int>((points(i, 1) - min_y) /
+                                    (max_y - min_y + 1e-9f) * (kHeight - 1));
+    grid[kHeight - 1 - cy][cx] = glyphs[labels[i] % 8];
+  }
+  std::printf("%s (ARI %.2f)\n", title.c_str(), ari);
+  for (const auto& row : grid) std::printf("  %s\n", row.c_str());
+}
+
+void Demo(const std::string& name, const LabeledDataset& ds, size_t clusters,
+          float dbscan_eps) {
+  std::printf("\n================ %s ================\n", name.c_str());
+  const Matrix& points = ds.points;
+
+  const KnnResult knn = BuildKnnMatrix(points, 10);
+  UspTrainConfig usp_config;
+  usp_config.num_bins = clusters;
+  usp_config.eta = 7.0f;
+  usp_config.epochs = 60;
+  usp_config.batch_size = 256;
+  usp_config.hidden_dim = 64;
+  usp_config.seed = 3;
+  UspPartitioner usp(usp_config);
+  usp.Train(points, knn);
+  const auto usp_labels = usp.AssignBins(points);
+  Render(points, usp_labels, "USP (ours)",
+         AdjustedRandIndex(ds.labels, usp_labels));
+
+  DbscanConfig db;
+  db.epsilon = dbscan_eps;
+  db.min_points = 5;
+  const auto db_labels = DensifyLabels(RunDbscan(points, db).labels);
+  Render(points, db_labels, "DBSCAN", AdjustedRandIndex(ds.labels, db_labels));
+
+  KMeansConfig km;
+  km.num_clusters = clusters;
+  km.seed = 4;
+  const auto km_labels = RunKMeans(points, km).assignments;
+  Render(points, km_labels, "K-means",
+         AdjustedRandIndex(ds.labels, km_labels));
+
+  SpectralConfig sp;
+  sp.num_clusters = clusters;
+  sp.graph_neighbors = 10;
+  sp.seed = 5;
+  const auto sp_labels = RunSpectralClustering(points, sp);
+  Render(points, sp_labels, "Spectral",
+         AdjustedRandIndex(ds.labels, sp_labels));
+}
+
+}  // namespace
+
+int main() {
+  Demo("two moons", MakeMoons(700, 0.05f, 1), 2, 0.16f);
+  Demo("concentric circles", MakeCircles(700, 0.03f, 0.45f, 2), 2, 0.15f);
+  Demo("make_classification (4 classes)",
+       MakeClassification(700, 2, 4, 5.0f, 3), 4, 0.9f);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ensembling and hierarchical partitioning (Sec. 4.4): shows how ensemble
+// size e trades training time for recall (Alg. 3/4), what the AdaBoost-style
+// weights converge to, and how a hierarchical 8x8 tree compares with a flat
+// 64-bin model at equal bin count.
+//
+//   $ ./build/examples/ensemble_tuning
+#include <algorithm>
+#include <cstdio>
+
+#include "core/ensemble.h"
+#include "core/hierarchical.h"
+#include "core/partition_index.h"
+#include "dataset/workload.h"
+#include "util/timer.h"
+
+using namespace usp;
+
+int main() {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kSiftLike;
+  spec.num_base = 5000;
+  spec.num_queries = 250;
+  spec.gt_k = 10;
+  spec.knn_k = 10;
+  spec.seed = 23;
+  std::printf("building workload (n=%zu, d=128)...\n", spec.num_base);
+  Workload w = MakeWorkload(spec);
+
+  UspTrainConfig model_config;
+  model_config.num_bins = 16;
+  model_config.eta = 7.0f;
+  model_config.epochs = 18;
+  model_config.batch_size = 512;
+  model_config.seed = 29;
+
+  // --- Ensemble size sweep ---
+  std::printf("\nensemble size sweep (16 bins, 1 probe):\n");
+  std::printf("  %4s %12s %12s %12s\n", "e", "train(s)", "acc@1probe",
+              "mean|C|");
+  for (size_t e : {1, 2, 3, 4}) {
+    UspEnsembleConfig config;
+    config.model = model_config;
+    config.num_models = e;
+    UspEnsemble ensemble(config);
+    WallTimer timer;
+    ensemble.Train(w.base, w.knn_matrix);
+    const double train_seconds = timer.ElapsedSeconds();
+    const auto result = ensemble.SearchBatch(w.queries, 10, 1);
+    std::printf("  %4zu %12.1f %12.4f %12.1f\n", e, train_seconds,
+                KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+                result.MeanCandidates());
+    if (e == 4) {
+      const auto& weights = ensemble.final_weights();
+      const auto [mn, mx] = std::minmax_element(weights.begin(), weights.end());
+      size_t heavy = 0;
+      for (float weight : weights) {
+        if (weight > 2.0f) ++heavy;
+      }
+      std::printf(
+          "  final boosting weights: min %.3f, max %.2f; %zu/%zu points "
+          "weighted >2x\n",
+          *mn, *mx, heavy, weights.size());
+    }
+  }
+
+  // --- Flat vs hierarchical at 64 bins ---
+  std::printf("\nflat 64 bins vs hierarchical 8x8 (equal bin count):\n");
+  {
+    UspTrainConfig flat_config = model_config;
+    flat_config.num_bins = 64;
+    flat_config.eta = 10.0f;
+    UspPartitioner flat(flat_config);
+    WallTimer timer;
+    flat.Train(w.base, w.knn_matrix);
+    const double train_seconds = timer.ElapsedSeconds();
+    PartitionIndex index(&w.base, &flat);
+    const auto result = index.SearchBatch(w.queries, 10, 4);
+    std::printf("  %-14s train %6.1fs params %7zu  acc@4probes %.4f  "
+                "mean|C| %.0f\n",
+                "flat-64", train_seconds, flat.ParameterCount(),
+                KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+                result.MeanCandidates());
+  }
+  {
+    HierarchicalConfig tree_config;
+    tree_config.fanouts = {8, 8};
+    tree_config.model = model_config;
+    tree_config.model.num_bins = 8;
+    HierarchicalUspPartitioner tree(tree_config);
+    WallTimer timer;
+    tree.Train(w.base, w.knn_matrix);
+    const double train_seconds = timer.ElapsedSeconds();
+    PartitionIndex index(&w.base, &tree);
+    const auto result = index.SearchBatch(w.queries, 10, 4);
+    std::printf("  %-14s train %6.1fs params %7zu  acc@4probes %.4f  "
+                "mean|C| %.0f  (%zu small models)\n",
+                "tree-8x8", train_seconds, tree.ParameterCount(),
+                KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+                result.MeanCandidates(), tree.NumModels());
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: train an unsupervised space partition on a synthetic workload,
+// build the index, and answer 10-NN queries at several probe counts.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+#include "dataset/workload.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace usp;
+
+  // 1. A workload: base points, held-out queries, exact ground truth and the
+  //    k'-NN matrix (the offline phase's only preprocessing step).
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kSiftLike;
+  spec.num_base = 4000;
+  spec.num_queries = 200;
+  spec.gt_k = 10;   // evaluate 10-NN accuracy
+  spec.knn_k = 10;  // k' used by the loss
+  spec.seed = 1;
+  std::printf("building workload (n=%zu, d=128)...\n", spec.num_base);
+  Workload w = MakeWorkload(spec);
+
+  // 2. Train the unsupervised partitioner (Algorithm 1).
+  UspTrainConfig config;
+  config.num_bins = 16;
+  config.eta = 7.0f;  // paper's value for 16 bins
+  config.epochs = 20;
+  config.batch_size = 512;
+  UspPartitioner partitioner(config);
+  WallTimer timer;
+  partitioner.Train(w.base, w.knn_matrix);
+  std::printf("trained %zu-bin model (%zu parameters) in %.1fs\n",
+              config.num_bins, partitioner.ParameterCount(),
+              timer.ElapsedSeconds());
+
+  // 3. Build the index (lookup table) and answer queries (Algorithm 2).
+  PartitionIndex index(&w.base, &partitioner);
+  std::printf("\n%8s  %12s  %10s\n", "probes", "mean|C|", "10NN-acc");
+  for (size_t probes : {1, 2, 4, 8}) {
+    const BatchSearchResult result = index.SearchBatch(w.queries, 10, probes);
+    const double accuracy =
+        KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k);
+    std::printf("%8zu  %12.1f  %10.4f\n", probes, result.MeanCandidates(),
+                accuracy);
+  }
+  return 0;
+}

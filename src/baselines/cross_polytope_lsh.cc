@@ -1,0 +1,37 @@
+#include "baselines/cross_polytope_lsh.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace usp {
+
+CrossPolytopeLsh::CrossPolytopeLsh(size_t dim, size_t num_bins, uint64_t seed) {
+  USP_CHECK(num_bins >= 2 && num_bins % 2 == 0);
+  Rng rng(seed);
+  projection_ = Matrix::RandomGaussian(dim, num_bins / 2, &rng, 0.0f,
+                                       1.0f / std::sqrt(float(dim)));
+}
+
+Matrix CrossPolytopeLsh::ScoreBins(const Matrix& points) const {
+  USP_CHECK(points.cols() == projection_.rows());
+  const size_t half = projection_.cols();
+  Matrix rotated(points.rows(), half);
+  Gemm(points, projection_, &rotated);
+  Matrix scores(points.rows(), 2 * half);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    // Normalize per point so scores are scale-free (the hash of the
+    // direction, as in angular-distance LSH).
+    const float* r = rotated.Row(i);
+    float norm = std::sqrt(Dot(r, r, half)) + 1e-12f;
+    float* s = scores.Row(i);
+    for (size_t j = 0; j < half; ++j) {
+      s[j] = r[j] / norm;
+      s[half + j] = -r[j] / norm;
+    }
+  }
+  return scores;
+}
+
+}  // namespace usp

@@ -1,0 +1,33 @@
+// Cross-polytope LSH (Andoni et al. 2015): the data-oblivious baseline of
+// Fig. 5. A point is hashed by rotating it pseudo-randomly into R^{m/2} and
+// taking the closest signed standard basis vector, giving m = 2 * (m/2) bins.
+// Scores are the signed rotated coordinates, which yields the natural
+// multi-probe order.
+#ifndef USP_BASELINES_CROSS_POLYTOPE_LSH_H_
+#define USP_BASELINES_CROSS_POLYTOPE_LSH_H_
+
+#include <cstdint>
+
+#include "core/bin_scorer.h"
+
+namespace usp {
+
+/// One cross-polytope hash table acting as a space partition with `num_bins`
+/// bins (`num_bins` must be even; the projection dimension is num_bins / 2).
+class CrossPolytopeLsh : public BinScorer {
+ public:
+  CrossPolytopeLsh(size_t dim, size_t num_bins, uint64_t seed);
+
+  size_t num_bins() const override { return 2 * projection_.cols(); }
+
+  /// Scores: concatenation of (rotated coords, negated rotated coords) of the
+  /// L2-normalized point. Argmax = cross-polytope hash bucket.
+  Matrix ScoreBins(const Matrix& points) const override;
+
+ private:
+  Matrix projection_;  // (dim x num_bins/2) iid Gaussian rotation
+};
+
+}  // namespace usp
+
+#endif  // USP_BASELINES_CROSS_POLYTOPE_LSH_H_

@@ -1,0 +1,139 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+namespace {
+
+// k-means++: first center uniform, then each next center sampled proportional
+// to squared distance from the nearest chosen center.
+Matrix KMeansPlusPlusInit(const Matrix& data, size_t k, Rng* rng) {
+  const size_t n = data.rows(), d = data.cols();
+  Matrix centroids(k, d);
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  size_t first = rng->UniformInt(n);
+  std::memcpy(centroids.Row(0), data.Row(first), d * sizeof(float));
+  for (size_t c = 1; c < k; ++c) {
+    const float* prev = centroids.Row(c - 1);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             SquaredDistance(data.Row(i), prev, d));
+      total += min_dist[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng->Uniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformInt(n);
+    }
+    std::memcpy(centroids.Row(c), data.Row(chosen), d * sizeof(float));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Matrix& data, const KMeansConfig& config) {
+  const size_t n = data.rows(), d = data.cols();
+  const size_t k = std::min(config.num_clusters, n);
+  USP_CHECK(k >= 1);
+  Rng rng(config.seed);
+
+  KMeansResult result;
+  result.centroids = KMeansPlusPlusInit(data, k, &rng);
+  result.assignments.assign(n, 0);
+  std::vector<float> point_dist(n, 0.0f);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step (parallel).
+    ParallelFor(n, 64, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        const float* x = data.Row(i);
+        float best = std::numeric_limits<float>::max();
+        uint32_t best_c = 0;
+        for (size_t c = 0; c < k; ++c) {
+          const float dist = SquaredDistance(x, result.centroids.Row(c), d);
+          if (dist < best) {
+            best = dist;
+            best_c = static_cast<uint32_t>(c);
+          }
+        }
+        result.assignments[i] = best_c;
+        point_dist[i] = best;
+      }
+    });
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) inertia += point_dist[i];
+    result.inertia = inertia;
+
+    // Update step.
+    Matrix sums(k, d);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t c = result.assignments[i];
+      ++counts[c];
+      const float* x = data.Row(i);
+      float* s = sums.Row(c);
+      for (size_t j = 0; j < d; ++j) s[j] += x[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster from the worst-served point.
+        size_t farthest = 0;
+        for (size_t i = 1; i < n; ++i) {
+          if (point_dist[i] > point_dist[farthest]) farthest = i;
+        }
+        std::memcpy(result.centroids.Row(c), data.Row(farthest),
+                    d * sizeof(float));
+        point_dist[farthest] = 0.0f;
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      float* dst = result.centroids.Row(c);
+      const float* s = sums.Row(c);
+      for (size_t j = 0; j < d; ++j) dst[j] = s[j] * inv;
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max() &&
+        prev_inertia - inertia <= config.tolerance * prev_inertia) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+KMeansPartitioner::KMeansPartitioner(const Matrix& data,
+                                     const KMeansConfig& config) {
+  centroids_ = std::move(RunKMeans(data, config).centroids);
+}
+
+KMeansPartitioner::KMeansPartitioner(Matrix centroids)
+    : centroids_(std::move(centroids)) {}
+
+Matrix KMeansPartitioner::ScoreBins(const Matrix& points) const {
+  Matrix dist(points.rows(), centroids_.rows());
+  PairwiseSquaredDistances(points, centroids_, &dist);
+  for (size_t i = 0; i < dist.size(); ++i) dist.data()[i] = -dist.data()[i];
+  return dist;
+}
+
+}  // namespace usp

@@ -1,0 +1,61 @@
+// Lloyd's K-means with k-means++ seeding. Triple duty in the paper's
+// evaluation: the main quantization-partition baseline (Sec. 5.4.1), the
+// coarse quantizer of IVF/FAISS-style indexes (Sec. 5.4.3), and the codebook
+// trainer for product quantization (src/quant).
+#ifndef USP_BASELINES_KMEANS_H_
+#define USP_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bin_scorer.h"
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// K-means hyperparameters.
+struct KMeansConfig {
+  size_t num_clusters = 16;
+  size_t max_iterations = 25;
+  double tolerance = 1e-4;  ///< stop when relative inertia improvement drops below
+  uint64_t seed = 1;
+};
+
+/// Result of one K-means run.
+struct KMeansResult {
+  Matrix centroids;                   ///< (k x d)
+  std::vector<uint32_t> assignments;  ///< argmin-distance cluster per point
+  double inertia = 0.0;               ///< sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+/// Runs k-means++ initialization followed by Lloyd iterations. Empty clusters
+/// are reseeded from the point currently farthest from its centroid.
+KMeansResult RunKMeans(const Matrix& data, const KMeansConfig& config);
+
+/// K-means as a space partition: bin score = negated squared distance to each
+/// centroid, so argmax-score matches nearest-centroid assignment and probing
+/// order matches the standard IVF probe order.
+class KMeansPartitioner : public BinScorer {
+ public:
+  /// Trains centroids on `data`.
+  KMeansPartitioner(const Matrix& data, const KMeansConfig& config);
+
+  /// Wraps existing centroids.
+  explicit KMeansPartitioner(Matrix centroids);
+
+  size_t num_bins() const override { return centroids_.rows(); }
+  Matrix ScoreBins(const Matrix& points) const override;
+
+  const Matrix& centroids() const { return centroids_; }
+
+  /// Learnable parameter count analogue (centroid table, Table 2).
+  size_t ParameterCount() const { return centroids_.size(); }
+
+ private:
+  Matrix centroids_;
+};
+
+}  // namespace usp
+
+#endif  // USP_BASELINES_KMEANS_H_

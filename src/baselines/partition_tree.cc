@@ -1,0 +1,355 @@
+#include "baselines/partition_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/kmeans.h"
+#include "tensor/ops.h"
+
+namespace usp {
+
+namespace {
+
+// Projects subset points onto w; returns projections aligned with ids.
+std::vector<float> Project(const Matrix& data,
+                           const std::vector<uint32_t>& ids,
+                           const std::vector<float>& w) {
+  std::vector<float> proj(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    proj[i] = Dot(data.Row(ids[i]), w.data(), data.cols());
+  }
+  return proj;
+}
+
+float MedianOf(std::vector<float> values) {
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+bool Degenerate(const std::vector<float>& proj, float threshold) {
+  size_t left = 0;
+  for (float p : proj) {
+    if (p < threshold) ++left;
+  }
+  return left == 0 || left == proj.size();
+}
+
+}  // namespace
+
+PartitionTree::PartitionTree(const Matrix& data,
+                             const PartitionTreeConfig& config,
+                             const HyperplaneSplitFn& split,
+                             const KnnResult* knn_matrix)
+    : config_(config) {
+  USP_CHECK(data.rows() > 0);
+  Rng rng(config_.seed);
+  std::vector<uint32_t> all(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) all[i] = static_cast<uint32_t>(i);
+  Build(data, std::move(all), 0, split, knn_matrix, &rng);
+}
+
+int32_t PartitionTree::Build(const Matrix& data, std::vector<uint32_t> ids,
+                             size_t depth, const HyperplaneSplitFn& split,
+                             const KnnResult* knn_matrix, Rng* rng) {
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  auto make_leaf = [&]() {
+    nodes_[index].leaf_id = static_cast<int32_t>(num_leaves_++);
+    return index;
+  };
+
+  if (depth >= config_.depth || ids.size() < 2 * config_.min_leaf_size) {
+    return make_leaf();
+  }
+
+  std::vector<float> w;
+  float threshold = 0.0f;
+  SplitContext context{data, ids, knn_matrix, rng};
+  if (!split(context, &w, &threshold)) return make_leaf();
+
+  const std::vector<float> proj = Project(data, ids, w);
+  if (Degenerate(proj, threshold)) return make_leaf();
+
+  // Sigmoid sharpness from the subset's own margin scale, so multi-probe
+  // scores are comparable across nodes regardless of data units.
+  double mean_abs_margin = 0.0;
+  for (float p : proj) mean_abs_margin += std::abs(p - threshold);
+  mean_abs_margin /= static_cast<double>(proj.size());
+  const float margin_scale =
+      1.0f / (static_cast<float>(mean_abs_margin) + 1e-12f);
+
+  std::vector<uint32_t> left_ids, right_ids;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    (proj[i] >= threshold ? right_ids : left_ids).push_back(ids[i]);
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+
+  // Fill the node before recursing (vector may reallocate, so write through
+  // the index afterwards too).
+  nodes_[index].w = std::move(w);
+  nodes_[index].threshold = threshold;
+  nodes_[index].margin_scale = margin_scale;
+  const int32_t left =
+      Build(data, std::move(left_ids), depth + 1, split, knn_matrix, rng);
+  const int32_t right =
+      Build(data, std::move(right_ids), depth + 1, split, knn_matrix, rng);
+  nodes_[index].left = left;
+  nodes_[index].right = right;
+  return index;
+}
+
+Matrix PartitionTree::ScoreBins(const Matrix& points) const {
+  Matrix out(points.rows(), num_leaves_);
+  std::vector<float> ones(points.rows(), 1.0f);
+  Score(points, 0, ones, &out);
+  return out;
+}
+
+void PartitionTree::Score(const Matrix& points, size_t node_index,
+                          const std::vector<float>& scale, Matrix* out) const {
+  const Node& node = nodes_[node_index];
+  if (node.leaf_id >= 0) {
+    for (size_t i = 0; i < points.rows(); ++i) {
+      (*out)(i, node.leaf_id) = scale[i];
+    }
+    return;
+  }
+  std::vector<float> left_scale(points.rows()), right_scale(points.rows());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const float margin =
+        Dot(points.Row(i), node.w.data(), points.cols()) - node.threshold;
+    const float p_right =
+        1.0f / (1.0f + std::exp(-node.margin_scale * margin));
+    right_scale[i] = scale[i] * p_right;
+    left_scale[i] = scale[i] * (1.0f - p_right);
+  }
+  Score(points, node.left, left_scale, out);
+  Score(points, node.right, right_scale, out);
+}
+
+size_t PartitionTree::ParameterCount() const {
+  size_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node.leaf_id < 0) total += node.w.size() + 1;
+  }
+  return total;
+}
+
+// ---- Split rules ----
+
+HyperplaneSplitFn RandomProjectionSplit() {
+  return [](const SplitContext& ctx, std::vector<float>* w, float* threshold) {
+    const size_t d = ctx.data.cols();
+    w->resize(d);
+    for (size_t j = 0; j < d; ++j) {
+      (*w)[j] = static_cast<float>(ctx.rng->Gaussian());
+    }
+    *threshold = MedianOf(Project(ctx.data, ctx.ids, *w));
+    return true;
+  };
+}
+
+HyperplaneSplitFn PcaSplit() {
+  return [](const SplitContext& ctx, std::vector<float>* w, float* threshold) {
+    const size_t d = ctx.data.cols();
+    const size_t n = ctx.ids.size();
+    // Mean of the subset.
+    std::vector<float> mean(d, 0.0f);
+    for (uint32_t id : ctx.ids) {
+      const float* row = ctx.data.Row(id);
+      for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+    }
+    for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<float>(n);
+    // Power iteration on the covariance (implicit; never materialized).
+    std::vector<float> v(d);
+    for (size_t j = 0; j < d; ++j) {
+      v[j] = static_cast<float>(ctx.rng->Gaussian());
+    }
+    std::vector<float> next(d);
+    for (int iter = 0; iter < 20; ++iter) {
+      std::fill(next.begin(), next.end(), 0.0f);
+      for (uint32_t id : ctx.ids) {
+        const float* row = ctx.data.Row(id);
+        float dot = 0.0f;
+        for (size_t j = 0; j < d; ++j) dot += (row[j] - mean[j]) * v[j];
+        for (size_t j = 0; j < d; ++j) next[j] += dot * (row[j] - mean[j]);
+      }
+      float norm = std::sqrt(Dot(next.data(), next.data(), d));
+      if (norm < 1e-12f) return false;  // zero variance subset
+      for (size_t j = 0; j < d; ++j) v[j] = next[j] / norm;
+    }
+    *w = std::move(v);
+    *threshold = MedianOf(Project(ctx.data, ctx.ids, *w));
+    return true;
+  };
+}
+
+HyperplaneSplitFn TwoMeansSplit() {
+  return [](const SplitContext& ctx, std::vector<float>* w, float* threshold) {
+    Matrix subset = ctx.data.GatherRows(ctx.ids);
+    KMeansConfig config;
+    config.num_clusters = 2;
+    config.max_iterations = 12;
+    config.seed = ctx.rng->Next();
+    const KMeansResult km = RunKMeans(subset, config);
+    if (km.centroids.rows() < 2) return false;
+    const size_t d = subset.cols();
+    w->resize(d);
+    float t = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      const float c0 = km.centroids(0, j), c1 = km.centroids(1, j);
+      (*w)[j] = c1 - c0;
+      t += (c1 - c0) * 0.5f * (c0 + c1);
+    }
+    *threshold = t;
+    return true;
+  };
+}
+
+HyperplaneSplitFn LearnedKdSplit(size_t candidate_dims) {
+  return [candidate_dims](const SplitContext& ctx, std::vector<float>* w,
+                          float* threshold) {
+    USP_CHECK(ctx.knn_matrix != nullptr);
+    const size_t d = ctx.data.cols();
+    const size_t num_candidates = std::min(candidate_dims, d);
+    std::unordered_set<uint32_t> in_subset(ctx.ids.begin(), ctx.ids.end());
+    // Evaluate candidate dimensions on a bounded sample of the subset.
+    const size_t sample_cap = 1500;
+    std::vector<uint32_t> sample = ctx.ids;
+    if (sample.size() > sample_cap) {
+      const auto picks = ctx.rng->SampleWithoutReplacement(
+          static_cast<uint32_t>(sample.size()),
+          static_cast<uint32_t>(sample_cap));
+      std::vector<uint32_t> reduced;
+      reduced.reserve(sample_cap);
+      for (uint32_t p : picks) reduced.push_back(sample[p]);
+      sample = std::move(reduced);
+    }
+
+    size_t best_dim = 0;
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    float best_threshold = 0.0f;
+    const auto dims = ctx.rng->SampleWithoutReplacement(
+        static_cast<uint32_t>(d), static_cast<uint32_t>(num_candidates));
+    for (uint32_t dim : dims) {
+      std::vector<float> values;
+      values.reserve(ctx.ids.size());
+      for (uint32_t id : ctx.ids) values.push_back(ctx.data(id, dim));
+      const float median = MedianOf(std::move(values));
+      // Cost: neighbor pairs (within the subset) separated by this split.
+      size_t cost = 0;
+      for (uint32_t id : sample) {
+        const bool side = ctx.data(id, dim) >= median;
+        const uint32_t* nbrs = ctx.knn_matrix->Row(id);
+        for (size_t t = 0; t < ctx.knn_matrix->k; ++t) {
+          const uint32_t nb = nbrs[t];
+          if (!in_subset.count(nb)) continue;
+          if ((ctx.data(nb, dim) >= median) != side) ++cost;
+        }
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_dim = dim;
+        best_threshold = median;
+      }
+    }
+    w->assign(d, 0.0f);
+    (*w)[best_dim] = 1.0f;
+    *threshold = best_threshold;
+    return true;
+  };
+}
+
+HyperplaneSplitFn BoostedSearchSplit(size_t candidate_directions) {
+  // Shared boosting weights across nodes of the same tree: points whose
+  // neighborhoods a previous hyperplane cut get more influence deeper down.
+  auto weights = std::make_shared<std::unordered_map<uint32_t, float>>();
+  return [candidate_directions, weights](const SplitContext& ctx,
+                                         std::vector<float>* w,
+                                         float* threshold) {
+    USP_CHECK(ctx.knn_matrix != nullptr);
+    const size_t d = ctx.data.cols();
+    std::unordered_set<uint32_t> in_subset(ctx.ids.begin(), ctx.ids.end());
+
+    auto weight_of = [&](uint32_t id) {
+      const auto it = weights->find(id);
+      return it == weights->end() ? 1.0f : it->second;
+    };
+
+    const size_t sample_cap = 1200;
+    std::vector<uint32_t> sample = ctx.ids;
+    if (sample.size() > sample_cap) {
+      const auto picks = ctx.rng->SampleWithoutReplacement(
+          static_cast<uint32_t>(sample.size()),
+          static_cast<uint32_t>(sample_cap));
+      std::vector<uint32_t> reduced;
+      reduced.reserve(sample_cap);
+      for (uint32_t p : picks) reduced.push_back(sample[p]);
+      sample = std::move(reduced);
+    }
+
+    std::vector<float> best_w;
+    float best_threshold = 0.0f;
+    double best_cost = std::numeric_limits<double>::max();
+    std::vector<float> candidate(d);
+    for (size_t c = 0; c < candidate_directions; ++c) {
+      for (size_t j = 0; j < d; ++j) {
+        candidate[j] = static_cast<float>(ctx.rng->Gaussian());
+      }
+      const float median = MedianOf(Project(ctx.data, ctx.ids, candidate));
+      // Weighted similarity-preservation loss: sum of weights of neighbor
+      // pairs the hyperplane separates (Li et al.'s pairwise loss).
+      double cost = 0.0;
+      for (uint32_t id : sample) {
+        const bool side =
+            Dot(ctx.data.Row(id), candidate.data(), d) >= median;
+        const uint32_t* nbrs = ctx.knn_matrix->Row(id);
+        for (size_t t = 0; t < ctx.knn_matrix->k; ++t) {
+          const uint32_t nb = nbrs[t];
+          if (!in_subset.count(nb)) continue;
+          const bool nb_side =
+              Dot(ctx.data.Row(nb), candidate.data(), d) >= median;
+          if (nb_side != side) cost += 0.5 * (weight_of(id) + weight_of(nb));
+        }
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_w = candidate;
+        best_threshold = median;
+      }
+    }
+    if (best_w.empty()) return false;
+
+    // Boost: upweight points whose neighborhoods this split cuts.
+    for (uint32_t id : ctx.ids) {
+      const bool side = Dot(ctx.data.Row(id), best_w.data(), d) >= best_threshold;
+      const uint32_t* nbrs = ctx.knn_matrix->Row(id);
+      size_t cut = 0;
+      for (size_t t = 0; t < ctx.knn_matrix->k; ++t) {
+        const uint32_t nb = nbrs[t];
+        if (!in_subset.count(nb)) continue;
+        if ((Dot(ctx.data.Row(nb), best_w.data(), d) >= best_threshold) != side) {
+          ++cut;
+        }
+      }
+      if (cut > 0) {
+        (*weights)[id] = weight_of(id) *
+                         (1.0f + static_cast<float>(cut) /
+                                     static_cast<float>(ctx.knn_matrix->k));
+      }
+    }
+
+    *w = std::move(best_w);
+    *threshold = best_threshold;
+    return true;
+  };
+}
+
+}  // namespace usp

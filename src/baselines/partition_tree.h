@@ -1,0 +1,104 @@
+// Generic recursive binary space-partitioning tree over hyperplane splits.
+// Every tree baseline of Fig. 6 (2-means tree, PCA tree, random-projection
+// tree, learned KD-tree, boosted search tree, Regression LSH) is this tree
+// with a different split rule. Leaves are the partition bins; multi-probe
+// scores are products of sigmoid margins down the path, so "closest to the
+// boundary" leaves are probed first.
+#ifndef USP_BASELINES_PARTITION_TREE_H_
+#define USP_BASELINES_PARTITION_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/bin_scorer.h"
+#include "knn/brute_force.h"
+#include "util/rng.h"
+
+namespace usp {
+
+/// Context handed to a split rule for one tree node.
+struct SplitContext {
+  const Matrix& data;                     ///< full dataset
+  const std::vector<uint32_t>& ids;       ///< points in this node (global ids)
+  const KnnResult* knn_matrix;            ///< global k'-NN matrix (may be null)
+  Rng* rng;
+};
+
+/// Computes a hyperplane split for a node: side(x) = dot(x, w) >= threshold.
+/// Returns false when the node should become a leaf (degenerate subset).
+using HyperplaneSplitFn = std::function<bool(
+    const SplitContext& context, std::vector<float>* w, float* threshold)>;
+
+/// Tree build parameters.
+struct PartitionTreeConfig {
+  size_t depth = 10;        ///< max depth; full tree has 2^depth leaves
+  size_t min_leaf_size = 8; ///< stop splitting smaller subsets
+  uint64_t seed = 1;
+};
+
+/// Binary hyperplane tree implementing BinScorer over its leaves.
+class PartitionTree : public BinScorer {
+ public:
+  /// Builds the tree by recursively applying `split` to `data`.
+  /// `knn_matrix` is optional and forwarded to split rules that learn from
+  /// neighborhood structure (learned KD, boosted, Regression LSH).
+  PartitionTree(const Matrix& data, const PartitionTreeConfig& config,
+                const HyperplaneSplitFn& split,
+                const KnnResult* knn_matrix = nullptr);
+
+  size_t num_bins() const override { return num_leaves_; }
+  Matrix ScoreBins(const Matrix& points) const override;
+
+  size_t depth() const { return config_.depth; }
+
+  /// Total parameters across all internal-node hyperplanes ((d+1) per node).
+  size_t ParameterCount() const;
+
+ private:
+  struct Node {
+    std::vector<float> w;
+    float threshold = 0.0f;
+    float margin_scale = 1.0f;  ///< sigmoid sharpness; data-scale invariant
+    int32_t left = -1;          ///< index into nodes_
+    int32_t right = -1;
+    int32_t leaf_id = -1;       ///< >= 0 for leaves
+  };
+
+  int32_t Build(const Matrix& data, std::vector<uint32_t> ids, size_t depth,
+                const HyperplaneSplitFn& split, const KnnResult* knn_matrix,
+                Rng* rng);
+  void Score(const Matrix& points, size_t node_index,
+             const std::vector<float>& scale, Matrix* out) const;
+
+  PartitionTreeConfig config_;
+  std::vector<Node> nodes_;
+  size_t num_leaves_ = 0;
+};
+
+// ---- Split rules for the Fig. 6 baselines ----
+
+/// Random-projection tree: random Gaussian direction, median threshold.
+HyperplaneSplitFn RandomProjectionSplit();
+
+/// PCA tree: top principal component (power iteration), median threshold.
+HyperplaneSplitFn PcaSplit();
+
+/// 2-means tree: hyperplane bisecting the two Lloyd centroids.
+HyperplaneSplitFn TwoMeansSplit();
+
+/// Learned KD-tree (Cayton & Dasgupta 2007 style): axis-aligned split chosen
+/// to minimize the number of k'-NN pairs separated, over a sampled set of
+/// candidate dimensions, at the median threshold.
+HyperplaneSplitFn LearnedKdSplit(size_t candidate_dims = 16);
+
+/// Boosted search tree (Li et al. 2011 style): each node samples candidate
+/// directions and keeps the one minimizing the weighted fraction of neighbor
+/// pairs split; points whose neighborhoods were cut get boosted weights for
+/// deeper nodes (AdaBoost-flavored, matching the paper's description of
+/// Boosted Search Forest's per-hyperplane loss).
+HyperplaneSplitFn BoostedSearchSplit(size_t candidate_directions = 24);
+
+}  // namespace usp
+
+#endif  // USP_BASELINES_PARTITION_TREE_H_

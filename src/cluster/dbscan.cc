@@ -1,0 +1,59 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "tensor/ops.h"
+
+namespace usp {
+
+namespace {
+void RegionQuery(const Matrix& points, size_t center, float eps_sq,
+                 std::vector<uint32_t>* out) {
+  out->clear();
+  const size_t d = points.cols();
+  const float* c = points.Row(center);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    if (SquaredDistance(c, points.Row(i), d) <= eps_sq) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+}  // namespace
+
+DbscanResult RunDbscan(const Matrix& points, const DbscanConfig& config) {
+  const size_t n = points.rows();
+  const float eps_sq = config.epsilon * config.epsilon;
+  DbscanResult result;
+  result.labels.assign(n, kDbscanNoise);
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<uint32_t> neighbors, expansion;
+
+  int32_t cluster = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = 1;
+    RegionQuery(points, i, eps_sq, &neighbors);
+    if (neighbors.size() < config.min_points) continue;  // stays noise for now
+
+    // Start a new cluster and expand it breadth-first over core points.
+    result.labels[i] = cluster;
+    std::deque<uint32_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const uint32_t p = frontier.front();
+      frontier.pop_front();
+      if (result.labels[p] == kDbscanNoise) result.labels[p] = cluster;
+      if (visited[p]) continue;
+      visited[p] = 1;
+      result.labels[p] = cluster;
+      RegionQuery(points, p, eps_sq, &expansion);
+      if (expansion.size() >= config.min_points) {
+        frontier.insert(frontier.end(), expansion.begin(), expansion.end());
+      }
+    }
+    ++cluster;
+  }
+  result.num_clusters = static_cast<size_t>(cluster);
+  return result;
+}
+
+}  // namespace usp

@@ -1,0 +1,32 @@
+// DBSCAN (Ester et al. 1996), a Table-5 clustering baseline. Brute-force
+// region queries: the Table-5 datasets are small 2-D benchmarks.
+#ifndef USP_CLUSTER_DBSCAN_H_
+#define USP_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// DBSCAN parameters.
+struct DbscanConfig {
+  float epsilon = 0.2f;   ///< neighborhood radius (Euclidean)
+  size_t min_points = 5;  ///< core-point density threshold (incl. self)
+};
+
+/// Per-point labels: cluster ids from 0 upward; kDbscanNoise for noise.
+inline constexpr int32_t kDbscanNoise = -1;
+
+struct DbscanResult {
+  std::vector<int32_t> labels;
+  size_t num_clusters = 0;
+};
+
+/// Runs DBSCAN over `points` with Euclidean distance.
+DbscanResult RunDbscan(const Matrix& points, const DbscanConfig& config);
+
+}  // namespace usp
+
+#endif  // USP_CLUSTER_DBSCAN_H_

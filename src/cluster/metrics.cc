@@ -1,0 +1,118 @@
+#include "cluster/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/status.h"
+
+namespace usp {
+
+namespace {
+// Contingency table between two labelings plus marginals.
+struct Contingency {
+  std::vector<std::vector<size_t>> counts;  // truth x predicted
+  std::vector<size_t> truth_sizes;
+  std::vector<size_t> predicted_sizes;
+  size_t n = 0;
+};
+
+Contingency BuildContingency(const std::vector<uint32_t>& truth,
+                             const std::vector<uint32_t>& predicted) {
+  USP_CHECK(truth.size() == predicted.size());
+  Contingency c;
+  c.n = truth.size();
+  uint32_t max_truth = 0, max_predicted = 0;
+  for (size_t i = 0; i < c.n; ++i) {
+    max_truth = std::max(max_truth, truth[i]);
+    max_predicted = std::max(max_predicted, predicted[i]);
+  }
+  c.counts.assign(max_truth + 1, std::vector<size_t>(max_predicted + 1, 0));
+  c.truth_sizes.assign(max_truth + 1, 0);
+  c.predicted_sizes.assign(max_predicted + 1, 0);
+  for (size_t i = 0; i < c.n; ++i) {
+    ++c.counts[truth[i]][predicted[i]];
+    ++c.truth_sizes[truth[i]];
+    ++c.predicted_sizes[predicted[i]];
+  }
+  return c;
+}
+
+double Choose2(size_t x) {
+  return 0.5 * static_cast<double>(x) * static_cast<double>(x - 1);
+}
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<uint32_t>& truth,
+                         const std::vector<uint32_t>& predicted) {
+  const Contingency c = BuildContingency(truth, predicted);
+  if (c.n < 2) return 1.0;
+  double sum_cells = 0.0;
+  for (const auto& row : c.counts) {
+    for (size_t v : row) sum_cells += Choose2(v);
+  }
+  double sum_truth = 0.0, sum_predicted = 0.0;
+  for (size_t v : c.truth_sizes) sum_truth += Choose2(v);
+  for (size_t v : c.predicted_sizes) sum_predicted += Choose2(v);
+  const double total = Choose2(c.n);
+  const double expected = sum_truth * sum_predicted / total;
+  const double max_index = 0.5 * (sum_truth + sum_predicted);
+  if (std::abs(max_index - expected) < 1e-12) return 1.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(const std::vector<uint32_t>& truth,
+                                   const std::vector<uint32_t>& predicted) {
+  const Contingency c = BuildContingency(truth, predicted);
+  const double n = static_cast<double>(c.n);
+  double mi = 0.0, h_truth = 0.0, h_predicted = 0.0;
+  for (size_t t = 0; t < c.counts.size(); ++t) {
+    for (size_t p = 0; p < c.counts[t].size(); ++p) {
+      const size_t v = c.counts[t][p];
+      if (v == 0) continue;
+      const double joint = v / n;
+      const double pt = c.truth_sizes[t] / n;
+      const double pp = c.predicted_sizes[p] / n;
+      mi += joint * std::log(joint / (pt * pp));
+    }
+  }
+  for (size_t v : c.truth_sizes) {
+    if (v > 0) h_truth -= (v / n) * std::log(v / n);
+  }
+  for (size_t v : c.predicted_sizes) {
+    if (v > 0) h_predicted -= (v / n) * std::log(v / n);
+  }
+  const double denom = 0.5 * (h_truth + h_predicted);
+  if (denom < 1e-12) return 1.0;  // both labelings are constant
+  return std::max(0.0, mi / denom);
+}
+
+double Purity(const std::vector<uint32_t>& truth,
+              const std::vector<uint32_t>& predicted) {
+  const Contingency c = BuildContingency(truth, predicted);
+  if (c.n == 0) return 1.0;
+  // For each predicted cluster, count its majority true class.
+  size_t majority_total = 0;
+  const size_t num_predicted = c.predicted_sizes.size();
+  for (size_t p = 0; p < num_predicted; ++p) {
+    size_t best = 0;
+    for (size_t t = 0; t < c.counts.size(); ++t) {
+      best = std::max(best, c.counts[t][p]);
+    }
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) / static_cast<double>(c.n);
+}
+
+std::vector<uint32_t> DensifyLabels(const std::vector<int32_t>& labels) {
+  std::map<int32_t, uint32_t> remap;
+  std::vector<uint32_t> out(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const auto [it, inserted] =
+        remap.emplace(labels[i], static_cast<uint32_t>(remap.size()));
+    out[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace usp

@@ -1,0 +1,31 @@
+// External clustering-validation metrics for Table 5. The paper shows plots;
+// we quantify the same comparison with Adjusted Rand Index, Normalized Mutual
+// Information and purity against the generative labels.
+#ifndef USP_CLUSTER_METRICS_H_
+#define USP_CLUSTER_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace usp {
+
+/// Adjusted Rand Index in [-1, 1]; 1 = identical partitions, 0 = chance.
+double AdjustedRandIndex(const std::vector<uint32_t>& truth,
+                         const std::vector<uint32_t>& predicted);
+
+/// Normalized mutual information in [0, 1] (arithmetic-mean normalization).
+double NormalizedMutualInformation(const std::vector<uint32_t>& truth,
+                                   const std::vector<uint32_t>& predicted);
+
+/// Purity in (0, 1]: fraction of points in the majority true class of their
+/// predicted cluster.
+double Purity(const std::vector<uint32_t>& truth,
+              const std::vector<uint32_t>& predicted);
+
+/// Maps possibly-sparse labels (e.g. DBSCAN with noise = -1) onto dense
+/// unsigned ids; each distinct input value gets its own id.
+std::vector<uint32_t> DensifyLabels(const std::vector<int32_t>& labels);
+
+}  // namespace usp
+
+#endif  // USP_CLUSTER_METRICS_H_

@@ -1,0 +1,197 @@
+#include "cluster/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/kmeans.h"
+#include "graphpart/graph.h"
+#include "knn/brute_force.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace usp {
+
+namespace {
+
+// Jacobi eigendecomposition of a small dense symmetric matrix (column-major
+// irrelevant: symmetric). Returns eigenvalues ascending with matching
+// eigenvectors in the columns of `vectors`.
+void JacobiEigen(Matrix* a, std::vector<double>* values, Matrix* vectors) {
+  const size_t n = a->rows();
+  *vectors = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) (*vectors)(i, i) = 1.0f;
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += std::abs((*a)(p, q));
+    }
+    if (off < 1e-10) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = (*a)(p, q);
+        if (std::abs(apq) < 1e-14) continue;
+        const double app = (*a)(p, p), aqq = (*a)(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t i = 0; i < n; ++i) {
+          const double aip = (*a)(i, p), aiq = (*a)(i, q);
+          (*a)(i, p) = static_cast<float>(c * aip - s * aiq);
+          (*a)(i, q) = static_cast<float>(s * aip + c * aiq);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double api = (*a)(p, i), aqi = (*a)(q, i);
+          (*a)(p, i) = static_cast<float>(c * api - s * aqi);
+          (*a)(q, i) = static_cast<float>(s * api + c * aqi);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vip = (*vectors)(i, p), viq = (*vectors)(i, q);
+          (*vectors)(i, p) = static_cast<float>(c * vip - s * viq);
+          (*vectors)(i, q) = static_cast<float>(s * vip + c * viq);
+        }
+      }
+    }
+  }
+  values->resize(n);
+  for (size_t i = 0; i < n; ++i) (*values)[i] = (*a)(i, i);
+}
+
+}  // namespace
+
+std::vector<uint32_t> RunSpectralClustering(const Matrix& points,
+                                            const SpectralConfig& config) {
+  const size_t n = points.rows();
+  USP_CHECK(n >= config.num_clusters);
+  const size_t k_graph = std::min(config.graph_neighbors, n - 1);
+
+  // Symmetrized k-NN affinity graph (binary weights).
+  const KnnResult knn = BuildKnnMatrix(points, k_graph);
+  const Graph graph = BuildKnnGraph(knn, n);
+
+  // Normalized adjacency N = D^-1/2 A D^-1/2. Its top eigenvectors are the
+  // bottom eigenvectors of the normalized Laplacian L = I - N.
+  std::vector<float> inv_sqrt_degree(n, 0.0f);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t degree = graph.adjacency[i].size();
+    inv_sqrt_degree[i] =
+        degree > 0 ? 1.0f / std::sqrt(static_cast<float>(degree)) : 0.0f;
+  }
+  auto apply_n = [&](const std::vector<float>& v, std::vector<float>* out) {
+    for (size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (uint32_t nb : graph.adjacency[i]) {
+        acc += static_cast<double>(inv_sqrt_degree[i]) * inv_sqrt_degree[nb] *
+               v[nb];
+      }
+      (*out)[i] = static_cast<float>(acc);
+    }
+  };
+
+  // Deflated Lanczos: extract the top eigenvector of N k times, each run
+  // fully reorthogonalized against both its own Krylov basis and all
+  // previously extracted eigenvectors. Plain (single-vector) Lanczos cannot
+  // resolve the multiplicity of the top eigenvalue — on a graph with c
+  // connected components the eigenvalue 1 has multiplicity c but one Krylov
+  // space contains only one direction of that eigenspace — and the cluster
+  // indicators we need ARE that degenerate eigenspace. Deflation recovers
+  // one direction per run.
+  const size_t k = config.num_clusters;
+  const size_t subspace = std::min(
+      n, std::max<size_t>(24, config.power_iterations / 2));
+  Rng rng(config.seed);
+  std::vector<std::vector<float>> found;  // extracted eigenvectors
+
+  auto orthogonalize = [&](std::vector<float>* x,
+                           const std::vector<std::vector<float>>& against) {
+    for (const auto& prev : against) {
+      double dot = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        dot += static_cast<double>((*x)[i]) * prev[i];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        (*x)[i] -= static_cast<float>(dot) * prev[i];
+      }
+    }
+  };
+  auto normalize = [&](std::vector<float>* x) {
+    double norm = 0.0;
+    for (float value : *x) norm += static_cast<double>(value) * value;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) return false;
+    for (auto& value : *x) value = static_cast<float>(value / norm);
+    return true;
+  };
+
+  for (size_t extraction = 0; extraction < k; ++extraction) {
+    std::vector<std::vector<float>> lanczos_basis;
+    std::vector<double> alpha, beta;
+    std::vector<float> v(n), w(n);
+    for (size_t i = 0; i < n; ++i) v[i] = static_cast<float>(rng.Gaussian());
+    orthogonalize(&v, found);
+    USP_CHECK(normalize(&v));
+
+    for (size_t j = 0; j < subspace; ++j) {
+      lanczos_basis.push_back(v);
+      apply_n(v, &w);
+      double a_j = 0.0;
+      for (size_t i = 0; i < n; ++i) a_j += static_cast<double>(w[i]) * v[i];
+      alpha.push_back(a_j);
+      orthogonalize(&w, found);
+      orthogonalize(&w, lanczos_basis);
+      double b_j = 0.0;
+      for (float value : w) b_j += static_cast<double>(value) * value;
+      b_j = std::sqrt(b_j);
+      if (b_j < 1e-10) break;  // invariant subspace: T is complete
+      beta.push_back(b_j);
+      for (size_t i = 0; i < n; ++i) v[i] = static_cast<float>(w[i] / b_j);
+    }
+
+    const size_t m = lanczos_basis.size();
+    Matrix tri(m, m);
+    for (size_t i = 0; i < m; ++i) {
+      tri(i, i) = static_cast<float>(alpha[i]);
+      if (i + 1 < m && i < beta.size()) {
+        tri(i, i + 1) = static_cast<float>(beta[i]);
+        tri(i + 1, i) = static_cast<float>(beta[i]);
+      }
+    }
+    std::vector<double> eigenvalues;
+    Matrix eigenvectors;
+    JacobiEigen(&tri, &eigenvalues, &eigenvectors);
+    size_t top = 0;
+    for (size_t i = 1; i < m; ++i) {
+      if (eigenvalues[i] > eigenvalues[top]) top = i;
+    }
+    std::vector<float> ritz(n, 0.0f);
+    for (size_t j = 0; j < m; ++j) {
+      const float coeff = eigenvectors(j, top);
+      if (coeff == 0.0f) continue;
+      const auto& basis_vec = lanczos_basis[j];
+      for (size_t i = 0; i < n; ++i) ritz[i] += coeff * basis_vec[i];
+    }
+    orthogonalize(&ritz, found);  // numerical hygiene
+    USP_CHECK(normalize(&ritz));
+    found.push_back(std::move(ritz));
+  }
+
+  Matrix embedding(n, k);
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) embedding(i, c) = found[c][i];
+  }
+
+  // Row-normalize the embedding (Ng-Jordan-Weiss) and cluster with k-means.
+  for (size_t i = 0; i < n; ++i) {
+    float* row = embedding.Row(i);
+    const float norm = std::sqrt(Dot(row, row, k)) + 1e-12f;
+    for (size_t c = 0; c < k; ++c) row[c] /= norm;
+  }
+  KMeansConfig kc;
+  kc.num_clusters = k;
+  kc.max_iterations = 50;
+  kc.seed = config.seed ^ 0xC1;
+  return RunKMeans(embedding, kc).assignments;
+}
+
+}  // namespace usp

@@ -1,0 +1,32 @@
+// Spectral clustering (Ng, Jordan, Weiss 2001), a Table-5 baseline:
+// k-NN affinity graph -> normalized Laplacian -> smallest-k eigenvectors
+// (orthogonal power iteration on the shifted operator; no external LAPACK)
+// -> row normalization -> k-means on the spectral embedding.
+#ifndef USP_CLUSTER_SPECTRAL_H_
+#define USP_CLUSTER_SPECTRAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Spectral clustering parameters.
+struct SpectralConfig {
+  size_t num_clusters = 2;
+  size_t graph_neighbors = 10;   ///< k for the affinity k-NN graph
+  /// Krylov budget: the Lanczos subspace size is power_iterations / 2.
+  /// Fiedler-vector convergence on ring/moon graphs needs ~n/8 dimensions at
+  /// n = 1000, hence the generous default.
+  size_t power_iterations = 300;
+  uint64_t seed = 1;
+};
+
+/// Returns one label in [0, num_clusters) per point.
+std::vector<uint32_t> RunSpectralClustering(const Matrix& points,
+                                            const SpectralConfig& config);
+
+}  // namespace usp
+
+#endif  // USP_CLUSTER_SPECTRAL_H_

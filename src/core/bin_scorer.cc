@@ -1,0 +1,32 @@
+#include "core/bin_scorer.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace usp {
+
+std::vector<uint32_t> BinScorer::AssignBins(const Matrix& points) const {
+  return ArgmaxRows(ScoreBins(points));
+}
+
+std::vector<size_t> BinHistogram(const std::vector<uint32_t>& assignments,
+                                 size_t num_bins) {
+  std::vector<size_t> histogram(num_bins, 0);
+  for (uint32_t bin : assignments) {
+    USP_CHECK(bin < num_bins);
+    ++histogram[bin];
+  }
+  return histogram;
+}
+
+double BalanceRatio(const std::vector<uint32_t>& assignments, size_t num_bins) {
+  if (assignments.empty()) return 1.0;
+  const auto histogram = BinHistogram(assignments, num_bins);
+  const size_t largest = *std::max_element(histogram.begin(), histogram.end());
+  const double ideal =
+      static_cast<double>(assignments.size()) / static_cast<double>(num_bins);
+  return static_cast<double>(largest) / ideal;
+}
+
+}  // namespace usp

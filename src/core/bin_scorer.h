@@ -1,0 +1,40 @@
+// Common interface for every space-partitioning method in the repository.
+// A partitioner maps points to scores over m bins; the index layer
+// (core/partition_index.h) turns any BinScorer into an ANN index, so USP,
+// K-means, LSH, trees and Neural LSH are all evaluated through one code path.
+#ifndef USP_CORE_BIN_SCORER_H_
+#define USP_CORE_BIN_SCORER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Scores bins for query points; higher score = more likely bin (Alg. 2
+/// probes bins in descending score order).
+class BinScorer {
+ public:
+  virtual ~BinScorer() = default;
+
+  /// Number of bins m in the partition.
+  virtual size_t num_bins() const = 0;
+
+  /// Returns a (num_points x num_bins) score matrix.
+  virtual Matrix ScoreBins(const Matrix& points) const = 0;
+
+  /// Hard assignment: argmax score per point. R(p) in the paper.
+  std::vector<uint32_t> AssignBins(const Matrix& points) const;
+};
+
+/// Histogram of assignments over `num_bins` bins (balance diagnostics).
+std::vector<size_t> BinHistogram(const std::vector<uint32_t>& assignments,
+                                 size_t num_bins);
+
+/// Largest-bin / ideal-bin ratio; 1.0 is perfectly balanced.
+double BalanceRatio(const std::vector<uint32_t>& assignments, size_t num_bins);
+
+}  // namespace usp
+
+#endif  // USP_CORE_BIN_SCORER_H_

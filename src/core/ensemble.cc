@@ -1,0 +1,120 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "knn/brute_force.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+UspEnsemble::UspEnsemble(UspEnsembleConfig config)
+    : config_(std::move(config)) {
+  USP_CHECK(config_.num_models >= 1);
+}
+
+void UspEnsemble::Train(const Matrix& data, const KnnResult& knn_matrix) {
+  base_ = &data;
+  const size_t n = data.rows();
+  const size_t kp = knn_matrix.k;
+  models_.clear();
+  indexes_.clear();
+  weights_.assign(n, 1.0f);  // W_1: equal weights (Alg. 3 input)
+
+  for (size_t j = 0; j < config_.num_models; ++j) {
+    UspTrainConfig model_config = config_.model;
+    model_config.seed = config_.model.seed + 0x9E37 * (j + 1);
+    auto model = std::make_unique<UspPartitioner>(model_config);
+    model->Train(data, knn_matrix, &weights_);
+    auto index = std::make_unique<PartitionIndex>(&data, model.get());
+
+    if (j + 1 < config_.num_models) {
+      // Alg. 3b: raw weight = number of the point's k' neighbors placed in a
+      // different bin by this model; multiply into the running weights so only
+      // points *every* previous model failed keep high weight.
+      const std::vector<uint32_t>& bins = index->assignments();
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t misplaced = 0;
+        const uint32_t* nbrs = knn_matrix.Row(i);
+        for (size_t t = 0; t < kp; ++t) {
+          if (bins[nbrs[t]] != bins[i]) ++misplaced;
+        }
+        weights_[i] *= static_cast<float>(misplaced) + config_.weight_floor;
+        sum += weights_[i];
+      }
+      // Normalize to mean 1 so the quality term keeps the same scale as the
+      // balance term across ensemble stages.
+      const float scale =
+          sum > 0.0 ? static_cast<float>(n / sum) : 1.0f;
+      for (auto& w : weights_) w *= scale;
+    }
+
+    models_.push_back(std::move(model));
+    indexes_.push_back(std::move(index));
+  }
+}
+
+BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
+                                           size_t num_probes) const {
+  USP_CHECK(base_ != nullptr && !models_.empty());
+  const size_t nq = queries.rows();
+  const size_t e = models_.size();
+
+  // Score queries on every model once.
+  std::vector<Matrix> scores;
+  scores.reserve(e);
+  for (const auto& model : models_) {
+    scores.push_back(model->ScoreBins(queries));
+  }
+
+  BatchSearchResult result;
+  result.k = k;
+  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
+  result.candidate_counts.assign(nq, 0);
+
+  ParallelFor(nq, 8, [&](size_t begin, size_t end, size_t) {
+    std::vector<uint32_t> candidates, merged;
+    for (size_t q = begin; q < end; ++q) {
+      merged.clear();
+      if (config_.combine == EnsembleCombine::kBestConfidence) {
+        // Alg. 4 steps 3-4: confidence = the model's top bin probability.
+        size_t best_model = 0;
+        float best_conf = -1.0f;
+        for (size_t j = 0; j < e; ++j) {
+          const float* row = scores[j].Row(q);
+          const float conf =
+              *std::max_element(row, row + scores[j].cols());
+          if (conf > best_conf) {
+            best_conf = conf;
+            best_model = j;
+          }
+        }
+        indexes_[best_model]->CollectCandidates(scores[best_model].Row(q),
+                                                num_probes, &merged);
+      } else {
+        std::unordered_set<uint32_t> seen;
+        for (size_t j = 0; j < e; ++j) {
+          indexes_[j]->CollectCandidates(scores[j].Row(q), num_probes,
+                                         &candidates);
+          for (uint32_t id : candidates) {
+            if (seen.insert(id).second) merged.push_back(id);
+          }
+        }
+      }
+      result.candidate_counts[q] = static_cast<uint32_t>(merged.size());
+      const auto top = RerankCandidates(*base_, queries.Row(q), merged, k);
+      std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
+    }
+  });
+  return result;
+}
+
+size_t UspEnsemble::ParameterCount() const {
+  size_t total = 0;
+  for (const auto& model : models_) total += model->ParameterCount();
+  return total;
+}
+
+}  // namespace usp

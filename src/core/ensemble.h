@@ -1,0 +1,69 @@
+// Ensembling (Sec. 4.4.1): trains e models sequentially, each reweighting the
+// quality cost towards points the previous partitions placed badly (Alg. 3,
+// AdaBoost-style), and answers queries with the most confident model's
+// candidate set (Alg. 4).
+#ifndef USP_CORE_ENSEMBLE_H_
+#define USP_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+
+namespace usp {
+
+/// How the ensemble combines per-model candidate sets at query time.
+enum class EnsembleCombine {
+  kBestConfidence,  ///< Alg. 4: candidate set of the most confident model
+  kUnion,           ///< union of all models' candidate sets (extension)
+};
+
+/// Ensemble hyperparameters.
+struct UspEnsembleConfig {
+  UspTrainConfig model;          ///< per-model config (seed is varied per model)
+  size_t num_models = 3;         ///< e
+  /// Additive floor applied to the raw misplaced-neighbor count before the
+  /// multiplicative update of Alg. 3b. Without it, any point whose neighbors
+  /// are all co-located gets weight exactly 0 forever, which starves later
+  /// models of most of the dataset; the paper does not specify a remedy.
+  float weight_floor = 0.1f;
+  EnsembleCombine combine = EnsembleCombine::kBestConfidence;
+};
+
+/// A trained ensemble of USP partitions over one dataset.
+class UspEnsemble {
+ public:
+  explicit UspEnsemble(UspEnsembleConfig config);
+
+  /// Trains all e models sequentially per Algorithm 3. Keeps a pointer to
+  /// `data` for query-time candidate collection; it must outlive the
+  /// ensemble.
+  void Train(const Matrix& data, const KnnResult& knn_matrix);
+
+  /// Algorithm 4: probe `num_probes` bins in the chosen model(s), re-rank by
+  /// exact distance.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+                                size_t num_probes) const;
+
+  size_t num_models() const { return models_.size(); }
+  const UspPartitioner& model(size_t i) const { return *models_[i]; }
+  const PartitionIndex& index(size_t i) const { return *indexes_[i]; }
+
+  /// Final per-point weights after training (diagnostics + tests).
+  const std::vector<float>& final_weights() const { return weights_; }
+
+  /// Total learnable parameters across the ensemble.
+  size_t ParameterCount() const;
+
+ private:
+  UspEnsembleConfig config_;
+  const Matrix* base_ = nullptr;
+  std::vector<std::unique_ptr<UspPartitioner>> models_;
+  std::vector<std::unique_ptr<PartitionIndex>> indexes_;
+  std::vector<float> weights_;
+};
+
+}  // namespace usp
+
+#endif  // USP_CORE_ENSEMBLE_H_

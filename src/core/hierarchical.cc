@@ -1,0 +1,142 @@
+#include "core/hierarchical.h"
+
+#include <algorithm>
+
+#include "knn/brute_force.h"
+#include "tensor/ops.h"
+
+namespace usp {
+
+HierarchicalUspPartitioner::HierarchicalUspPartitioner(
+    HierarchicalConfig config)
+    : config_(std::move(config)) {
+  USP_CHECK(!config_.fanouts.empty());
+  total_bins_ = 1;
+  for (size_t f : config_.fanouts) {
+    USP_CHECK(f > 1);
+    total_bins_ *= f;
+  }
+}
+
+size_t HierarchicalUspPartitioner::SubtreeBins(size_t level) const {
+  size_t bins = 1;
+  for (size_t l = level; l < config_.fanouts.size(); ++l) {
+    bins *= config_.fanouts[l];
+  }
+  return bins;
+}
+
+void HierarchicalUspPartitioner::Train(const Matrix& data,
+                                       const KnnResult& knn_matrix) {
+  root_ = Node{};
+  std::vector<uint32_t> all(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) all[i] = static_cast<uint32_t>(i);
+  TrainNode(&root_, data, all, knn_matrix, 0);
+}
+
+void HierarchicalUspPartitioner::TrainNode(
+    Node* node, const Matrix& data, const std::vector<uint32_t>& subset_ids,
+    const KnnResult& global_knn, size_t level) {
+  // Exact local k-NN is affordable for small subsets; larger ones reuse the
+  // global lists filtered to the subset (see FilterKnnToSubset).
+  constexpr size_t kExactKnnThreshold = 2048;
+  const size_t fanout = config_.fanouts[level];
+  UspTrainConfig cfg = config_.model;
+  cfg.num_bins = fanout;
+  cfg.seed = config_.model.seed + 0x51ED * (level + 1) + subset_ids.size();
+  node->model = std::make_unique<UspPartitioner>(cfg);
+
+  Matrix subset = data.GatherRows(subset_ids);
+  KnnResult local_knn;
+  if (level == 0) {
+    local_knn = KnnResult{global_knn.k, global_knn.indices,
+                          global_knn.distances};
+  } else if (subset.rows() <= kExactKnnThreshold) {
+    local_knn = BuildKnnMatrix(
+        subset, std::max<size_t>(1, std::min(global_knn.k, subset.rows() - 1)));
+  } else {
+    local_knn = FilterKnnToSubset(global_knn, subset_ids);
+  }
+  node->model->Train(subset, local_knn);
+
+  if (level + 1 >= config_.fanouts.size()) return;
+  const std::vector<uint32_t> bins = node->model->AssignBins(subset);
+  node->children.resize(fanout);
+  for (size_t c = 0; c < fanout; ++c) {
+    node->children[c] = std::make_unique<Node>();
+    std::vector<uint32_t> child_ids;
+    for (size_t i = 0; i < subset.rows(); ++i) {
+      if (bins[i] == c) child_ids.push_back(subset_ids[i]);
+    }
+    if (child_ids.size() < config_.min_points_per_child) continue;
+    TrainNode(node->children[c].get(), data, child_ids, global_knn, level + 1);
+  }
+}
+
+Matrix HierarchicalUspPartitioner::ScoreBins(const Matrix& points) const {
+  USP_CHECK(root_.model != nullptr);
+  Matrix out(points.rows(), total_bins_);
+  std::vector<float> ones(points.rows(), 1.0f);
+  ScoreNode(root_, points, ones, 0, 0, &out);
+  return out;
+}
+
+void HierarchicalUspPartitioner::ScoreNode(
+    const Node& node, const Matrix& points,
+    const std::vector<float>& parent_scale, size_t level, size_t col_offset,
+    Matrix* out) const {
+  const size_t subtree = SubtreeBins(level);
+  if (node.model == nullptr) {
+    // Trivial node: all probability mass on its first leaf bin.
+    for (size_t i = 0; i < points.rows(); ++i) {
+      (*out)(i, col_offset) = parent_scale[i];
+    }
+    return;
+  }
+  const Matrix probs = node.model->ScoreBins(points);
+  const size_t fanout = config_.fanouts[level];
+  const size_t child_bins = subtree / fanout;
+  if (node.children.empty()) {
+    for (size_t i = 0; i < points.rows(); ++i) {
+      float* row = out->Row(i);
+      for (size_t c = 0; c < fanout; ++c) {
+        row[col_offset + c] = parent_scale[i] * probs(i, c);
+      }
+    }
+    return;
+  }
+  std::vector<float> child_scale(points.rows());
+  for (size_t c = 0; c < fanout; ++c) {
+    for (size_t i = 0; i < points.rows(); ++i) {
+      child_scale[i] = parent_scale[i] * probs(i, c);
+    }
+    ScoreNode(*node.children[c], points, child_scale, level + 1,
+              col_offset + c * child_bins, out);
+  }
+}
+
+size_t HierarchicalUspPartitioner::ParameterCount() const {
+  return CountParams(root_);
+}
+
+size_t HierarchicalUspPartitioner::CountParams(const Node& node) const {
+  size_t total = node.model ? node.model->ParameterCount() : 0;
+  for (const auto& child : node.children) {
+    if (child) total += CountParams(*child);
+  }
+  return total;
+}
+
+size_t HierarchicalUspPartitioner::NumModels() const {
+  return CountModels(root_);
+}
+
+size_t HierarchicalUspPartitioner::CountModels(const Node& node) const {
+  size_t total = node.model ? 1 : 0;
+  for (const auto& child : node.children) {
+    if (child) total += CountModels(*child);
+  }
+  return total;
+}
+
+}  // namespace usp

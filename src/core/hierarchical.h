@@ -1,0 +1,74 @@
+// Hierarchical partitioning (Sec. 4.4.2): recursively split the dataset with
+// a tree of small models. A query's probability for leaf bin (c1, c2, ...) is
+// the product of per-level probabilities down the tree, so the whole tree
+// behaves as one BinScorer over prod(fanouts) bins.
+#ifndef USP_CORE_HIERARCHICAL_H_
+#define USP_CORE_HIERARCHICAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/bin_scorer.h"
+#include "core/partitioner.h"
+
+namespace usp {
+
+/// Configuration: `fanouts` lists m_1, m_2, ..., m_l (paper: {16, 16} for 256
+/// bins). `model` seeds/configures every node; each node's num_bins is
+/// overridden by its level's fanout.
+struct HierarchicalConfig {
+  std::vector<size_t> fanouts = {16, 16};
+  UspTrainConfig model;
+  /// Subsets smaller than this train no child model; the subtree becomes a
+  /// single-bin pass-through so leaf numbering stays dense.
+  size_t min_points_per_child = 64;
+};
+
+/// A tree of UspPartitioners acting as one flat partition with
+/// prod(fanouts) bins.
+class HierarchicalUspPartitioner : public BinScorer {
+ public:
+  explicit HierarchicalUspPartitioner(HierarchicalConfig config);
+
+  /// Trains the root on the full dataset using the provided global k'-NN
+  /// matrix, then recursively trains children on each bin's points. Child
+  /// neighborhoods are the global lists filtered to the subset (cheap and
+  /// nearly lossless, since the parent's objective co-locates neighbors);
+  /// small subsets fall back to exact local k-NN.
+  void Train(const Matrix& data, const KnnResult& knn_matrix);
+
+  size_t num_bins() const override { return total_bins_; }
+  Matrix ScoreBins(const Matrix& points) const override;
+
+  /// Total learnable parameters across all node models (Table 2/3 context).
+  size_t ParameterCount() const;
+
+  /// Number of trained node models in the tree.
+  size_t NumModels() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<UspPartitioner> model;  // null => trivial single-bin node
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  void TrainNode(Node* node, const Matrix& data,
+                 const std::vector<uint32_t>& subset_ids,
+                 const KnnResult& global_knn, size_t level);
+  // Writes the (points x bins_at_subtree) score block for `node` into `out`
+  // starting at column `col_offset`, scaled by `parent_scale` per point.
+  void ScoreNode(const Node& node, const Matrix& points,
+                 const std::vector<float>& parent_scale, size_t level,
+                 size_t col_offset, Matrix* out) const;
+  size_t SubtreeBins(size_t level) const;
+  size_t CountParams(const Node& node) const;
+  size_t CountModels(const Node& node) const;
+
+  HierarchicalConfig config_;
+  size_t total_bins_ = 0;
+  Node root_;
+};
+
+}  // namespace usp
+
+#endif  // USP_CORE_HIERARCHICAL_H_

@@ -1,0 +1,129 @@
+#include "core/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace usp {
+
+Matrix BuildNeighborBinTargets(const std::vector<uint32_t>& neighbor_bins,
+                               size_t batch_size, size_t num_neighbors,
+                               size_t num_bins) {
+  USP_CHECK(neighbor_bins.size() == batch_size * num_neighbors);
+  Matrix targets(batch_size, num_bins);
+  const float unit = 1.0f / static_cast<float>(num_neighbors);
+  for (size_t i = 0; i < batch_size; ++i) {
+    float* row = targets.Row(i);
+    for (size_t j = 0; j < num_neighbors; ++j) {
+      const uint32_t bin = neighbor_bins[i * num_neighbors + j];
+      USP_CHECK(bin < num_bins);
+      row[bin] += unit;
+    }
+  }
+  return targets;
+}
+
+Matrix BuildSoftNeighborBinTargets(const Matrix& neighbor_probs,
+                                   size_t batch_size, size_t num_neighbors) {
+  USP_CHECK(neighbor_probs.rows() == batch_size * num_neighbors);
+  const size_t m = neighbor_probs.cols();
+  Matrix targets(batch_size, m);
+  const float unit = 1.0f / static_cast<float>(num_neighbors);
+  for (size_t i = 0; i < batch_size; ++i) {
+    float* row = targets.Row(i);
+    for (size_t j = 0; j < num_neighbors; ++j) {
+      const float* src = neighbor_probs.Row(i * num_neighbors + j);
+      for (size_t b = 0; b < m; ++b) row[b] += unit * src[b];
+    }
+  }
+  return targets;
+}
+
+LossParts UspLoss(const Matrix& logits, const Matrix& targets,
+                  const std::vector<float>* point_weights,
+                  const UspLossConfig& config, Matrix* grad_logits) {
+  const size_t batch = logits.rows(), m = logits.cols();
+  USP_CHECK(m == config.num_bins);
+  USP_CHECK(targets.rows() == batch && targets.cols() == m);
+  if (point_weights != nullptr) USP_CHECK(point_weights->size() == batch);
+  USP_CHECK(batch > 0);
+
+  // Stable softmax + log-softmax of the logits.
+  Matrix log_probs(batch, m);
+  LogSoftmaxRows(logits, &log_probs);
+  Matrix probs = log_probs.Clone();
+  for (size_t i = 0; i < probs.size(); ++i) {
+    probs.data()[i] = std::exp(probs.data()[i]);
+  }
+
+  if (grad_logits->rows() != batch || grad_logits->cols() != m) {
+    *grad_logits = Matrix(batch, m);
+  } else {
+    grad_logits->Fill(0.0f);
+  }
+
+  LossParts parts;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  // ---- Quality term: weighted mean cross-entropy (Eq. 10 / Eq. 14). ----
+  // dQuality/dZ_i = w_i * (P_i - T_i) / B  (softmax-CE identity).
+  double quality = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    const float w = point_weights ? (*point_weights)[i] : 1.0f;
+    const float* t = targets.Row(i);
+    const float* lp = log_probs.Row(i);
+    const float* p = probs.Row(i);
+    float* g = grad_logits->Row(i);
+    double ce = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (t[j] > 0.0f) ce -= static_cast<double>(t[j]) * lp[j];
+      g[j] = w * (p[j] - t[j]) * inv_batch;
+    }
+    quality += w * ce;
+  }
+  parts.quality = quality * inv_batch;
+
+  // ---- Balance term (Eq. 12-13), normalized to [0, 1]. ----
+  // window = top ceil(B/m) probabilities per column; S = 1 - sum(window)/B.
+  const size_t window = (batch + m - 1) / m;
+  const std::vector<uint8_t> mask = ColumnTopKMask(probs, window);
+  const double window_sum = MaskedSum(probs, mask);
+  parts.balance = 1.0 - window_sum * inv_batch;
+
+  // Gradient of S w.r.t. probabilities is -1/B on window entries; chain
+  // through the row softmax: dS/dZ_ik = P_ik * (G_ik - sum_j G_ij P_ij).
+  if (config.eta != 0.0f) {
+    for (size_t i = 0; i < batch; ++i) {
+      const float* p = probs.Row(i);
+      const uint8_t* mrow = mask.data() + i * m;
+      float dot = 0.0f;  // sum_j G_ij * P_ij with G_ij = -inv_batch * mask
+      for (size_t j = 0; j < m; ++j) {
+        if (mrow[j]) dot -= inv_batch * p[j];
+      }
+      float* g = grad_logits->Row(i);
+      for (size_t j = 0; j < m; ++j) {
+        const float gij = mrow[j] ? -inv_batch : 0.0f;
+        g[j] += config.eta * p[j] * (gij - dot);
+      }
+    }
+  }
+
+  parts.total = parts.quality + config.eta * parts.balance;
+  return parts;
+}
+
+double ExactQualityCost(const std::vector<uint32_t>& point_bins,
+                        const std::vector<uint32_t>& neighbor_bins,
+                        size_t num_points, size_t num_neighbors) {
+  USP_CHECK(point_bins.size() == num_points);
+  USP_CHECK(neighbor_bins.size() == num_points * num_neighbors);
+  size_t misplaced = 0;
+  for (size_t i = 0; i < num_points; ++i) {
+    for (size_t j = 0; j < num_neighbors; ++j) {
+      if (neighbor_bins[i * num_neighbors + j] != point_bins[i]) ++misplaced;
+    }
+  }
+  return static_cast<double>(misplaced) / static_cast<double>(num_points);
+}
+
+}  // namespace usp

@@ -1,0 +1,71 @@
+// The paper's unsupervised partitioning loss (Sec. 4.2.2).
+//
+// Quality cost U(R): cross-entropy between the model's bin distribution for a
+// point and the empirical bin histogram of the point's k' nearest neighbors
+// (Eq. 10) — no ground-truth labels needed. Computed per batch with optional
+// per-point weights (the ensembling hook of Alg. 3, Eq. 14).
+//
+// Computational/balance cost S(R): the negated sum of the top-(B/m) softmax
+// probabilities per bin column (Eq. 12–13), normalized here to [0, 1] so eta
+// is scale-free across batch sizes.
+//
+// Both terms produce analytic gradients with respect to the logits; softmax
+// is folded into the loss for numerical stability. Gradients are verified by
+// finite differences in tests/core_loss_test.cc.
+#ifndef USP_CORE_LOSS_H_
+#define USP_CORE_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Value of one loss evaluation, split by term.
+struct LossParts {
+  double quality = 0.0;  ///< weighted mean cross-entropy, U(R)
+  double balance = 0.0;  ///< 1 - window_sum / B, normalized S(R)
+  double total = 0.0;    ///< quality + eta * balance
+};
+
+/// Loss configuration.
+struct UspLossConfig {
+  size_t num_bins = 16;  ///< m
+  float eta = 7.0f;      ///< balance weight (paper Table 3 values)
+};
+
+/// Builds the quality-cost target distribution B_k'(p) (Eq. 9) from hard bin
+/// assignments of each batch point's k' neighbors.
+/// `neighbor_bins` is row-major (batch_size x k'); entry values in [0, m).
+/// Returns a row-stochastic (batch_size x m) matrix.
+Matrix BuildNeighborBinTargets(const std::vector<uint32_t>& neighbor_bins,
+                               size_t batch_size, size_t num_neighbors,
+                               size_t num_bins);
+
+/// Soft-target variant (design ablation): averages the neighbors' full
+/// probability rows instead of their argmax histogram.
+/// `neighbor_probs` is ((batch_size * k') x m), grouped by batch point.
+Matrix BuildSoftNeighborBinTargets(const Matrix& neighbor_probs,
+                                   size_t batch_size, size_t num_neighbors);
+
+/// Evaluates the USP loss on a batch and writes dLoss/dLogits.
+///
+/// `logits`: (B x m) raw model outputs.
+/// `targets`: (B x m) row-stochastic neighbor-bin distributions.
+/// `point_weights`: optional per-point quality weights (Eq. 14); nullptr means
+///   all-ones. Weights are used as-is (callers normalize to mean 1).
+/// `grad_logits`: output, same shape as `logits`; may be pre-sized or empty.
+LossParts UspLoss(const Matrix& logits, const Matrix& targets,
+                  const std::vector<float>* point_weights,
+                  const UspLossConfig& config, Matrix* grad_logits);
+
+/// Exact (non-differentiable) quality cost of Eq. 2 for reporting: the mean
+/// number of a point's k' neighbors that land in a different bin.
+double ExactQualityCost(const std::vector<uint32_t>& point_bins,
+                        const std::vector<uint32_t>& neighbor_bins,
+                        size_t num_points, size_t num_neighbors);
+
+}  // namespace usp
+
+#endif  // USP_CORE_LOSS_H_

@@ -1,0 +1,105 @@
+#include "core/partition_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "knn/brute_force.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+double BatchSearchResult::MeanCandidates() const {
+  if (candidate_counts.empty()) return 0.0;
+  const double sum = std::accumulate(candidate_counts.begin(),
+                                     candidate_counts.end(), 0.0);
+  return sum / static_cast<double>(candidate_counts.size());
+}
+
+PartitionIndex::PartitionIndex(const Matrix* base, const BinScorer* scorer)
+    : PartitionIndex(base, scorer, scorer->AssignBins(*base)) {}
+
+PartitionIndex::PartitionIndex(const Matrix* base, const BinScorer* scorer,
+                               std::vector<uint32_t> assignments)
+    : base_(base), scorer_(scorer), assignments_(std::move(assignments)) {
+  USP_CHECK(assignments_.size() == base_->rows());
+  buckets_.resize(scorer_->num_bins());
+  for (size_t i = 0; i < assignments_.size(); ++i) {
+    USP_CHECK(assignments_[i] < buckets_.size());
+    buckets_[assignments_[i]].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+Matrix PartitionIndex::ScoreQueries(const Matrix& queries) const {
+  return scorer_->ScoreBins(queries);
+}
+
+void PartitionIndex::CollectCandidates(const float* scores, size_t num_probes,
+                                       std::vector<uint32_t>* candidates) const {
+  candidates->clear();
+  const size_t m = buckets_.size();
+  num_probes = std::min(num_probes, m);
+  // Rank bins by descending score (deterministic tie-break on bin id).
+  std::vector<uint32_t> bin_order(m);
+  std::iota(bin_order.begin(), bin_order.end(), 0u);
+  std::partial_sort(bin_order.begin(), bin_order.begin() + num_probes,
+                    bin_order.end(), [&](uint32_t a, uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  for (size_t p = 0; p < num_probes; ++p) {
+    const auto& bucket = buckets_[bin_order[p]];
+    candidates->insert(candidates->end(), bucket.begin(), bucket.end());
+  }
+}
+
+BatchSearchResult PartitionIndex::SearchBatch(const Matrix& queries, size_t k,
+                                              size_t num_probes) const {
+  return SearchBatchWithScores(queries, ScoreQueries(queries), k, num_probes);
+}
+
+BatchSearchResult PartitionIndex::SearchBatchWithScores(
+    const Matrix& queries, const Matrix& scores, size_t k,
+    size_t num_probes) const {
+  USP_CHECK(scores.rows() == queries.rows());
+  USP_CHECK(scores.cols() == buckets_.size());
+  const size_t nq = queries.rows();
+  BatchSearchResult result;
+  result.k = k;
+  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
+  result.candidate_counts.assign(nq, 0);
+
+  ParallelFor(nq, 8, [&](size_t begin, size_t end, size_t) {
+    std::vector<uint32_t> candidates;
+    for (size_t q = begin; q < end; ++q) {
+      CollectCandidates(scores.Row(q), num_probes, &candidates);
+      result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
+      const auto top =
+          RerankCandidates(*base_, queries.Row(q), candidates, k);
+      std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
+    }
+  });
+  return result;
+}
+
+double KnnAccuracy(const BatchSearchResult& result,
+                   const std::vector<uint32_t>& truth, size_t truth_k) {
+  USP_CHECK(result.k <= truth_k);
+  const size_t nq = result.candidate_counts.size();
+  USP_CHECK(truth.size() >= nq * truth_k);
+  size_t hits = 0;
+  for (size_t q = 0; q < nq; ++q) {
+    std::unordered_set<uint32_t> expected(truth.begin() + q * truth_k,
+                                          truth.begin() + q * truth_k +
+                                              result.k);
+    const uint32_t* got = result.Row(q);
+    for (size_t j = 0; j < result.k; ++j) {
+      if (expected.count(got[j]) > 0) ++hits;
+    }
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(nq * result.k);
+}
+
+}  // namespace usp

@@ -1,0 +1,74 @@
+// Algorithm 2 of the paper: the online phase. Wraps any BinScorer and a base
+// dataset into an ANN index: probe the m' highest-scored bins, gather their
+// points through the lookup table built in the offline phase, and re-rank the
+// candidate set by exact distance.
+#ifndef USP_CORE_PARTITION_INDEX_H_
+#define USP_CORE_PARTITION_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bin_scorer.h"
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Search output for a batch of queries.
+struct BatchSearchResult {
+  size_t k = 0;
+  std::vector<uint32_t> ids;               ///< (num_queries x k), row-major
+  std::vector<uint32_t> candidate_counts;  ///< |C(q)| per query
+
+  const uint32_t* Row(size_t q) const { return ids.data() + q * k; }
+
+  /// Mean candidate-set size S(R) over the batch (Eq. 4).
+  double MeanCandidates() const;
+};
+
+/// Immutable ANN index: bin lookup table (Alg. 1 step 3) + multi-probe search
+/// (Alg. 2). Holds pointers to the base matrix and scorer; both must outlive
+/// the index.
+class PartitionIndex {
+ public:
+  /// Builds the lookup table by assigning every base point to its argmax bin.
+  PartitionIndex(const Matrix* base, const BinScorer* scorer);
+
+  /// Builds from precomputed assignments (used by ensembles and tests).
+  PartitionIndex(const Matrix* base, const BinScorer* scorer,
+                 std::vector<uint32_t> assignments);
+
+  /// Scores all queries once; reuse across different probe counts.
+  Matrix ScoreQueries(const Matrix& queries) const;
+
+  /// k-NN search probing the `num_probes` best bins per query.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+                                size_t num_probes) const;
+
+  /// Same but with externally computed scores (one scoring, many sweeps).
+  BatchSearchResult SearchBatchWithScores(const Matrix& queries,
+                                          const Matrix& scores, size_t k,
+                                          size_t num_probes) const;
+
+  /// Collects the candidate ids for one query given its bin scores.
+  void CollectCandidates(const float* scores, size_t num_probes,
+                         std::vector<uint32_t>* candidates) const;
+
+  size_t num_bins() const { return buckets_.size(); }
+  const std::vector<std::vector<uint32_t>>& buckets() const { return buckets_; }
+  const std::vector<uint32_t>& assignments() const { return assignments_; }
+
+ private:
+  const Matrix* base_;
+  const BinScorer* scorer_;
+  std::vector<uint32_t> assignments_;
+  std::vector<std::vector<uint32_t>> buckets_;  ///< the paper's lookup table
+};
+
+/// Fraction of true neighbors recovered (Eq. 1): |returned ∩ truth| / k,
+/// averaged over queries. `truth_row(q)` must hold >= k entries.
+double KnnAccuracy(const BatchSearchResult& result,
+                   const std::vector<uint32_t>& truth, size_t truth_k);
+
+}  // namespace usp
+
+#endif  // USP_CORE_PARTITION_INDEX_H_

@@ -1,0 +1,253 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "nn/model_factory.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace usp {
+
+UspPartitioner::UspPartitioner(UspTrainConfig config)
+    : config_(std::move(config)) {
+  USP_CHECK(config_.num_bins > 1);
+}
+
+Matrix UspPartitioner::ScoreBins(const Matrix& points) const {
+  Matrix logits = model_.Forward(points, /*training=*/false);
+  SoftmaxRows(&logits);
+  return logits;
+}
+
+void UspPartitioner::BuildModel(size_t input_dim) {
+  input_dim_ = input_dim;
+  if (config_.model == UspModelKind::kMlp) {
+    MlpConfig mc;
+    mc.input_dim = input_dim;
+    mc.hidden_dim = config_.hidden_dim;
+    mc.num_bins = config_.num_bins;
+    mc.dropout_rate = config_.dropout;
+    mc.use_batchnorm = config_.use_batchnorm;
+    mc.seed = config_.seed;
+    model_ = BuildMlp(mc);
+  } else {
+    model_ = BuildLogisticRegression(input_dim, config_.num_bins, config_.seed);
+  }
+}
+
+namespace {
+constexpr uint32_t kModelMagic = 0x5553504DU;  // "USPM"
+constexpr uint32_t kModelVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WritePod(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool ReadPod(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+}  // namespace
+
+Status UspPartitioner::Save(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("partitioner not trained");
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+
+  const uint64_t header[] = {
+      kModelMagic,
+      kModelVersion,
+      static_cast<uint64_t>(config_.num_bins),
+      static_cast<uint64_t>(config_.model == UspModelKind::kMlp ? 0 : 1),
+      static_cast<uint64_t>(config_.hidden_dim),
+      static_cast<uint64_t>(config_.use_batchnorm ? 1 : 0),
+      static_cast<uint64_t>(input_dim_),
+      config_.seed,
+  };
+  if (!WritePod(f.get(), header, sizeof(header)) ||
+      !WritePod(f.get(), &config_.eta, sizeof(config_.eta)) ||
+      !WritePod(f.get(), &config_.dropout, sizeof(config_.dropout))) {
+    return Status::IoError("short write to " + path);
+  }
+
+  std::vector<Matrix*> tensors;
+  const_cast<Sequential&>(model_).CollectStateTensors(&tensors);
+  const uint64_t tensor_count = tensors.size();
+  if (!WritePod(f.get(), &tensor_count, sizeof(tensor_count))) {
+    return Status::IoError("short write to " + path);
+  }
+  for (const Matrix* tensor : tensors) {
+    const uint64_t rows = tensor->rows(), cols = tensor->cols();
+    if (!WritePod(f.get(), &rows, sizeof(rows)) ||
+        !WritePod(f.get(), &cols, sizeof(cols)) ||
+        !WritePod(f.get(), tensor->data(), tensor->size() * sizeof(float))) {
+      return Status::IoError("short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<UspPartitioner> UspPartitioner::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open " + path);
+
+  uint64_t header[8];
+  if (!ReadPod(f.get(), header, sizeof(header))) {
+    return Status::IoError("truncated model file " + path);
+  }
+  if (header[0] != kModelMagic) {
+    return Status::InvalidArgument(path + " is not a USP model file");
+  }
+  if (header[1] != kModelVersion) {
+    return Status::InvalidArgument("unsupported model version in " + path);
+  }
+  UspTrainConfig config;
+  config.num_bins = static_cast<size_t>(header[2]);
+  config.model = header[3] == 0 ? UspModelKind::kMlp
+                                : UspModelKind::kLogisticRegression;
+  config.hidden_dim = static_cast<size_t>(header[4]);
+  config.use_batchnorm = header[5] != 0;
+  const size_t input_dim = static_cast<size_t>(header[6]);
+  config.seed = header[7];
+  if (!ReadPod(f.get(), &config.eta, sizeof(config.eta)) ||
+      !ReadPod(f.get(), &config.dropout, sizeof(config.dropout))) {
+    return Status::IoError("truncated model file " + path);
+  }
+
+  UspPartitioner partitioner(config);
+  partitioner.BuildModel(input_dim);
+
+  std::vector<Matrix*> tensors;
+  partitioner.model_.CollectStateTensors(&tensors);
+  uint64_t tensor_count = 0;
+  if (!ReadPod(f.get(), &tensor_count, sizeof(tensor_count)) ||
+      tensor_count != tensors.size()) {
+    return Status::InvalidArgument("tensor count mismatch in " + path);
+  }
+  for (Matrix* tensor : tensors) {
+    uint64_t rows = 0, cols = 0;
+    if (!ReadPod(f.get(), &rows, sizeof(rows)) ||
+        !ReadPod(f.get(), &cols, sizeof(cols)) ||
+        rows != tensor->rows() || cols != tensor->cols() ||
+        !ReadPod(f.get(), tensor->data(), tensor->size() * sizeof(float))) {
+      return Status::IoError("bad tensor record in " + path);
+    }
+  }
+  partitioner.trained_ = true;
+  return partitioner;
+}
+
+void UspPartitioner::Train(const Matrix& data, const KnnResult& knn_matrix,
+                           const std::vector<float>* point_weights) {
+  const size_t n = data.rows(), d = data.cols();
+  USP_CHECK(n > 0);
+  USP_CHECK(knn_matrix.indices.size() == n * knn_matrix.k);
+  if (point_weights != nullptr) USP_CHECK(point_weights->size() == n);
+  const size_t kp = knn_matrix.k;  // k'
+  const size_t m = config_.num_bins;
+
+  BuildModel(d);
+
+  Adam optimizer(config_.learning_rate);
+  std::vector<Matrix*> params, grads;
+  model_.CollectParameters(&params, &grads);
+  optimizer.Attach(params, grads);
+
+  Rng rng(config_.seed ^ 0x5157AA11ULL);
+  const size_t batch_size = std::min(config_.batch_size, n);
+  const size_t batches_per_epoch = std::max<size_t>(1, n / batch_size);
+
+  epoch_stats_.clear();
+  UspLossConfig loss_config{m, config_.eta};
+  Matrix grad_logits;
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Refresh neighbor-bin targets from the current model (eval mode, no
+    // dropout) once per epoch. `all_probs` is only materialized for the soft
+    // target ablation; the default path keeps argmax assignments.
+    Matrix all_scores = ScoreBins(data);
+    std::vector<uint32_t> all_bins = ArgmaxRows(all_scores);
+
+    rng.Shuffle(&order);
+    LossParts epoch_loss;
+    size_t batches = 0;
+
+    for (size_t b = 0; b < batches_per_epoch; ++b) {
+      const size_t begin = b * batch_size;
+      const size_t end = std::min(n, begin + batch_size);
+      const size_t bsz = end - begin;
+      if (bsz < 2) continue;
+      std::vector<uint32_t> batch_ids(order.begin() + begin,
+                                      order.begin() + end);
+
+      Matrix batch = data.GatherRows(batch_ids);
+      std::vector<float> weights;
+      if (point_weights != nullptr) {
+        weights.reserve(bsz);
+        for (uint32_t id : batch_ids) weights.push_back((*point_weights)[id]);
+      }
+
+      // Targets from the neighbors' current assignments (Eq. 7-9).
+      Matrix targets;
+      if (config_.soft_targets) {
+        Matrix neighbor_probs(bsz * kp, m);
+        for (size_t i = 0; i < bsz; ++i) {
+          const uint32_t* nbrs = knn_matrix.Row(batch_ids[i]);
+          for (size_t j = 0; j < kp; ++j) {
+            const float* src = all_scores.Row(nbrs[j]);
+            std::copy(src, src + m, neighbor_probs.Row(i * kp + j));
+          }
+        }
+        targets = BuildSoftNeighborBinTargets(neighbor_probs, bsz, kp);
+      } else {
+        std::vector<uint32_t> neighbor_bins(bsz * kp);
+        for (size_t i = 0; i < bsz; ++i) {
+          const uint32_t* nbrs = knn_matrix.Row(batch_ids[i]);
+          for (size_t j = 0; j < kp; ++j) {
+            neighbor_bins[i * kp + j] = all_bins[nbrs[j]];
+          }
+        }
+        targets = BuildNeighborBinTargets(neighbor_bins, bsz, kp, m);
+      }
+
+      Matrix logits = model_.Forward(batch, /*training=*/true);
+      const LossParts parts =
+          UspLoss(logits, targets, weights.empty() ? nullptr : &weights,
+                  loss_config, &grad_logits);
+      optimizer.ZeroGrad();
+      model_.Backward(grad_logits);
+      optimizer.Step();
+
+      epoch_loss.quality += parts.quality;
+      epoch_loss.balance += parts.balance;
+      epoch_loss.total += parts.total;
+      ++batches;
+    }
+
+    if (batches > 0) {
+      epoch_loss.quality /= static_cast<double>(batches);
+      epoch_loss.balance /= static_cast<double>(batches);
+      epoch_loss.total /= static_cast<double>(batches);
+    }
+    EpochStats stats;
+    stats.loss = epoch_loss;
+    stats.balance_ratio = BalanceRatio(all_bins, m);
+    epoch_stats_.push_back(stats);
+  }
+  trained_ = true;
+}
+
+}  // namespace usp

@@ -1,0 +1,95 @@
+#include "dataset/io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace usp {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+StatusOr<Matrix> ReadFvecs(const std::string& path, size_t max_rows) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open " + path);
+  std::vector<float> data;
+  size_t rows = 0;
+  int32_t dim = -1;
+  for (;;) {
+    int32_t this_dim = 0;
+    if (std::fread(&this_dim, sizeof(int32_t), 1, f.get()) != 1) break;
+    if (this_dim <= 0) return Status::IoError("bad dimension in " + path);
+    if (dim < 0) {
+      dim = this_dim;
+    } else if (this_dim != dim) {
+      return Status::IoError("ragged fvecs records in " + path);
+    }
+    const size_t offset = data.size();
+    data.resize(offset + static_cast<size_t>(dim));
+    if (std::fread(data.data() + offset, sizeof(float),
+                   static_cast<size_t>(dim),
+                   f.get()) != static_cast<size_t>(dim)) {
+      return Status::IoError("truncated fvecs record in " + path);
+    }
+    ++rows;
+    if (max_rows > 0 && rows >= max_rows) break;
+  }
+  if (rows == 0) return Status::IoError("empty fvecs file " + path);
+  return Matrix(rows, static_cast<size_t>(dim), std::move(data));
+}
+
+Status WriteFvecs(const std::string& path, const Matrix& m) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  const int32_t dim = static_cast<int32_t>(m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    if (std::fwrite(&dim, sizeof(int32_t), 1, f.get()) != 1 ||
+        std::fwrite(m.Row(i), sizeof(float), m.cols(), f.get()) != m.cols()) {
+      return Status::IoError("short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path,
+                                                      size_t max_rows) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<int32_t>> rows;
+  for (;;) {
+    int32_t dim = 0;
+    if (std::fread(&dim, sizeof(int32_t), 1, f.get()) != 1) break;
+    if (dim <= 0) return Status::IoError("bad dimension in " + path);
+    std::vector<int32_t> row(static_cast<size_t>(dim));
+    if (std::fread(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+        row.size()) {
+      return Status::IoError("truncated ivecs record in " + path);
+    }
+    rows.push_back(std::move(row));
+    if (max_rows > 0 && rows.size() >= max_rows) break;
+  }
+  if (rows.empty()) return Status::IoError("empty ivecs file " + path);
+  return rows;
+}
+
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<int32_t>>& rows) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  for (const auto& row : rows) {
+    const int32_t dim = static_cast<int32_t>(row.size());
+    if (std::fwrite(&dim, sizeof(int32_t), 1, f.get()) != 1 ||
+        std::fwrite(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+            row.size()) {
+      return Status::IoError("short write to " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace usp

@@ -1,0 +1,33 @@
+// Readers/writers for the TEXMEX .fvecs/.ivecs formats used by the ANN
+// benchmark datasets (SIFT1M etc.), so real datasets drop into any experiment
+// in place of the synthetic generators.
+#ifndef USP_DATASET_IO_H_
+#define USP_DATASET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace usp {
+
+/// Reads an .fvecs file (each record: int32 dim then dim floats). `max_rows`
+/// of 0 means read everything.
+StatusOr<Matrix> ReadFvecs(const std::string& path, size_t max_rows = 0);
+
+/// Writes a matrix in .fvecs format.
+Status WriteFvecs(const std::string& path, const Matrix& m);
+
+/// Reads an .ivecs file into row-major int vectors of uniform length.
+StatusOr<std::vector<std::vector<int32_t>>> ReadIvecs(const std::string& path,
+                                                      size_t max_rows = 0);
+
+/// Writes uniform-length int vectors in .ivecs format.
+Status WriteIvecs(const std::string& path,
+                  const std::vector<std::vector<int32_t>>& rows);
+
+}  // namespace usp
+
+#endif  // USP_DATASET_IO_H_

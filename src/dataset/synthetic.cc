@@ -1,0 +1,187 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace usp {
+
+LabeledDataset MakeGaussianMixture(size_t n, size_t d, size_t num_clusters,
+                                   float center_range, float spread,
+                                   uint64_t seed) {
+  USP_CHECK(num_clusters > 0);
+  Rng rng(seed);
+  Matrix centers = Matrix::RandomUniform(num_clusters, d, &rng, 0.0f,
+                                         center_range);
+  LabeledDataset ds;
+  ds.points = Matrix(n, d);
+  ds.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t c = static_cast<uint32_t>(rng.UniformInt(num_clusters));
+    ds.labels[i] = c;
+    float* row = ds.points.Row(i);
+    const float* center = centers.Row(c);
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = center[j] + spread * static_cast<float>(rng.Gaussian());
+    }
+  }
+  return ds;
+}
+
+Matrix MakeSiftLike(size_t n, uint64_t seed) {
+  // Overlapping 128-d mixture shaped like SIFT descriptors (non-negative,
+  // bounded). Cluster spread is chosen so neighborhoods straddle cluster
+  // boundaries, and 20% of points are bridges interpolated between two
+  // cluster centers — that boundary mass is what separates learned partitions
+  // from spherical K-means in the paper's evaluation.
+  constexpr size_t kDim = 128;
+  constexpr size_t kClusters = 96;
+  Rng rng(seed);
+  Matrix centers = Matrix::RandomUniform(kClusters, kDim, &rng, 0.0f, 60.0f);
+  Matrix points(n, kDim);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = points.Row(i);
+    const size_t c1 = rng.UniformInt(kClusters);
+    if (rng.Uniform() < 0.2) {
+      // Bridge point between two clusters.
+      const size_t c2 = rng.UniformInt(kClusters);
+      const float t = rng.UniformFloat(0.2f, 0.8f);
+      const float* a = centers.Row(c1);
+      const float* b = centers.Row(c2);
+      for (size_t j = 0; j < kDim; ++j) {
+        row[j] = (1.0f - t) * a[j] + t * b[j] +
+                 10.0f * static_cast<float>(rng.Gaussian());
+      }
+    } else {
+      const float* a = centers.Row(c1);
+      for (size_t j = 0; j < kDim; ++j) {
+        row[j] = a[j] + 16.0f * static_cast<float>(rng.Gaussian());
+      }
+    }
+    // Banana warp per cluster: curvature couples two dimensions, bending the
+    // cluster so its optimal boundary is non-convex.
+    const size_t wa = c1 % kDim, wb = (c1 * 37 + 11) % kDim;
+    row[wb] += 0.015f * row[wa] * row[wa] - 8.0f;
+    for (size_t j = 0; j < kDim; ++j) {
+      row[j] = std::clamp(row[j], 0.0f, 255.0f);
+    }
+  }
+  return points;
+}
+
+Matrix MakeMnistLike(size_t n, uint64_t seed) {
+  // 10 "digit" clusters in 784-d. Each cluster activates a sparse template of
+  // ~150 coordinates (strokes); remaining coordinates stay near zero
+  // (background pixels).
+  constexpr size_t kDim = 784;
+  constexpr size_t kClasses = 10;
+  constexpr size_t kActive = 150;
+  Rng rng(seed);
+  // Per-class templates.
+  Matrix templates = Matrix::Zeros(kClasses, kDim);
+  for (size_t c = 0; c < kClasses; ++c) {
+    auto active = rng.SampleWithoutReplacement(kDim, kActive);
+    for (uint32_t j : active) {
+      templates(c, j) = rng.UniformFloat(100.0f, 255.0f);
+    }
+  }
+  Matrix points(n, kDim);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.UniformInt(kClasses);
+    float* row = points.Row(i);
+    const float* tpl = templates.Row(c);
+    for (size_t j = 0; j < kDim; ++j) {
+      float v = tpl[j];
+      if (v > 0.0f) {
+        v += 25.0f * static_cast<float>(rng.Gaussian());
+      } else if (rng.Uniform() < 0.02) {
+        v = rng.UniformFloat(0.0f, 60.0f);  // stray noise pixel
+      }
+      row[j] = std::clamp(v, 0.0f, 255.0f);
+    }
+  }
+  return points;
+}
+
+LabeledDataset MakeMoons(size_t n, float noise, uint64_t seed) {
+  Rng rng(seed);
+  LabeledDataset ds;
+  ds.points = Matrix(n, 2);
+  ds.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool second = (i % 2 == 1);
+    const double t = M_PI * rng.Uniform();
+    double x, y;
+    if (!second) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    ds.points(i, 0) = static_cast<float>(x) +
+                      noise * static_cast<float>(rng.Gaussian());
+    ds.points(i, 1) = static_cast<float>(y) +
+                      noise * static_cast<float>(rng.Gaussian());
+    ds.labels[i] = second ? 1 : 0;
+  }
+  return ds;
+}
+
+LabeledDataset MakeCircles(size_t n, float noise, float factor, uint64_t seed) {
+  USP_CHECK(factor > 0.0f && factor < 1.0f);
+  Rng rng(seed);
+  LabeledDataset ds;
+  ds.points = Matrix(n, 2);
+  ds.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool inner = (i % 2 == 1);
+    const double t = 2.0 * M_PI * rng.Uniform();
+    const double r = inner ? factor : 1.0;
+    ds.points(i, 0) = static_cast<float>(r * std::cos(t)) +
+                      noise * static_cast<float>(rng.Gaussian());
+    ds.points(i, 1) = static_cast<float>(r * std::sin(t)) +
+                      noise * static_cast<float>(rng.Gaussian());
+    ds.labels[i] = inner ? 1 : 0;
+  }
+  return ds;
+}
+
+LabeledDataset MakeClassification(size_t n, size_t d, size_t num_classes,
+                                  float class_sep, uint64_t seed) {
+  Rng rng(seed);
+  // Class centers on a scaled hypercube-ish lattice, then a shared random
+  // linear transform to create anisotropic, overlapping clusters (the aspect
+  // of make_classification that trips convex clustering methods).
+  Matrix centers(num_classes, d);
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      centers(c, j) = class_sep * (rng.Uniform() < 0.5 ? -1.0f : 1.0f) *
+                      rng.UniformFloat(0.75f, 1.25f);
+    }
+  }
+  Matrix transform = Matrix::RandomGaussian(d, d, &rng, 0.0f,
+                                            1.0f / std::sqrt(float(d)));
+  // Bias the transform towards identity so clusters stretch but stay apart.
+  for (size_t j = 0; j < d; ++j) transform(j, j) += 1.0f;
+
+  LabeledDataset ds;
+  ds.points = Matrix(n, d);
+  ds.labels.resize(n);
+  std::vector<float> raw(d);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t c = static_cast<uint32_t>(rng.UniformInt(num_classes));
+    ds.labels[i] = c;
+    for (size_t j = 0; j < d; ++j) {
+      raw[j] = centers(c, j) + static_cast<float>(rng.Gaussian());
+    }
+    float* row = ds.points.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < d; ++p) acc += raw[p] * transform(p, j);
+      row[j] = acc;
+    }
+  }
+  return ds;
+}
+
+}  // namespace usp

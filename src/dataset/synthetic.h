@@ -1,0 +1,56 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on SIFT1M and MNIST (Sec. 5.1.1), which are not
+// available offline; these generators produce workloads with the structural
+// properties the paper's results depend on (clustered high-dimensional data
+// with out-of-sample queries from the same distribution). Real fvecs/ivecs
+// files can be substituted via dataset/io.h. The 2-D generators reproduce the
+// scikit-learn datasets of Table 5 (moons, circles, make_classification).
+#ifndef USP_DATASET_SYNTHETIC_H_
+#define USP_DATASET_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Points plus per-point generative labels (cluster/class ids). Labels are
+/// never used to train the unsupervised partitioner; they serve as external
+/// ground truth for clustering metrics (Table 5).
+struct LabeledDataset {
+  Matrix points;
+  std::vector<uint32_t> labels;
+};
+
+/// Gaussian mixture with `num_clusters` isotropic components whose centers are
+/// drawn uniformly in [0, center_range]^d. `spread` is each component's
+/// standard deviation.
+LabeledDataset MakeGaussianMixture(size_t n, size_t d, size_t num_clusters,
+                                   float center_range, float spread,
+                                   uint64_t seed);
+
+/// SIFT-like workload: 128-d mixture with heavy cluster structure and values
+/// shaped to the (non-negative, bounded) range of SIFT descriptors.
+Matrix MakeSiftLike(size_t n, uint64_t seed);
+
+/// MNIST-like workload: 784-d, ~10 dominant clusters, many near-zero
+/// coordinates per point (like background pixels).
+Matrix MakeMnistLike(size_t n, uint64_t seed);
+
+/// Two interleaving half-moons (scikit-learn `make_moons`). Labels: moon id.
+LabeledDataset MakeMoons(size_t n, float noise, uint64_t seed);
+
+/// Two concentric circles (scikit-learn `make_circles`). Labels: circle id.
+/// `factor` is the inner/outer radius ratio.
+LabeledDataset MakeCircles(size_t n, float noise, float factor, uint64_t seed);
+
+/// Linearly transformed Gaussian blobs approximating scikit-learn
+/// `make_classification` with `num_classes` informative clusters in `d` dims.
+LabeledDataset MakeClassification(size_t n, size_t d, size_t num_classes,
+                                  float class_sep, uint64_t seed);
+
+}  // namespace usp
+
+#endif  // USP_DATASET_SYNTHETIC_H_

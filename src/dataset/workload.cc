@@ -1,0 +1,40 @@
+#include "dataset/workload.h"
+
+#include <cstring>
+
+#include "dataset/synthetic.h"
+
+namespace usp {
+
+Workload MakeWorkload(const WorkloadSpec& spec) {
+  const size_t total = spec.num_base + spec.num_queries;
+  Matrix all;
+  Workload w;
+  switch (spec.kind) {
+    case WorkloadKind::kSiftLike:
+      all = MakeSiftLike(total, spec.seed);
+      w.name = "sift-like";
+      break;
+    case WorkloadKind::kMnistLike:
+      all = MakeMnistLike(total, spec.seed);
+      w.name = "mnist-like";
+      break;
+    case WorkloadKind::kGaussian:
+      all = MakeGaussianMixture(total, 32, 16, 10.0f, 1.0f, spec.seed).points;
+      w.name = "gaussian";
+      break;
+  }
+  // First num_base rows are the dataset; the rest are out-of-sample queries.
+  const size_t d = all.cols();
+  w.base = Matrix(spec.num_base, d);
+  std::memcpy(w.base.data(), all.data(), spec.num_base * d * sizeof(float));
+  w.queries = Matrix(spec.num_queries, d);
+  std::memcpy(w.queries.data(), all.Row(spec.num_base),
+              spec.num_queries * d * sizeof(float));
+
+  w.ground_truth = BruteForceKnn(w.base, w.queries, spec.gt_k);
+  w.knn_matrix = BuildKnnMatrix(w.base, spec.knn_k);
+  return w;
+}
+
+}  // namespace usp

@@ -1,0 +1,47 @@
+// An evaluation workload: base points, held-out queries, exact ground truth,
+// and the k'-NN matrix the USP offline phase consumes. Mirrors the ANN
+// benchmark protocol (queries are not present in the base set).
+#ifndef USP_DATASET_WORKLOAD_H_
+#define USP_DATASET_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "knn/brute_force.h"
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Which generator backs the workload.
+enum class WorkloadKind {
+  kSiftLike,   ///< 128-d clustered, SIFT-shaped
+  kMnistLike,  ///< 784-d sparse clustered, MNIST-shaped
+  kGaussian,   ///< generic isotropic mixture
+};
+
+/// Everything an experiment needs for one dataset.
+struct Workload {
+  std::string name;
+  Matrix base;             ///< n x d dataset X
+  Matrix queries;          ///< out-of-sample query points
+  KnnResult ground_truth;  ///< exact k-NN of each query in `base`
+  KnnResult knn_matrix;    ///< k'-NN matrix of `base` (paper Sec. 4.2.1)
+};
+
+/// Parameters for MakeWorkload.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kSiftLike;
+  size_t num_base = 8000;
+  size_t num_queries = 500;
+  size_t gt_k = 10;       ///< neighbors per query in ground truth (k)
+  size_t knn_k = 10;      ///< neighbors per base point in the k'-NN matrix (k')
+  uint64_t seed = 42;
+};
+
+/// Generates base + queries from one distribution, then computes exact ground
+/// truth and the k'-NN matrix. Deterministic in `spec.seed`.
+Workload MakeWorkload(const WorkloadSpec& spec);
+
+}  // namespace usp
+
+#endif  // USP_DATASET_WORKLOAD_H_

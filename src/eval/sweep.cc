@@ -1,0 +1,55 @@
+#include "eval/sweep.h"
+
+namespace usp {
+
+std::vector<SweepPoint> ProbeSweep(
+    const std::function<BatchSearchResult(size_t)>& search,
+    const std::vector<size_t>& probe_counts,
+    const std::vector<uint32_t>& truth, size_t truth_k) {
+  std::vector<SweepPoint> curve;
+  curve.reserve(probe_counts.size());
+  for (size_t probes : probe_counts) {
+    const BatchSearchResult result = search(probes);
+    SweepPoint point;
+    point.probes = probes;
+    point.mean_candidates = result.MeanCandidates();
+    point.accuracy = KnnAccuracy(result, truth, truth_k);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<size_t> DefaultProbeCounts(size_t max_probes) {
+  std::vector<size_t> counts;
+  size_t p = 1;
+  while (p <= max_probes && counts.size() < 8) {
+    counts.push_back(p);
+    ++p;
+  }
+  while (p <= max_probes) {
+    counts.push_back(p);
+    p = p * 3 / 2 + 1;
+  }
+  if (counts.empty() || counts.back() != max_probes) {
+    counts.push_back(max_probes);
+  }
+  return counts;
+}
+
+double CandidatesAtAccuracy(const std::vector<SweepPoint>& curve,
+                            double target_accuracy) {
+  for (size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].accuracy >= target_accuracy) {
+      if (i == 0) return curve[0].mean_candidates;
+      const SweepPoint& lo = curve[i - 1];
+      const SweepPoint& hi = curve[i];
+      const double span = hi.accuracy - lo.accuracy;
+      if (span <= 1e-12) return hi.mean_candidates;
+      const double t = (target_accuracy - lo.accuracy) / span;
+      return lo.mean_candidates + t * (hi.mean_candidates - lo.mean_candidates);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace usp

@@ -1,0 +1,39 @@
+// Evaluation harness: accuracy-vs-candidate-set-size curves (the axes of
+// Figs. 5-7) and fixed-accuracy candidate lookups (Table 4).
+#ifndef USP_EVAL_SWEEP_H_
+#define USP_EVAL_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/partition_index.h"
+
+namespace usp {
+
+/// One point on an accuracy/candidates trade-off curve.
+struct SweepPoint {
+  size_t probes = 0;
+  double mean_candidates = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Runs `search(probes)` for each probe count in `probe_counts` and scores
+/// k-NN accuracy against ground truth.
+std::vector<SweepPoint> ProbeSweep(
+    const std::function<BatchSearchResult(size_t)>& search,
+    const std::vector<size_t>& probe_counts,
+    const std::vector<uint32_t>& truth, size_t truth_k);
+
+/// 1, 2, ..., up to `max_probes` (dense for small counts, then doubling).
+std::vector<size_t> DefaultProbeCounts(size_t max_probes);
+
+/// Linearly interpolates the candidate-set size at which the curve reaches
+/// `target_accuracy`. Returns a negative value when the curve never gets
+/// there. Input points must be sorted by ascending candidates (ProbeSweep
+/// output order).
+double CandidatesAtAccuracy(const std::vector<SweepPoint>& curve,
+                            double target_accuracy);
+
+}  // namespace usp
+
+#endif  // USP_EVAL_SWEEP_H_

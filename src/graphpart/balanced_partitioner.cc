@@ -1,0 +1,178 @@
+#include "graphpart/balanced_partitioner.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "util/status.h"
+
+namespace usp {
+
+namespace {
+
+// Grows side 0 by BFS from random seeds until it holds `target_left`
+// vertices. Produces a connected-ish initial bisection, the standard warm
+// start for FM refinement.
+std::vector<uint32_t> GrowInitialBisection(const Graph& graph,
+                                           size_t target_left, Rng* rng) {
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> labels(n, 1);
+  std::vector<uint8_t> visited(n, 0);
+  size_t grown = 0;
+  std::deque<uint32_t> queue;
+  while (grown < target_left) {
+    if (queue.empty()) {
+      // New seed for the next (possibly disconnected) component.
+      uint32_t seed = static_cast<uint32_t>(rng->UniformInt(n));
+      while (visited[seed]) seed = (seed + 1) % n;
+      visited[seed] = 1;
+      queue.push_back(seed);
+    }
+    const uint32_t v = queue.front();
+    queue.pop_front();
+    labels[v] = 0;
+    ++grown;
+    if (grown >= target_left) break;
+    for (uint32_t nb : graph.adjacency[v]) {
+      if (!visited[nb]) {
+        visited[nb] = 1;
+        queue.push_back(nb);
+      }
+    }
+  }
+  return labels;
+}
+
+// One Fiduccia–Mattheyses pass with unit vertex/edge weights: repeatedly move
+// the highest-gain unlocked vertex whose move keeps both sides inside
+// [min_left, max_left], then roll back to the best prefix. Returns the cut
+// improvement (0 when the pass found nothing).
+int64_t FmPass(const Graph& graph, std::vector<uint32_t>* labels,
+               size_t min_left, size_t max_left) {
+  const size_t n = graph.num_vertices();
+  // gain(v) = edges to the other side - edges to the own side.
+  std::vector<int32_t> gain(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    int32_t g = 0;
+    for (uint32_t nb : graph.adjacency[v]) {
+      g += ((*labels)[nb] != (*labels)[v]) ? 1 : -1;
+    }
+    gain[v] = g;
+  }
+  size_t left_size = 0;
+  for (uint32_t l : *labels) {
+    if (l == 0) ++left_size;
+  }
+
+  // Lazy-deletion max-heap of (gain, vertex); stale entries are skipped.
+  using Entry = std::pair<int32_t, uint32_t>;
+  std::priority_queue<Entry> heap;
+  for (uint32_t v = 0; v < n; ++v) heap.push({gain[v], v});
+  std::vector<uint8_t> locked(n, 0);
+
+  std::vector<uint32_t> moves;
+  moves.reserve(n);
+  int64_t cumulative = 0, best = 0;
+  size_t best_prefix = 0;
+
+  while (!heap.empty()) {
+    const auto [g, v] = heap.top();
+    heap.pop();
+    if (locked[v] || g != gain[v]) continue;  // stale or already moved
+    // Balance feasibility of moving v to the other side.
+    const bool from_left = (*labels)[v] == 0;
+    const size_t new_left = from_left ? left_size - 1 : left_size + 1;
+    if (new_left < min_left || new_left > max_left) continue;
+
+    locked[v] = 1;
+    (*labels)[v] = from_left ? 1 : 0;
+    left_size = new_left;
+    cumulative += g;
+    moves.push_back(v);
+    if (cumulative > best) {
+      best = cumulative;
+      best_prefix = moves.size();
+    }
+    for (uint32_t nb : graph.adjacency[v]) {
+      if (locked[nb]) continue;
+      // Edge flipped from cut<->uncut relative to nb: adjust nb's gain by +-2.
+      gain[nb] += ((*labels)[nb] != (*labels)[v]) ? -2 : 2;
+      heap.push({gain[nb], nb});
+    }
+  }
+
+  // Roll back moves after the best prefix.
+  for (size_t i = moves.size(); i-- > best_prefix;) {
+    const uint32_t v = moves[i];
+    (*labels)[v] = (*labels)[v] == 0 ? 1 : 0;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<uint32_t> BisectBalanced(const Graph& graph, size_t target_left,
+                                     const BalancedPartitionConfig& config) {
+  const size_t n = graph.num_vertices();
+  USP_CHECK(target_left <= n);
+  if (n == 0) return {};
+  if (target_left == 0) return std::vector<uint32_t>(n, 1);
+  if (target_left == n) return std::vector<uint32_t>(n, 0);
+
+  Rng rng(config.seed);
+  std::vector<uint32_t> labels = GrowInitialBisection(graph, target_left, &rng);
+
+  const size_t slack = std::max<size_t>(
+      1, static_cast<size_t>(config.epsilon * static_cast<double>(n)));
+  const size_t min_left = target_left > slack ? target_left - slack : 1;
+  const size_t max_left = std::min(n - 1, target_left + slack);
+
+  for (size_t pass = 0; pass < config.refinement_passes; ++pass) {
+    if (FmPass(graph, &labels, min_left, max_left) <= 0) break;
+  }
+  return labels;
+}
+
+namespace {
+void PartitionRecursive(const Graph& graph,
+                        const std::vector<uint32_t>& vertex_ids,
+                        size_t num_parts, uint32_t label_offset,
+                        const BalancedPartitionConfig& config, uint64_t seed,
+                        std::vector<uint32_t>* out_labels) {
+  if (num_parts <= 1 || vertex_ids.size() <= 1) {
+    for (uint32_t v : vertex_ids) (*out_labels)[v] = label_offset;
+    return;
+  }
+  const size_t left_parts = num_parts / 2;
+  const size_t target_left = vertex_ids.size() * left_parts / num_parts;
+
+  const Graph sub = InducedSubgraph(graph, vertex_ids);
+  BalancedPartitionConfig local = config;
+  local.seed = seed;
+  const std::vector<uint32_t> side =
+      BisectBalanced(sub, target_left, local);
+
+  std::vector<uint32_t> left_ids, right_ids;
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    (side[i] == 0 ? left_ids : right_ids).push_back(vertex_ids[i]);
+  }
+  PartitionRecursive(graph, left_ids, left_parts, label_offset, config,
+                     seed * 6364136223846793005ULL + 1, out_labels);
+  PartitionRecursive(graph, right_ids, num_parts - left_parts,
+                     label_offset + static_cast<uint32_t>(left_parts), config,
+                     seed * 6364136223846793005ULL + 2, out_labels);
+}
+}  // namespace
+
+std::vector<uint32_t> PartitionGraph(const Graph& graph, size_t num_parts,
+                                     const BalancedPartitionConfig& config) {
+  USP_CHECK(num_parts >= 1);
+  const size_t n = graph.num_vertices();
+  std::vector<uint32_t> labels(n, 0);
+  std::vector<uint32_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+  PartitionRecursive(graph, all, num_parts, 0, config, config.seed, &labels);
+  return labels;
+}
+
+}  // namespace usp

@@ -1,0 +1,42 @@
+// Balanced graph partitioning: the preprocessing step of Neural LSH.
+//
+// The original paper delegates to KaHIP; this module implements the classical
+// pipeline KaHIP refines — BFS region growing for an initial bisection
+// followed by Fiduccia–Mattheyses boundary refinement under a balance
+// constraint, applied recursively for m-way partitions. Produces partitions
+// of the same character (balanced, low cut) which is all Neural LSH needs as
+// training labels; see DESIGN.md substitution table.
+#ifndef USP_GRAPHPART_BALANCED_PARTITIONER_H_
+#define USP_GRAPHPART_BALANCED_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graphpart/graph.h"
+#include "util/rng.h"
+
+namespace usp {
+
+/// Partitioner knobs.
+struct BalancedPartitionConfig {
+  /// Allowed size slack per side during bisection: a side may hold up to
+  /// (1 + epsilon) * its proportional target.
+  double epsilon = 0.05;
+  size_t refinement_passes = 8;  ///< FM passes per bisection
+  uint64_t seed = 1;
+};
+
+/// Bisects the graph into sides of `target_left` vs. (n - target_left)
+/// vertices (within epsilon slack), minimizing edge cut. Returns one label in
+/// {0, 1} per vertex.
+std::vector<uint32_t> BisectBalanced(const Graph& graph, size_t target_left,
+                                     const BalancedPartitionConfig& config);
+
+/// m-way balanced partition by recursive bisection with proportional targets
+/// (supports any m >= 1, not just powers of two). Returns labels in [0, m).
+std::vector<uint32_t> PartitionGraph(const Graph& graph, size_t num_parts,
+                                     const BalancedPartitionConfig& config);
+
+}  // namespace usp
+
+#endif  // USP_GRAPHPART_BALANCED_PARTITIONER_H_

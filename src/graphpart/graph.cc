@@ -1,0 +1,66 @@
+#include "graphpart/graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace usp {
+
+size_t Graph::num_edges() const {
+  size_t total = 0;
+  for (const auto& list : adjacency) total += list.size();
+  return total / 2;
+}
+
+Graph BuildKnnGraph(const KnnResult& knn_matrix, size_t num_vertices) {
+  USP_CHECK(knn_matrix.indices.size() == num_vertices * knn_matrix.k);
+  Graph graph;
+  graph.adjacency.resize(num_vertices);
+  for (size_t i = 0; i < num_vertices; ++i) {
+    const uint32_t* nbrs = knn_matrix.Row(i);
+    for (size_t t = 0; t < knn_matrix.k; ++t) {
+      const uint32_t j = nbrs[t];
+      USP_CHECK(j < num_vertices);
+      if (j == i) continue;
+      graph.adjacency[i].push_back(j);
+      graph.adjacency[j].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  for (auto& list : graph.adjacency) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return graph;
+}
+
+Graph InducedSubgraph(const Graph& graph,
+                      const std::vector<uint32_t>& vertex_ids) {
+  std::unordered_map<uint32_t, uint32_t> local_id;
+  local_id.reserve(vertex_ids.size());
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    local_id.emplace(vertex_ids[i], static_cast<uint32_t>(i));
+  }
+  Graph sub;
+  sub.adjacency.resize(vertex_ids.size());
+  for (size_t i = 0; i < vertex_ids.size(); ++i) {
+    for (uint32_t nb : graph.adjacency[vertex_ids[i]]) {
+      const auto it = local_id.find(nb);
+      if (it != local_id.end()) sub.adjacency[i].push_back(it->second);
+    }
+  }
+  return sub;
+}
+
+size_t CutSize(const Graph& graph, const std::vector<uint32_t>& labels) {
+  USP_CHECK(labels.size() == graph.num_vertices());
+  size_t cut = 0;
+  for (size_t i = 0; i < graph.num_vertices(); ++i) {
+    for (uint32_t j : graph.adjacency[i]) {
+      if (j > i && labels[i] != labels[j]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace usp

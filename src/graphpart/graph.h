@@ -1,0 +1,36 @@
+// Undirected graph built from a k-NN matrix, the substrate Neural LSH
+// partitions (Dong et al. 2020 build a k-NN graph and run a balanced graph
+// partitioner on it to produce training labels).
+#ifndef USP_GRAPHPART_GRAPH_H_
+#define USP_GRAPHPART_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "knn/brute_force.h"
+
+namespace usp {
+
+/// Compact undirected adjacency (CSR-ish: per-vertex sorted neighbor lists,
+/// each edge stored on both endpoints).
+struct Graph {
+  std::vector<std::vector<uint32_t>> adjacency;
+
+  size_t num_vertices() const { return adjacency.size(); }
+  size_t num_edges() const;  ///< undirected edge count
+};
+
+/// Symmetrizes a k-NN matrix into an undirected graph: edge (i, j) exists if
+/// j is in i's list or i is in j's list. Duplicates are removed.
+Graph BuildKnnGraph(const KnnResult& knn_matrix, size_t num_vertices);
+
+/// Induced subgraph on `vertex_ids` (vertices renumbered 0..|ids|-1 in order).
+Graph InducedSubgraph(const Graph& graph,
+                      const std::vector<uint32_t>& vertex_ids);
+
+/// Number of edges whose endpoints have different labels.
+size_t CutSize(const Graph& graph, const std::vector<uint32_t>& labels);
+
+}  // namespace usp
+
+#endif  // USP_GRAPHPART_GRAPH_H_

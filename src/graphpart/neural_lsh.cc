@@ -1,0 +1,81 @@
+#include "graphpart/neural_lsh.h"
+
+#include <algorithm>
+
+#include "core/loss.h"
+#include "nn/model_factory.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace usp {
+
+NeuralLsh::NeuralLsh(NeuralLshConfig config) : config_(std::move(config)) {
+  USP_CHECK(config_.num_bins > 1);
+}
+
+void NeuralLsh::Train(const Matrix& data, const KnnResult& knn_matrix) {
+  const size_t n = data.rows(), d = data.cols(), m = config_.num_bins;
+  WallTimer timer;
+
+  // Stage 1: balanced partition of the k-NN graph -> ground-truth labels.
+  const Graph graph = BuildKnnGraph(knn_matrix, n);
+  BalancedPartitionConfig pc = config_.partition;
+  pc.seed = config_.seed;
+  labels_ = PartitionGraph(graph, m, pc);
+  partition_seconds_ = timer.ElapsedSeconds();
+
+  // Stage 2: supervised classifier (softmax cross-entropy on one-hot labels;
+  // reuses the USP loss with eta = 0, which reduces to plain weighted CE).
+  timer.Reset();
+  MlpConfig mc;
+  mc.input_dim = d;
+  mc.hidden_dim = config_.hidden_dim;
+  mc.num_bins = m;
+  mc.dropout_rate = config_.dropout;
+  mc.seed = config_.seed;
+  model_ = BuildMlp(mc);
+
+  Adam optimizer(config_.learning_rate);
+  std::vector<Matrix*> params, grads;
+  model_.CollectParameters(&params, &grads);
+  optimizer.Attach(params, grads);
+
+  Rng rng(config_.seed ^ 0x1357ULL);
+  const size_t batch_size = std::min(config_.batch_size, n);
+  const size_t batches = std::max<size_t>(1, n / batch_size);
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+
+  UspLossConfig loss_config{m, /*eta=*/0.0f};
+  Matrix grad_logits;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t b = 0; b < batches; ++b) {
+      const size_t begin = b * batch_size;
+      const size_t end = std::min(n, begin + batch_size);
+      if (end - begin < 2) continue;
+      std::vector<uint32_t> ids(order.begin() + begin, order.begin() + end);
+      Matrix batch = data.GatherRows(ids);
+      Matrix targets(ids.size(), m);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        targets(i, labels_[ids[i]]) = 1.0f;
+      }
+      Matrix logits = model_.Forward(batch, /*training=*/true);
+      UspLoss(logits, targets, nullptr, loss_config, &grad_logits);
+      optimizer.ZeroGrad();
+      model_.Backward(grad_logits);
+      optimizer.Step();
+    }
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+}
+
+Matrix NeuralLsh::ScoreBins(const Matrix& points) const {
+  Matrix logits = model_.Forward(points, /*training=*/false);
+  SoftmaxRows(&logits);
+  return logits;
+}
+
+}  // namespace usp

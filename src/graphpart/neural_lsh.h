@@ -1,0 +1,62 @@
+// Neural LSH (Dong, Indyk, Razenshteyn, Wagner; ICLR 2020): the supervised
+// state-of-the-art the paper improves on. Pipeline: k-NN graph -> balanced
+// graph partition (training labels) -> MLP classifier that routes queries to
+// bins. This reproduction uses the same two-stage structure with our balanced
+// partitioner standing in for KaHIP (see DESIGN.md).
+#ifndef USP_GRAPHPART_NEURAL_LSH_H_
+#define USP_GRAPHPART_NEURAL_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bin_scorer.h"
+#include "graphpart/balanced_partitioner.h"
+#include "knn/brute_force.h"
+#include "nn/sequential.h"
+
+namespace usp {
+
+/// Neural LSH hyperparameters. Defaults follow the original setup the paper
+/// quotes in Table 2 (hidden width 512).
+struct NeuralLshConfig {
+  size_t num_bins = 16;
+  size_t hidden_dim = 512;
+  float dropout = 0.1f;
+  size_t epochs = 30;
+  size_t batch_size = 512;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 1;
+  BalancedPartitionConfig partition;
+};
+
+/// Trained Neural LSH index model (BinScorer over its m bins).
+class NeuralLsh : public BinScorer {
+ public:
+  explicit NeuralLsh(NeuralLshConfig config);
+
+  /// Runs the full two-stage pipeline on `data` + its k-NN matrix.
+  void Train(const Matrix& data, const KnnResult& knn_matrix);
+
+  size_t num_bins() const override { return config_.num_bins; }
+  Matrix ScoreBins(const Matrix& points) const override;
+
+  /// Labels produced by the graph partitioning stage (stage 1).
+  const std::vector<uint32_t>& training_labels() const { return labels_; }
+
+  /// Wall-clock split, for the training-time comparisons of Sec. 5.3.
+  double partition_seconds() const { return partition_seconds_; }
+  double train_seconds() const { return train_seconds_; }
+
+  size_t ParameterCount() const { return model_.ParameterCount(); }
+
+ private:
+  NeuralLshConfig config_;
+  mutable Sequential model_;
+  std::vector<uint32_t> labels_;
+  double partition_seconds_ = 0.0;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace usp
+
+#endif  // USP_GRAPHPART_NEURAL_LSH_H_

@@ -1,0 +1,59 @@
+#include "graphpart/regression_lsh.h"
+
+#include <algorithm>
+
+#include "core/loss.h"
+#include "graphpart/balanced_partitioner.h"
+#include "nn/linear.h"
+#include "nn/model_factory.h"
+#include "nn/optimizer.h"
+
+namespace usp {
+
+HyperplaneSplitFn RegressionLshSplit(const Graph* graph, size_t lr_epochs) {
+  return [graph, lr_epochs](const SplitContext& ctx, std::vector<float>* w,
+                            float* threshold) {
+    const size_t d = ctx.data.cols();
+    const size_t n = ctx.ids.size();
+    if (n < 4) return false;
+
+    // Stage 1: balanced bisection of the induced k-NN subgraph.
+    const Graph sub = InducedSubgraph(*graph, ctx.ids);
+    BalancedPartitionConfig pc;
+    pc.seed = ctx.rng->Next();
+    const std::vector<uint32_t> side = BisectBalanced(sub, n / 2, pc);
+
+    // Stage 2: logistic regression imitating the bisection.
+    Matrix subset = ctx.data.GatherRows(ctx.ids);
+    Sequential model = BuildLogisticRegression(d, 2, ctx.rng->Next());
+    Adam optimizer(1e-2f);
+    std::vector<Matrix*> params, grads;
+    model.CollectParameters(&params, &grads);
+    optimizer.Attach(params, grads);
+
+    Matrix targets(n, 2);
+    for (size_t i = 0; i < n; ++i) targets(i, side[i]) = 1.0f;
+    UspLossConfig loss_config{2, /*eta=*/0.0f};
+    Matrix grad_logits;
+    for (size_t epoch = 0; epoch < lr_epochs; ++epoch) {
+      Matrix logits = model.Forward(subset, /*training=*/true);
+      UspLoss(logits, targets, nullptr, loss_config, &grad_logits);
+      optimizer.ZeroGrad();
+      model.Backward(grad_logits);
+      optimizer.Step();
+    }
+
+    // Decision boundary of the two-output softmax: x goes to class 1 when
+    // x.(w1 - w0) >= b0 - b1.
+    std::vector<Matrix*> p, g;
+    model.CollectParameters(&p, &g);
+    const Matrix& weight = *p[0];  // (d x 2)
+    const Matrix& bias = *p[1];    // (1 x 2)
+    w->resize(d);
+    for (size_t j = 0; j < d; ++j) (*w)[j] = weight(j, 1) - weight(j, 0);
+    *threshold = bias(0, 0) - bias(0, 1);
+    return true;
+  };
+}
+
+}  // namespace usp

@@ -1,0 +1,22 @@
+// Regression LSH (the Neural LSH variant of Fig. 6): a binary tree where
+// every node (1) bisects the subset's k-NN graph with the balanced graph
+// partitioner and (2) fits a logistic regression to imitate that bisection,
+// splitting by the learned hyperplane. Plugs into PartitionTree.
+#ifndef USP_GRAPHPART_REGRESSION_LSH_H_
+#define USP_GRAPHPART_REGRESSION_LSH_H_
+
+#include "baselines/partition_tree.h"
+#include "graphpart/graph.h"
+
+namespace usp {
+
+/// Builds the split rule. `graph` must be the symmetrized k-NN graph of the
+/// full dataset and must outlive the returned function (PartitionTree holds
+/// it only during construction).
+/// `lr_epochs` controls the per-node logistic-regression fit.
+HyperplaneSplitFn RegressionLshSplit(const Graph* graph,
+                                     size_t lr_epochs = 25);
+
+}  // namespace usp
+
+#endif  // USP_GRAPHPART_REGRESSION_LSH_H_

@@ -1,0 +1,270 @@
+#include "hnsw/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+namespace {
+// Min-heap on distance for expansion candidates; max-heap for the result set.
+struct FartherFirst {
+  bool operator()(const std::pair<float, uint32_t>& a,
+                  const std::pair<float, uint32_t>& b) const {
+    return a.first > b.first;
+  }
+};
+struct CloserFirst {
+  bool operator()(const std::pair<float, uint32_t>& a,
+                  const std::pair<float, uint32_t>& b) const {
+    return a.first < b.first;
+  }
+};
+
+// HNSW neighbor-selection heuristic (Alg. 4 of the paper): walk candidates in
+// ascending distance from `node`, keeping a candidate only if it is closer to
+// `node` than to every already-kept neighbor; this preserves edges across
+// sparse regions and keeps the graph connected. Pruned candidates backfill
+// remaining slots (keepPrunedConnections).
+std::vector<uint32_t> SelectNeighborsHeuristic(
+    const Matrix& base, uint32_t node,
+    const std::vector<std::pair<float, uint32_t>>& sorted_candidates,
+    size_t max_links) {
+  const size_t d = base.cols();
+  std::vector<uint32_t> kept;
+  std::vector<uint32_t> pruned;
+  for (const auto& [dist, cand] : sorted_candidates) {
+    if (cand == node) continue;
+    if (kept.size() >= max_links) break;
+    bool diverse = true;
+    for (uint32_t existing : kept) {
+      if (SquaredDistance(base.Row(cand), base.Row(existing), d) < dist) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) {
+      kept.push_back(cand);
+    } else {
+      pruned.push_back(cand);
+    }
+  }
+  for (uint32_t cand : pruned) {
+    if (kept.size() >= max_links) break;
+    kept.push_back(cand);
+  }
+  return kept;
+}
+}  // namespace
+
+HnswIndex::HnswIndex(HnswConfig config) : config_(std::move(config)) {
+  USP_CHECK(config_.max_neighbors >= 2);
+}
+
+std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
+    const float* query, uint32_t entry, size_t ef, int level,
+    size_t* evaluations) const {
+  const size_t d = base_->cols();
+  std::vector<uint8_t> visited(base_->rows(), 0);
+
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, FartherFirst>
+      frontier;  // closest first
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, CloserFirst>
+      best;  // farthest of the kept set on top
+
+  const float entry_dist = SquaredDistance(query, base_->Row(entry), d);
+  if (evaluations != nullptr) ++*evaluations;
+  visited[entry] = 1;
+  frontier.push({entry_dist, entry});
+  best.push({entry_dist, entry});
+
+  while (!frontier.empty()) {
+    const auto [dist, node] = frontier.top();
+    frontier.pop();
+    if (dist > best.top().first && best.size() >= ef) break;
+    for (uint32_t nb : LinksAt(node, level)) {
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float nb_dist = SquaredDistance(query, base_->Row(nb), d);
+      if (evaluations != nullptr) ++*evaluations;
+      if (best.size() < ef || nb_dist < best.top().first) {
+        frontier.push({nb_dist, nb});
+        best.push({nb_dist, nb});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Scored> result(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    result[i] = {best.top().first, best.top().second};
+    best.pop();
+  }
+  return result;  // ascending by distance
+}
+
+void HnswIndex::Build(const Matrix& base) {
+  base_ = &base;
+  const size_t n = base.rows();
+  USP_CHECK(n > 0);
+  links_.assign(n, {});
+  node_levels_.assign(n, 0);
+  max_level_ = -1;
+
+  Rng rng(config_.seed);
+  const double level_lambda = 1.0 / std::log(double(config_.max_neighbors));
+  const size_t max_links0 = 2 * config_.max_neighbors;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    double u = rng.Uniform();
+    if (u < 1e-12) u = 1e-12;
+    const int level = static_cast<int>(-std::log(u) * level_lambda);
+    node_levels_[i] = level;
+    links_[i].assign(level + 1, {});
+
+    if (max_level_ < 0) {
+      max_level_ = level;
+      entry_point_ = i;
+      continue;
+    }
+
+    // Greedy descent through layers above the node's top level.
+    uint32_t current = entry_point_;
+    const size_t d = base.cols();
+    float current_dist = SquaredDistance(base.Row(i), base.Row(current), d);
+    for (int l = max_level_; l > level; --l) {
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        for (uint32_t nb : LinksAt(current, l)) {
+          const float dist = SquaredDistance(base.Row(i), base.Row(nb), d);
+          if (dist < current_dist) {
+            current_dist = dist;
+            current = nb;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    // Connect on each layer from min(level, max_level_) down to 0.
+    for (int l = std::min(level, max_level_); l >= 0; --l) {
+      auto nearest = SearchLayer(base.Row(i), current, config_.ef_construction,
+                                 l, nullptr);
+      const size_t cap = (l == 0) ? max_links0 : config_.max_neighbors;
+      std::vector<std::pair<float, uint32_t>> candidates;
+      candidates.reserve(nearest.size());
+      for (const auto& scored : nearest) {
+        candidates.push_back({scored.distance, scored.id});
+      }
+      auto& my_links = LinksAt(i, l);
+      my_links = SelectNeighborsHeuristic(base, i, candidates,
+                                          config_.max_neighbors);
+      for (const uint32_t nb : my_links) {
+        auto& their_links = LinksAt(nb, l);
+        their_links.push_back(i);
+        if (their_links.size() > cap) {
+          // Shrink with the same diversity heuristic (never plain truncation,
+          // which disconnects early nodes).
+          std::vector<std::pair<float, uint32_t>> theirs;
+          theirs.reserve(their_links.size());
+          for (uint32_t existing : their_links) {
+            theirs.push_back(
+                {SquaredDistance(base.Row(nb), base.Row(existing), d),
+                 existing});
+          }
+          std::sort(theirs.begin(), theirs.end());
+          their_links = SelectNeighborsHeuristic(base, nb, theirs, cap);
+        }
+      }
+      if (!nearest.empty()) current = nearest[0].id;
+    }
+
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = i;
+    }
+  }
+}
+
+std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
+                                        size_t ef_search) const {
+  USP_CHECK(base_ != nullptr && max_level_ >= 0);
+  size_t evals = 0;
+  // Greedy descent to layer 1.
+  uint32_t current = entry_point_;
+  const size_t d = base_->cols();
+  float current_dist = SquaredDistance(query, base_->Row(current), d);
+  for (int l = max_level_; l >= 1; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t nb : LinksAt(current, l)) {
+        const float dist = SquaredDistance(query, base_->Row(nb), d);
+        if (dist < current_dist) {
+          current_dist = dist;
+          current = nb;
+          improved = true;
+        }
+      }
+    }
+  }
+  const auto nearest =
+      SearchLayer(query, current, std::max(k, ef_search), 0, &evals);
+  std::vector<uint32_t> out;
+  out.reserve(std::min(k, nearest.size()));
+  for (size_t i = 0; i < nearest.size() && i < k; ++i) {
+    out.push_back(nearest[i].id);
+  }
+  return out;
+}
+
+BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
+                                         size_t ef_search) const {
+  const size_t nq = queries.rows();
+  BatchSearchResult result;
+  result.k = k;
+  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
+  result.candidate_counts.assign(nq, 0);
+  ParallelFor(nq, 4, [&](size_t begin, size_t end, size_t) {
+    for (size_t q = begin; q < end; ++q) {
+      size_t evals = 0;
+      uint32_t current = entry_point_;
+      const size_t d = base_->cols();
+      float current_dist = SquaredDistance(queries.Row(q), base_->Row(current), d);
+      ++evals;
+      for (int l = max_level_; l >= 1; --l) {
+        bool improved = true;
+        while (improved) {
+          improved = false;
+          for (uint32_t nb : LinksAt(current, l)) {
+            const float dist =
+                SquaredDistance(queries.Row(q), base_->Row(nb), d);
+            ++evals;
+            if (dist < current_dist) {
+              current_dist = dist;
+              current = nb;
+              improved = true;
+            }
+          }
+        }
+      }
+      const auto nearest = SearchLayer(queries.Row(q), current,
+                                       std::max(k, ef_search), 0, &evals);
+      for (size_t i = 0; i < nearest.size() && i < k; ++i) {
+        result.ids[q * k + i] = nearest[i].id;
+      }
+      result.candidate_counts[q] = static_cast<uint32_t>(evals);
+    }
+  });
+  return result;
+}
+
+}  // namespace usp

@@ -1,0 +1,71 @@
+// Hierarchical Navigable Small World graphs (Malkov & Yashunin 2018), the
+// graph-based ANN baseline of Fig. 7. Full multi-layer construction with
+// greedy descent and ef-bounded best-first search at the base layer.
+#ifndef USP_HNSW_HNSW_H_
+#define USP_HNSW_HNSW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition_index.h"
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// HNSW hyperparameters.
+struct HnswConfig {
+  size_t max_neighbors = 16;     ///< M: links per node on upper layers
+  size_t ef_construction = 100;  ///< beam width while building
+  uint64_t seed = 1;
+};
+
+/// In-memory HNSW index over a base matrix (which must outlive the index).
+class HnswIndex {
+ public:
+  explicit HnswIndex(HnswConfig config);
+
+  /// Inserts all base points (sequentially; deterministic given the seed).
+  void Build(const Matrix& base);
+
+  /// Single-query search with beam width `ef_search` (>= k).
+  std::vector<uint32_t> Search(const float* query, size_t k,
+                               size_t ef_search) const;
+
+  /// Batch search. `candidate_counts` reports the number of distance
+  /// evaluations per query, the analogue of the candidate-set size |C| used
+  /// to compare against partition-based methods.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+                                size_t ef_search) const;
+
+  size_t size() const { return node_levels_.size(); }
+  int max_level() const { return max_level_; }
+
+ private:
+  // Best-first search on one layer from `entry`; returns up to `ef` closest
+  // (distance, id) pairs. `evaluations` (optional) accumulates the number of
+  // distance computations.
+  struct Scored {
+    float distance;
+    uint32_t id;
+  };
+  std::vector<Scored> SearchLayer(const float* query, uint32_t entry,
+                                  size_t ef, int level,
+                                  size_t* evaluations) const;
+  std::vector<uint32_t>& LinksAt(uint32_t node, int level) {
+    return links_[node][level];
+  }
+  const std::vector<uint32_t>& LinksAt(uint32_t node, int level) const {
+    return links_[node][level];
+  }
+
+  HnswConfig config_;
+  const Matrix* base_ = nullptr;
+  std::vector<std::vector<std::vector<uint32_t>>> links_;  // [node][level]
+  std::vector<int> node_levels_;
+  int max_level_ = -1;
+  uint32_t entry_point_ = 0;
+};
+
+}  // namespace usp
+
+#endif  // USP_HNSW_HNSW_H_

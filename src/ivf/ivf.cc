@@ -1,0 +1,38 @@
+#include "ivf/ivf.h"
+
+namespace usp {
+
+IvfFlatIndex::IvfFlatIndex(const Matrix* base, const IvfConfig& config) {
+  KMeansConfig kc;
+  kc.num_clusters = config.nlist;
+  kc.max_iterations = config.kmeans_iterations;
+  kc.seed = config.seed;
+  coarse_ = std::make_unique<KMeansPartitioner>(*base, kc);
+  index_ = std::make_unique<PartitionIndex>(base, coarse_.get());
+}
+
+BatchSearchResult IvfFlatIndex::SearchBatch(const Matrix& queries, size_t k,
+                                            size_t nprobe) const {
+  return index_->SearchBatch(queries, k, nprobe);
+}
+
+IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config) {
+  KMeansConfig kc;
+  kc.num_clusters = config.nlist;
+  kc.max_iterations = config.kmeans_iterations;
+  kc.seed = config.seed;
+  coarse_ = std::make_unique<KMeansPartitioner>(*base, kc);
+
+  ProductQuantizer pq(config.pq);
+  pq.Train(*base);
+  ScannIndexConfig sc;
+  sc.rerank_budget = config.rerank_budget;
+  index_ = std::make_unique<ScannIndex>(base, coarse_.get(), std::move(pq), sc);
+}
+
+BatchSearchResult IvfPqIndex::SearchBatch(const Matrix& queries, size_t k,
+                                          size_t nprobe) const {
+  return index_->SearchBatch(queries, k, nprobe);
+}
+
+}  // namespace usp

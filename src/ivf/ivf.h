@@ -1,0 +1,57 @@
+// FAISS-style inverted-file indexes (the "FAISS" baseline of Fig. 7):
+// IVF-Flat (k-means coarse quantizer + exact scan of probed lists) and
+// IVF-PQ (same coarse quantizer, ADC scan + exact re-rank inside the lists).
+#ifndef USP_IVF_IVF_H_
+#define USP_IVF_IVF_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/kmeans.h"
+#include "core/partition_index.h"
+#include "quant/pq.h"
+#include "quant/scann_index.h"
+
+namespace usp {
+
+/// IVF hyperparameters.
+struct IvfConfig {
+  size_t nlist = 64;             ///< coarse clusters (inverted lists)
+  size_t kmeans_iterations = 20;
+  uint64_t seed = 1;
+  // IVF-PQ only:
+  PqConfig pq;
+  size_t rerank_budget = 100;
+};
+
+/// IVF-Flat: probe nprobe nearest centroids, scan their lists exactly.
+class IvfFlatIndex {
+ public:
+  IvfFlatIndex(const Matrix* base, const IvfConfig& config);
+
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+                                size_t nprobe) const;
+
+  const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
+
+ private:
+  std::unique_ptr<KMeansPartitioner> coarse_;
+  std::unique_ptr<PartitionIndex> index_;
+};
+
+/// IVF-PQ: probe nprobe lists, score with ADC, exact re-rank of the best.
+class IvfPqIndex {
+ public:
+  IvfPqIndex(const Matrix* base, const IvfConfig& config);
+
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+                                size_t nprobe) const;
+
+ private:
+  std::unique_ptr<KMeansPartitioner> coarse_;
+  std::unique_ptr<ScannIndex> index_;
+};
+
+}  // namespace usp
+
+#endif  // USP_IVF_IVF_H_

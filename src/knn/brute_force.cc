@@ -1,0 +1,113 @@
+#include "knn/brute_force.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "knn/top_k.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+namespace {
+constexpr size_t kBaseBlock = 2048;  // base points per distance tile
+
+KnnResult KnnImpl(const Matrix& base, const Matrix& queries, size_t k,
+                  bool exclude_identity) {
+  USP_CHECK(base.cols() == queries.cols());
+  USP_CHECK(k > 0 && k <= base.rows());
+  const size_t nq = queries.rows(), nb = base.rows(), d = base.cols();
+
+  KnnResult result;
+  result.k = k;
+  result.indices.resize(nq * k);
+  result.distances.resize(nq * k);
+
+  std::vector<float> base_norms;
+  RowSquaredNorms(base, &base_norms);
+
+  ParallelFor(nq, 8, [&](size_t q_begin, size_t q_end, size_t) {
+    std::vector<TopK> heaps;
+    heaps.reserve(q_end - q_begin);
+    for (size_t q = q_begin; q < q_end; ++q) heaps.emplace_back(k);
+
+    for (size_t b0 = 0; b0 < nb; b0 += kBaseBlock) {
+      const size_t b1 = std::min(nb, b0 + kBaseBlock);
+      for (size_t q = q_begin; q < q_end; ++q) {
+        const float* qv = queries.Row(q);
+        float q_norm = Dot(qv, qv, d);
+        TopK& heap = heaps[q - q_begin];
+        for (size_t b = b0; b < b1; ++b) {
+          if (exclude_identity && b == q) continue;
+          const float dist =
+              std::max(0.0f, q_norm + base_norms[b] - 2.0f * Dot(qv, base.Row(b), d));
+          heap.Push(dist, static_cast<uint32_t>(b));
+        }
+      }
+    }
+    for (size_t q = q_begin; q < q_end; ++q) {
+      auto sorted = heaps[q - q_begin].TakeSorted();
+      for (size_t j = 0; j < k; ++j) {
+        result.indices[q * k + j] = sorted[j].id;
+        result.distances[q * k + j] = sorted[j].distance;
+      }
+    }
+  });
+  return result;
+}
+}  // namespace
+
+KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k) {
+  return KnnImpl(base, queries, k, /*exclude_identity=*/false);
+}
+
+KnnResult BuildKnnMatrix(const Matrix& data, size_t k) {
+  USP_CHECK(k < data.rows());
+  return KnnImpl(data, data, k, /*exclude_identity=*/true);
+}
+
+KnnResult FilterKnnToSubset(const KnnResult& global,
+                            const std::vector<uint32_t>& subset_ids) {
+  const size_t n = subset_ids.size();
+  const size_t k = global.k;
+  std::unordered_map<uint32_t, uint32_t> local_id;
+  local_id.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    local_id.emplace(subset_ids[i], static_cast<uint32_t>(i));
+  }
+  KnnResult out;
+  out.k = k;
+  out.indices.resize(n * k);
+  out.distances.assign(n * k, 0.0f);
+  std::vector<uint32_t> kept;
+  for (size_t i = 0; i < n; ++i) {
+    kept.clear();
+    const uint32_t* nbrs = global.Row(subset_ids[i]);
+    for (size_t t = 0; t < k; ++t) {
+      const auto it = local_id.find(nbrs[t]);
+      if (it != local_id.end()) kept.push_back(it->second);
+    }
+    if (kept.empty()) kept.push_back(static_cast<uint32_t>(i));
+    for (size_t t = 0; t < k; ++t) {
+      out.indices[i * k + t] = kept[t % kept.size()];
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> RerankCandidates(const Matrix& base, const float* query,
+                                       const std::vector<uint32_t>& candidates,
+                                       size_t k) {
+  TopK heap(std::min(k, candidates.size()));
+  const size_t d = base.cols();
+  for (uint32_t id : candidates) {
+    heap.Push(SquaredDistance(query, base.Row(id), d), id);
+  }
+  auto sorted = heap.TakeSorted();
+  std::vector<uint32_t> out;
+  out.reserve(sorted.size());
+  for (const auto& n : sorted) out.push_back(n.id);
+  return out;
+}
+
+}  // namespace usp

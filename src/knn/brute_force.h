@@ -1,0 +1,51 @@
+// Exact k-nearest-neighbor search by blocked brute force. Produces ground
+// truth for every experiment and the k'-NN matrix of the paper's offline
+// phase (Sec. 4.2.1).
+#ifndef USP_KNN_BRUTE_FORCE_H_
+#define USP_KNN_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Exact k-NN result for a batch of queries: row i holds the ids (and squared
+/// distances) of query i's neighbors, ascending by distance.
+struct KnnResult {
+  size_t k = 0;
+  std::vector<uint32_t> indices;   // (num_queries x k), row-major
+  std::vector<float> distances;    // matching squared distances
+
+  const uint32_t* Row(size_t q) const { return indices.data() + q * k; }
+};
+
+/// Finds the exact k nearest base points (squared Euclidean) for every query.
+/// Blocked GEMM formulation: distances are computed tile-by-tile so memory
+/// stays bounded at O(block^2) regardless of dataset size.
+KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k);
+
+/// k'-NN matrix of the dataset against itself with self-matches excluded
+/// (row i never contains i). This is Fig. 2 of the paper.
+KnnResult BuildKnnMatrix(const Matrix& data, size_t k);
+
+/// Re-ranks an explicit candidate list by exact distance and returns the top k
+/// candidate ids, ascending by distance. Used by every partition-based index
+/// for the final scan of the candidate set.
+std::vector<uint32_t> RerankCandidates(const Matrix& base, const float* query,
+                                       const std::vector<uint32_t>& candidates,
+                                       size_t k);
+
+/// Restricts a global k-NN matrix to a subset of points, renumbering to local
+/// ids (position in `subset_ids`). A point's filtered list keeps its global
+/// neighbors that fall inside the subset; short lists are padded by cycling
+/// the kept neighbors (or the point itself when none survive), so the result
+/// has the same fixed k as `global`. Used by hierarchical training, where
+/// most of a point's neighbors share its bin by construction.
+KnnResult FilterKnnToSubset(const KnnResult& global,
+                            const std::vector<uint32_t>& subset_ids);
+
+}  // namespace usp
+
+#endif  // USP_KNN_BRUTE_FORCE_H_

@@ -1,0 +1,64 @@
+// Bounded max-heap for selecting the k smallest (distance, id) pairs while
+// streaming over candidates. Shared by brute-force search, index probing, and
+// graph construction.
+#ifndef USP_KNN_TOP_K_H_
+#define USP_KNN_TOP_K_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace usp {
+
+/// One scored neighbor candidate.
+struct Neighbor {
+  float distance;
+  uint32_t id;
+
+  bool operator<(const Neighbor& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;  // deterministic ordering under ties
+  }
+};
+
+/// Keeps the k smallest-distance neighbors seen so far. Push is O(log k).
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Offers a candidate; kept only if among the current k best.
+  void Push(float distance, uint32_t id) {
+    if (heap_.size() < k_) {
+      heap_.push_back({distance, id});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (k_ > 0 && Neighbor{distance, id} < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {distance, id};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Current worst kept distance (+inf while not full).
+  float WorstDistance() const {
+    if (heap_.size() < k_) return std::numeric_limits<float>::infinity();
+    return heap_.front().distance;
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Extracts results sorted by ascending distance; the heap is consumed.
+  std::vector<Neighbor> TakeSorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on (distance, id)
+};
+
+}  // namespace usp
+
+#endif  // USP_KNN_TOP_K_H_

@@ -1,0 +1,64 @@
+#include "nn/activations.h"
+
+namespace usp {
+
+Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
+  Matrix out(input.rows(), input.cols());
+  mask_.assign(input.size(), 0);
+  const float* src = input.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (src[i] > 0.0f) {
+      dst[i] = src[i];
+      mask_[i] = 1;
+    }
+  }
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  USP_CHECK(grad_output.size() == mask_.size());
+  Matrix grad_input(grad_output.rows(), grad_output.cols());
+  const float* src = grad_output.data();
+  float* dst = grad_input.data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    dst[i] = mask_[i] ? src[i] : 0.0f;
+  }
+  return grad_input;
+}
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  USP_CHECK(rate >= 0.0f && rate < 1.0f);
+}
+
+Matrix Dropout::Forward(const Matrix& input, bool training) {
+  last_was_training_ = training;
+  if (!training || rate_ == 0.0f) return input.Clone();
+  Matrix out(input.rows(), input.cols());
+  mask_.assign(input.size(), 0);
+  const float scale = 1.0f / (1.0f - rate_);
+  const float* src = input.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (rng_.Uniform() >= rate_) {
+      mask_[i] = 1;
+      dst[i] = src[i] * scale;
+    }
+  }
+  return out;
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (!last_was_training_ || rate_ == 0.0f) return grad_output.Clone();
+  USP_CHECK(grad_output.size() == mask_.size());
+  Matrix grad_input(grad_output.rows(), grad_output.cols());
+  const float scale = 1.0f / (1.0f - rate_);
+  const float* src = grad_output.data();
+  float* dst = grad_input.data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    dst[i] = mask_[i] ? src[i] * scale : 0.0f;
+  }
+  return grad_input;
+}
+
+}  // namespace usp

@@ -1,0 +1,45 @@
+// Parameter-free layers: ReLU and (inverted) Dropout.
+#ifndef USP_NN_ACTIVATIONS_H_
+#define USP_NN_ACTIVATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace usp {
+
+/// Elementwise max(0, x).
+class Relu : public Layer {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<uint8_t> mask_;  // 1 where input > 0
+};
+
+/// Inverted dropout: at train time zeroes activations with probability `rate`
+/// and scales survivors by 1/(1-rate); identity at inference. The paper uses
+/// rate 0.1 (Sec. 5.2).
+class Dropout : public Layer {
+ public:
+  Dropout(float rate, uint64_t seed);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  std::vector<uint8_t> mask_;  // 1 where kept
+  bool last_was_training_ = false;
+};
+
+}  // namespace usp
+
+#endif  // USP_NN_ACTIVATIONS_H_

@@ -1,0 +1,113 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace usp {
+
+BatchNorm::BatchNorm(size_t features, float momentum, float epsilon)
+    : momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(1, features),
+      beta_(1, features),
+      gamma_grad_(1, features),
+      beta_grad_(1, features),
+      running_mean_(1, features),
+      running_var_(1, features) {
+  gamma_.Fill(1.0f);
+  running_var_.Fill(1.0f);
+}
+
+Matrix BatchNorm::Forward(const Matrix& input, bool training) {
+  const size_t n = input.rows(), f = input.cols();
+  USP_CHECK(f == gamma_.cols());
+  Matrix out(n, f);
+  cached_normalized_ = Matrix(n, f);
+  cached_inv_std_.assign(f, 0.0f);
+
+  if (training && n > 1) {
+    for (size_t j = 0; j < f; ++j) {
+      double mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += input(i, j);
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = input(i, j) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);  // biased, like torch's normalization
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + epsilon_);
+      cached_inv_std_[j] = inv_std;
+      for (size_t i = 0; i < n; ++i) {
+        const float xn = (input(i, j) - static_cast<float>(mean)) * inv_std;
+        cached_normalized_(i, j) = xn;
+        out(i, j) = gamma_(0, j) * xn + beta_(0, j);
+      }
+      running_mean_(0, j) = (1.0f - momentum_) * running_mean_(0, j) +
+                         momentum_ * static_cast<float>(mean);
+      running_var_(0, j) = (1.0f - momentum_) * running_var_(0, j) +
+                        momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (size_t j = 0; j < f; ++j) {
+      const float inv_std = 1.0f / std::sqrt(running_var_(0, j) + epsilon_);
+      cached_inv_std_[j] = inv_std;
+      for (size_t i = 0; i < n; ++i) {
+        const float xn = (input(i, j) - running_mean_(0, j)) * inv_std;
+        cached_normalized_(i, j) = xn;
+        out(i, j) = gamma_(0, j) * xn + beta_(0, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix BatchNorm::Backward(const Matrix& grad_output) {
+  const size_t n = grad_output.rows(), f = grad_output.cols();
+  USP_CHECK(n == cached_normalized_.rows() && f == cached_normalized_.cols());
+  Matrix grad_input(n, f);
+  // Standard batch-norm backward through batch statistics:
+  //   dxhat = dy * gamma
+  //   dx = inv_std/N * (N*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+  for (size_t j = 0; j < f; ++j) {
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0, sum_dy = 0.0, sum_dy_xhat = 0.0;
+    const float g = gamma_(0, j);
+    for (size_t i = 0; i < n; ++i) {
+      const float dy = grad_output(i, j);
+      const float xhat = cached_normalized_(i, j);
+      const float dxhat = dy * g;
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+      sum_dy += dy;
+      sum_dy_xhat += static_cast<double>(dy) * xhat;
+    }
+    gamma_grad_(0, j) = static_cast<float>(sum_dy_xhat);
+    beta_grad_(0, j) = static_cast<float>(sum_dy);
+    const float inv_std = cached_inv_std_[j];
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const float dxhat = grad_output(i, j) * g;
+      grad_input(i, j) =
+          inv_std * (dxhat - inv_n * static_cast<float>(sum_dxhat) -
+                     cached_normalized_(i, j) * inv_n *
+                         static_cast<float>(sum_dxhat_xhat));
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm::CollectParameters(std::vector<Matrix*>* params,
+                                  std::vector<Matrix*>* grads) {
+  params->push_back(&gamma_);
+  params->push_back(&beta_);
+  grads->push_back(&gamma_grad_);
+  grads->push_back(&beta_grad_);
+}
+
+void BatchNorm::CollectStateTensors(std::vector<Matrix*>* tensors) {
+  tensors->push_back(&gamma_);
+  tensors->push_back(&beta_);
+  tensors->push_back(&running_mean_);
+  tensors->push_back(&running_var_);
+}
+
+}  // namespace usp

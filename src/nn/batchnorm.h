@@ -1,0 +1,45 @@
+// Batch normalization over feature columns (BatchNorm1d), as used between the
+// paper's fully connected layers (Sec. 5.2, ref. [20]).
+#ifndef USP_NN_BATCHNORM_H_
+#define USP_NN_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace usp {
+
+/// Per-feature standardization with learnable scale (gamma) and shift (beta).
+/// Training uses batch statistics and updates exponential running statistics;
+/// inference uses the running statistics, so single-query inference works.
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(size_t features, float momentum = 0.1f,
+                     float epsilon = 1e-5f);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  void CollectParameters(std::vector<Matrix*>* params,
+                         std::vector<Matrix*>* grads) override;
+  void CollectStateTensors(std::vector<Matrix*>* tensors) override;
+  size_t ParameterCount() const override { return gamma_.size() + beta_.size(); }
+  std::string name() const override { return "BatchNorm"; }
+
+ private:
+  float momentum_;
+  float epsilon_;
+  Matrix gamma_;  // (1 x features)
+  Matrix beta_;   // (1 x features)
+  Matrix gamma_grad_;
+  Matrix beta_grad_;
+  Matrix running_mean_;  // (1 x features); inference statistics
+  Matrix running_var_;   // (1 x features)
+  // Backward caches (batch statistics + normalized activations).
+  Matrix cached_normalized_;
+  std::vector<float> cached_inv_std_;
+};
+
+}  // namespace usp
+
+#endif  // USP_NN_BATCHNORM_H_

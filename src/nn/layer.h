@@ -1,0 +1,56 @@
+// Layer abstraction for the feed-forward substrate that replaces PyTorch.
+// Each layer implements an explicit forward pass and an explicit backward pass
+// (manual backprop); gradients are verified against finite differences in
+// tests/nn_test.cc.
+#ifndef USP_NN_LAYER_H_
+#define USP_NN_LAYER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// One differentiable layer. Forward caches whatever Backward needs, so a
+/// layer instance processes one batch at a time (no re-entrancy), which
+/// matches the training loop's usage.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for `input` (batch x in_features).
+  /// `training` toggles train-time behaviour (dropout masks, batch-norm batch
+  /// statistics vs. running statistics).
+  virtual Matrix Forward(const Matrix& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after Forward on the same batch.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Appends pointers to learnable parameter tensors (may be empty).
+  virtual void CollectParameters(std::vector<Matrix*>* params,
+                                 std::vector<Matrix*>* grads) {
+    (void)params;
+    (void)grads;
+  }
+
+  /// Appends pointers to every tensor that defines the layer's inference
+  /// behaviour: the learnable parameters plus non-learned state such as
+  /// batch-norm running statistics. This is the serialization surface.
+  virtual void CollectStateTensors(std::vector<Matrix*>* tensors) {
+    std::vector<Matrix*> grads;
+    CollectParameters(tensors, &grads);
+  }
+
+  /// Number of learnable scalars (for Table 2 of the paper).
+  virtual size_t ParameterCount() const { return 0; }
+
+  /// Human-readable layer name for model summaries.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace usp
+
+#endif  // USP_NN_LAYER_H_

@@ -1,0 +1,57 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace usp {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
+    : weight_(in_features, out_features),
+      bias_(1, out_features),
+      weight_grad_(in_features, out_features),
+      bias_grad_(1, out_features) {
+  // Glorot uniform: U(-limit, limit), limit = sqrt(6 / (fan_in + fan_out)).
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  for (size_t i = 0; i < weight_.size(); ++i) {
+    weight_.data()[i] = rng->UniformFloat(-limit, limit);
+  }
+}
+
+Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+  USP_CHECK(input.cols() == weight_.rows());
+  cached_input_ = input.Clone();
+  Matrix out(input.rows(), weight_.cols());
+  Gemm(input, weight_, &out);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    float* row = out.Row(i);
+    for (size_t j = 0; j < out.cols(); ++j) row[j] += bias_(0, j);
+  }
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  USP_CHECK(grad_output.rows() == cached_input_.rows());
+  USP_CHECK(grad_output.cols() == weight_.cols());
+  // dW = X^T dY ; db = column sums of dY ; dX = dY W^T.
+  GemmTransposedA(cached_input_, grad_output, &weight_grad_);
+  bias_grad_.Fill(0.0f);
+  for (size_t i = 0; i < grad_output.rows(); ++i) {
+    const float* row = grad_output.Row(i);
+    for (size_t j = 0; j < grad_output.cols(); ++j) bias_grad_(0, j) += row[j];
+  }
+  Matrix grad_input(cached_input_.rows(), weight_.rows());
+  GemmTransposedB(grad_output, weight_, &grad_input);
+  return grad_input;
+}
+
+void Linear::CollectParameters(std::vector<Matrix*>* params,
+                               std::vector<Matrix*>* grads) {
+  params->push_back(&weight_);
+  params->push_back(&bias_);
+  grads->push_back(&weight_grad_);
+  grads->push_back(&bias_grad_);
+}
+
+}  // namespace usp

@@ -1,0 +1,44 @@
+// Fully connected layer with Glorot (Xavier) uniform initialization, matching
+// the paper's setup (Sec. 5.2, ref. [14]).
+#ifndef USP_NN_LINEAR_H_
+#define USP_NN_LINEAR_H_
+
+#include <string>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace usp {
+
+/// y = x W + b, where W is (in_features x out_features) and b broadcasts over
+/// the batch.
+class Linear : public Layer {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  void CollectParameters(std::vector<Matrix*>* params,
+                         std::vector<Matrix*>* grads) override;
+  size_t ParameterCount() const override {
+    return weight_.size() + bias_.size();
+  }
+  std::string name() const override { return "Linear"; }
+
+  size_t in_features() const { return weight_.rows(); }
+  size_t out_features() const { return weight_.cols(); }
+
+  Matrix& weight() { return weight_; }
+  Matrix& bias() { return bias_; }
+
+ private:
+  Matrix weight_;       // (in x out)
+  Matrix bias_;         // (1 x out)
+  Matrix weight_grad_;  // same shape as weight_
+  Matrix bias_grad_;    // same shape as bias_
+  Matrix cached_input_;
+};
+
+}  // namespace usp
+
+#endif  // USP_NN_LINEAR_H_

@@ -1,0 +1,42 @@
+#include "nn/model_factory.h"
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace usp {
+
+Sequential BuildMlp(const MlpConfig& config) {
+  USP_CHECK(config.input_dim > 0 && config.num_bins > 1);
+  USP_CHECK(config.num_hidden_layers >= 1);
+  Rng rng(config.seed);
+  Sequential model;
+  size_t in_features = config.input_dim;
+  for (size_t layer = 0; layer < config.num_hidden_layers; ++layer) {
+    model.Add(std::make_unique<Linear>(in_features, config.hidden_dim, &rng));
+    if (config.use_batchnorm) {
+      model.Add(std::make_unique<BatchNorm>(config.hidden_dim));
+    }
+    model.Add(std::make_unique<Relu>());
+    if (config.dropout_rate > 0.0f) {
+      model.Add(std::make_unique<Dropout>(config.dropout_rate, rng.Next()));
+    }
+    in_features = config.hidden_dim;
+  }
+  model.Add(std::make_unique<Linear>(in_features, config.num_bins, &rng));
+  return model;
+}
+
+Sequential BuildLogisticRegression(size_t input_dim, size_t num_bins,
+                                   uint64_t seed) {
+  USP_CHECK(input_dim > 0 && num_bins > 1);
+  Rng rng(seed);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(input_dim, num_bins, &rng));
+  return model;
+}
+
+}  // namespace usp

@@ -1,0 +1,35 @@
+// Builders for the two model architectures evaluated in the paper (Sec. 5.2):
+// a small MLP (Linear -> BatchNorm -> ReLU -> Dropout -> Linear) and a
+// logistic-regression model (single Linear).
+#ifndef USP_NN_MODEL_FACTORY_H_
+#define USP_NN_MODEL_FACTORY_H_
+
+#include <cstdint>
+
+#include "nn/sequential.h"
+
+namespace usp {
+
+/// Hyperparameters for the paper's neural-network partitioning model.
+struct MlpConfig {
+  size_t input_dim = 0;
+  size_t hidden_dim = 128;      ///< paper: one hidden layer of 128 units
+  size_t num_hidden_layers = 1; ///< Neural LSH's quoted 729k params needs 3x512
+  size_t num_bins = 16;         ///< m, the output layer width
+  float dropout_rate = 0.1f;    ///< paper: dropout 0.1
+  bool use_batchnorm = true;
+  uint64_t seed = 1;
+};
+
+/// Builds [Linear -> BatchNorm -> ReLU -> Dropout] x num_hidden_layers
+/// followed by Linear(h->m). Output is logits over the m bins.
+Sequential BuildMlp(const MlpConfig& config);
+
+/// Builds a single Linear(d->m) (logistic regression when m == 2 and a
+/// softmax is applied downstream).
+Sequential BuildLogisticRegression(size_t input_dim, size_t num_bins,
+                                   uint64_t seed);
+
+}  // namespace usp
+
+#endif  // USP_NN_MODEL_FACTORY_H_

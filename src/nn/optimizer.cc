@@ -1,0 +1,65 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace usp {
+
+void Optimizer::Attach(std::vector<Matrix*> params, std::vector<Matrix*> grads) {
+  USP_CHECK(params.size() == grads.size());
+  params_ = std::move(params);
+  grads_ = std::move(grads);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    USP_CHECK(params_[i]->size() == grads_[i]->size());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Matrix* g : grads_) g->Fill(0.0f);
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    float* p = params_[i]->data();
+    const float* g = grads_[i]->data();
+    for (size_t j = 0; j < params_[i]->size(); ++j) {
+      p[j] -= learning_rate_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(float learning_rate, float beta1, float beta2, float epsilon)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void Adam::Step() {
+  if (first_moment_.empty()) {
+    first_moment_.resize(params_.size());
+    second_moment_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      first_moment_[i].assign(params_[i]->size(), 0.0f);
+      second_moment_[i].assign(params_[i]->size(), 0.0f);
+    }
+  }
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    float* p = params_[i]->data();
+    const float* g = grads_[i]->data();
+    float* m = first_moment_[i].data();
+    float* v = second_moment_[i].data();
+    for (size_t j = 0; j < params_[i]->size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace usp

@@ -1,0 +1,60 @@
+// First-order optimizers. The paper trains with Adam (Sec. 5.2, ref. [25]);
+// SGD is provided for tests and ablations.
+#ifndef USP_NN_OPTIMIZER_H_
+#define USP_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Updates parameters in place from their gradient buffers.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Binds parameter/gradient tensor pairs (indices must stay aligned).
+  void Attach(std::vector<Matrix*> params, std::vector<Matrix*> grads);
+
+  /// Applies one update step using current gradient values.
+  virtual void Step() = 0;
+
+  /// Zeroes all gradient buffers.
+  void ZeroGrad();
+
+ protected:
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+};
+
+/// Plain stochastic gradient descent: p -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate) : learning_rate_(learning_rate) {}
+  void Step() override;
+
+ private:
+  float learning_rate_;
+};
+
+/// Adam with bias correction (Kingma & Ba 2015).
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float learning_rate = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float epsilon = 1e-8f);
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+};
+
+}  // namespace usp
+
+#endif  // USP_NN_OPTIMIZER_H_

@@ -1,0 +1,47 @@
+#include "nn/sequential.h"
+
+namespace usp {
+
+Matrix Sequential::Forward(const Matrix& input, bool training) {
+  USP_CHECK(!layers_.empty());
+  Matrix current = layers_[0]->Forward(input, training);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    current = layers_[i]->Forward(current, training);
+  }
+  return current;
+}
+
+Matrix Sequential::Backward(const Matrix& grad_logits) {
+  USP_CHECK(!layers_.empty());
+  Matrix grad = layers_.back()->Backward(grad_logits);
+  for (size_t i = layers_.size() - 1; i-- > 0;) {
+    grad = layers_[i]->Backward(grad);
+  }
+  return grad;
+}
+
+void Sequential::CollectParameters(std::vector<Matrix*>* params,
+                                   std::vector<Matrix*>* grads) {
+  for (auto& layer : layers_) layer->CollectParameters(params, grads);
+}
+
+void Sequential::CollectStateTensors(std::vector<Matrix*>* tensors) {
+  for (auto& layer : layers_) layer->CollectStateTensors(tensors);
+}
+
+size_t Sequential::ParameterCount() const {
+  size_t total = 0;
+  for (const auto& layer : layers_) total += layer->ParameterCount();
+  return total;
+}
+
+std::string Sequential::Summary() const {
+  std::string out;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += layers_[i]->name();
+  }
+  return out;
+}
+
+}  // namespace usp

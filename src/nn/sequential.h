@@ -1,0 +1,53 @@
+// Ordered container of layers: the "model M" of the paper. Outputs logits;
+// softmax is applied by the loss (training) or by the index wrapper
+// (inference) for numerical stability.
+#ifndef USP_NN_SEQUENTIAL_H_
+#define USP_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace usp {
+
+/// Feed-forward stack of layers with a combined backward pass.
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void Add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  /// Runs every layer in order; returns logits (batch x out_features).
+  Matrix Forward(const Matrix& input, bool training);
+
+  /// Backpropagates dLoss/dLogits through every layer (reverse order),
+  /// accumulating parameter gradients. Returns dLoss/dInput.
+  Matrix Backward(const Matrix& grad_logits);
+
+  /// All learnable tensors and their gradient buffers, in layer order.
+  void CollectParameters(std::vector<Matrix*>* params,
+                         std::vector<Matrix*>* grads);
+
+  /// All tensors defining inference behaviour (parameters + batch-norm
+  /// running statistics), in layer order. Serialization surface.
+  void CollectStateTensors(std::vector<Matrix*>* tensors);
+
+  /// Total learnable scalar count (Table 2 of the paper).
+  size_t ParameterCount() const;
+
+  size_t num_layers() const { return layers_.size(); }
+
+  /// "Linear(128->16) -> BatchNorm -> ReLU ..." style summary.
+  std::string Summary() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace usp
+
+#endif  // USP_NN_SEQUENTIAL_H_

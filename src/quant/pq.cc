@@ -1,0 +1,169 @@
+#include "quant/pq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "baselines/kmeans.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+ProductQuantizer::ProductQuantizer(PqConfig config)
+    : config_(std::move(config)) {
+  USP_CHECK(config_.num_subspaces >= 1);
+  USP_CHECK(config_.codebook_size >= 1 && config_.codebook_size <= 256);
+}
+
+void ProductQuantizer::Train(const Matrix& data) {
+  dims_ = data.cols();
+  const size_t m = config_.num_subspaces;
+  USP_CHECK(dims_ >= m);
+  // Spread dimensions as evenly as possible over subspaces.
+  subspace_offsets_.assign(m + 1, 0);
+  for (size_t s = 0; s < m; ++s) {
+    subspace_offsets_[s + 1] =
+        subspace_offsets_[s] + dims_ / m + (s < dims_ % m ? 1 : 0);
+  }
+
+  codebooks_.clear();
+  codebooks_.reserve(m);
+  const size_t n = data.rows();
+  for (size_t s = 0; s < m; ++s) {
+    const size_t sd = SubspaceDim(s), off = SubspaceBegin(s);
+    Matrix sub(n, sd);
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(sub.Row(i), data.Row(i) + off, sd * sizeof(float));
+    }
+    KMeansConfig kc;
+    kc.num_clusters = std::min(config_.codebook_size, n);
+    kc.max_iterations = config_.kmeans_iterations;
+    kc.seed = config_.seed + 101 * s;
+    KMeansResult km = RunKMeans(sub, kc);
+
+    if (config_.anisotropic_eta > 1.0f) {
+      // Anisotropic refinement: Lloyd iterations whose assignment minimizes
+      //   eta * (r . xhat)^2 + (||r||^2 - (r . xhat)^2),
+      // i.e. residuals parallel to the point direction cost eta times more
+      // (they perturb inner-product scores); update step is the plain mean of
+      // the re-assigned points.
+      const float eta = config_.anisotropic_eta;
+      std::vector<uint32_t> assign(n, 0);
+      for (size_t iter = 0; iter < 4; ++iter) {
+        ParallelFor(n, 128, [&](size_t begin, size_t end, size_t) {
+          std::vector<float> r(sd);
+          for (size_t i = begin; i < end; ++i) {
+            const float* x = sub.Row(i);
+            const float x_norm2 = Dot(x, x, sd);
+            float best = std::numeric_limits<float>::max();
+            uint32_t best_c = 0;
+            for (size_t c = 0; c < km.centroids.rows(); ++c) {
+              const float* cw = km.centroids.Row(c);
+              float r2 = 0.0f, r_dot_x = 0.0f;
+              for (size_t j = 0; j < sd; ++j) {
+                const float rj = x[j] - cw[j];
+                r2 += rj * rj;
+                r_dot_x += rj * x[j];
+              }
+              const float par =
+                  x_norm2 > 1e-12f ? r_dot_x * r_dot_x / x_norm2 : 0.0f;
+              const float cost = eta * par + (r2 - par);
+              if (cost < best) {
+                best = cost;
+                best_c = static_cast<uint32_t>(c);
+              }
+            }
+            assign[i] = best_c;
+          }
+        });
+        // Mean update.
+        Matrix sums(km.centroids.rows(), sd);
+        std::vector<size_t> counts(km.centroids.rows(), 0);
+        for (size_t i = 0; i < n; ++i) {
+          ++counts[assign[i]];
+          const float* x = sub.Row(i);
+          float* dst = sums.Row(assign[i]);
+          for (size_t j = 0; j < sd; ++j) dst[j] += x[j];
+        }
+        for (size_t c = 0; c < km.centroids.rows(); ++c) {
+          if (counts[c] == 0) continue;
+          const float inv = 1.0f / static_cast<float>(counts[c]);
+          float* dst = km.centroids.Row(c);
+          const float* src = sums.Row(c);
+          for (size_t j = 0; j < sd; ++j) dst[j] = src[j] * inv;
+        }
+      }
+    }
+    codebooks_.push_back(std::move(km.centroids));
+  }
+}
+
+std::vector<uint8_t> ProductQuantizer::Encode(const Matrix& points) const {
+  USP_CHECK(points.cols() == dims_);
+  const size_t n = points.rows(), m = config_.num_subspaces;
+  std::vector<uint8_t> codes(n * m, 0);
+  ParallelFor(n, 128, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* x = points.Row(i);
+      for (size_t s = 0; s < m; ++s) {
+        const size_t sd = SubspaceDim(s), off = SubspaceBegin(s);
+        const Matrix& cb = codebooks_[s];
+        float best = std::numeric_limits<float>::max();
+        uint8_t best_c = 0;
+        for (size_t c = 0; c < cb.rows(); ++c) {
+          const float dist = SquaredDistance(x + off, cb.Row(c), sd);
+          if (dist < best) {
+            best = dist;
+            best_c = static_cast<uint8_t>(c);
+          }
+        }
+        codes[i * m + s] = best_c;
+      }
+    }
+  });
+  return codes;
+}
+
+std::vector<float> ProductQuantizer::BuildAdcTable(const float* query) const {
+  const size_t m = config_.num_subspaces, k = config_.codebook_size;
+  std::vector<float> table(m * k, 0.0f);
+  for (size_t s = 0; s < m; ++s) {
+    const size_t sd = SubspaceDim(s), off = SubspaceBegin(s);
+    const Matrix& cb = codebooks_[s];
+    for (size_t c = 0; c < cb.rows(); ++c) {
+      table[s * k + c] = SquaredDistance(query + off, cb.Row(c), sd);
+    }
+  }
+  return table;
+}
+
+float ProductQuantizer::AdcDistance(const std::vector<float>& table,
+                                    const uint8_t* code) const {
+  const size_t m = config_.num_subspaces, k = config_.codebook_size;
+  float total = 0.0f;
+  for (size_t s = 0; s < m; ++s) total += table[s * k + code[s]];
+  return total;
+}
+
+void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
+  for (size_t s = 0; s < config_.num_subspaces; ++s) {
+    const size_t sd = SubspaceDim(s), off = SubspaceBegin(s);
+    std::memcpy(out + off, codebooks_[s].Row(code[s]), sd * sizeof(float));
+  }
+}
+
+double ProductQuantizer::ReconstructionError(const Matrix& points) const {
+  const std::vector<uint8_t> codes = Encode(points);
+  std::vector<float> reconstructed(dims_);
+  double total = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    Decode(codes.data() + i * config_.num_subspaces, reconstructed.data());
+    total += SquaredDistance(points.Row(i), reconstructed.data(), dims_);
+  }
+  return total / static_cast<double>(points.rows());
+}
+
+}  // namespace usp

@@ -1,0 +1,76 @@
+// Product quantization with optional anisotropic (score-aware) codebook
+// training, reproducing the sketching substrate of ScaNN (Guo et al. 2020)
+// that Sec. 5.4.3 builds on.
+//
+// Vanilla PQ minimizes reconstruction error per subspace. Anisotropic
+// quantization re-weights the residual component parallel to the data point
+// (which perturbs inner-product/distance rankings) by eta > 1 relative to the
+// orthogonal component, which is ScaNN's key idea; here it enters the
+// assignment step of Lloyd iterations per subspace (see DESIGN.md for the
+// simplification relative to ScaNN's closed-form updates).
+#ifndef USP_QUANT_PQ_H_
+#define USP_QUANT_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// PQ hyperparameters.
+struct PqConfig {
+  size_t num_subspaces = 8;    ///< M; must divide into dims reasonably evenly
+  size_t codebook_size = 16;   ///< K codewords per subspace
+  size_t kmeans_iterations = 12;
+  float anisotropic_eta = 1.0f;  ///< 1.0 = vanilla PQ; >1 = ScaNN-style
+  uint64_t seed = 1;
+};
+
+/// Trained product quantizer: per-subspace codebooks + encode/ADC search.
+class ProductQuantizer {
+ public:
+  explicit ProductQuantizer(PqConfig config);
+
+  /// Learns per-subspace codebooks from `data`.
+  void Train(const Matrix& data);
+
+  /// Encodes points to (n x M) codeword ids.
+  std::vector<uint8_t> Encode(const Matrix& points) const;
+
+  /// Builds the asymmetric-distance table for one query: entry (s, c) is the
+  /// squared distance between the query's subvector s and codeword c.
+  /// Layout: table[s * codebook_size + c].
+  std::vector<float> BuildAdcTable(const float* query) const;
+
+  /// Approximate squared distance of an encoded point via table lookups.
+  float AdcDistance(const std::vector<float>& table,
+                    const uint8_t* code) const;
+
+  /// Exact reconstruction of a code (for tests / diagnostics).
+  void Decode(const uint8_t* code, float* out) const;
+
+  /// Mean squared reconstruction error over `points` (quantization quality).
+  double ReconstructionError(const Matrix& points) const;
+
+  size_t num_subspaces() const { return config_.num_subspaces; }
+  size_t codebook_size() const { return config_.codebook_size; }
+  size_t dims() const { return dims_; }
+
+ private:
+  size_t SubspaceBegin(size_t s) const { return subspace_offsets_[s]; }
+  size_t SubspaceDim(size_t s) const {
+    return subspace_offsets_[s + 1] - subspace_offsets_[s];
+  }
+
+  PqConfig config_;
+  size_t dims_ = 0;
+  std::vector<size_t> subspace_offsets_;  ///< size M+1
+  /// Codebooks: per subspace, (K x subspace_dim) row-major floats,
+  /// concatenated.
+  std::vector<Matrix> codebooks_;
+};
+
+}  // namespace usp
+
+#endif  // USP_QUANT_PQ_H_

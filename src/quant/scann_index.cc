@@ -1,0 +1,89 @@
+#include "quant/scann_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "knn/brute_force.h"
+#include "knn/top_k.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+ScannIndex::ScannIndex(const Matrix* base, const BinScorer* partitioner,
+                       ProductQuantizer quantizer, ScannIndexConfig config)
+    : base_(base),
+      partitioner_(partitioner),
+      quantizer_(std::move(quantizer)),
+      config_(config) {
+  codes_ = quantizer_.Encode(*base_);
+  if (partitioner_ != nullptr) {
+    const std::vector<uint32_t> assignments = partitioner_->AssignBins(*base_);
+    buckets_.resize(partitioner_->num_bins());
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      buckets_[assignments[i]].push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
+                                          size_t num_probes) const {
+  const size_t nq = queries.rows();
+  const size_t m_sub = quantizer_.num_subspaces();
+  BatchSearchResult result;
+  result.k = k;
+  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
+  result.candidate_counts.assign(nq, 0);
+
+  Matrix scores;
+  if (partitioner_ != nullptr) {
+    scores = partitioner_->ScoreBins(queries);
+  }
+
+  ParallelFor(nq, 4, [&](size_t begin, size_t end, size_t) {
+    std::vector<uint32_t> candidates;
+    std::vector<uint32_t> shortlist;
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.Row(q);
+      // Stage 1: candidate generation.
+      candidates.clear();
+      if (partitioner_ == nullptr) {
+        candidates.resize(base_->rows());
+        std::iota(candidates.begin(), candidates.end(), 0u);
+      } else {
+        const size_t probes = std::min(num_probes, buckets_.size());
+        const float* s = scores.Row(q);
+        std::vector<uint32_t> order(buckets_.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::partial_sort(order.begin(), order.begin() + probes, order.end(),
+                          [&](uint32_t a, uint32_t b) {
+                            if (s[a] != s[b]) return s[a] > s[b];
+                            return a < b;
+                          });
+        for (size_t p = 0; p < probes; ++p) {
+          const auto& bucket = buckets_[order[p]];
+          candidates.insert(candidates.end(), bucket.begin(), bucket.end());
+        }
+      }
+      result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
+
+      // Stage 2: ADC scoring, keep the best rerank_budget approximate hits.
+      const std::vector<float> table = quantizer_.BuildAdcTable(query);
+      TopK approx(std::max(k, config_.rerank_budget));
+      for (uint32_t id : candidates) {
+        approx.Push(quantizer_.AdcDistance(table, codes_.data() + id * m_sub),
+                    id);
+      }
+      auto top_approx = approx.TakeSorted();
+      shortlist.clear();
+      for (const auto& cand : top_approx) shortlist.push_back(cand.id);
+
+      // Stage 3: exact re-rank of the shortlist.
+      const auto top = RerankCandidates(*base_, query, shortlist, k);
+      std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
+    }
+  });
+  return result;
+}
+
+}  // namespace usp

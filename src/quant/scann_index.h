@@ -1,0 +1,49 @@
+// ScaNN-style two-stage index (Sec. 5.4.3): optional space partition for
+// candidate generation, anisotropic-PQ ADC scoring inside the candidate set,
+// and exact re-ranking of the top scores. Swapping the partitioner between
+// nullptr (vanilla ScaNN: full ADC scan), K-means, and USP reproduces the
+// "ScaNN / K-means + ScaNN / USP + ScaNN" rows of Fig. 7.
+#ifndef USP_QUANT_SCANN_INDEX_H_
+#define USP_QUANT_SCANN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bin_scorer.h"
+#include "core/partition_index.h"
+#include "quant/pq.h"
+
+namespace usp {
+
+/// Search knobs of the ScaNN-like pipeline.
+struct ScannIndexConfig {
+  size_t rerank_budget = 100;  ///< exact-distance re-ranks per query
+};
+
+/// Immutable index. Base matrix and partitioner must outlive the index.
+class ScannIndex {
+ public:
+  /// `partitioner == nullptr` means exhaustive ADC scan (vanilla ScaNN).
+  ScannIndex(const Matrix* base, const BinScorer* partitioner,
+             ProductQuantizer quantizer, ScannIndexConfig config);
+
+  /// k-NN search: probe -> ADC score -> exact rerank of the best
+  /// `rerank_budget` candidates.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+                                size_t num_probes) const;
+
+  const ProductQuantizer& quantizer() const { return quantizer_; }
+  bool has_partition() const { return partitioner_ != nullptr; }
+
+ private:
+  const Matrix* base_;
+  const BinScorer* partitioner_;
+  ProductQuantizer quantizer_;
+  ScannIndexConfig config_;
+  std::vector<uint8_t> codes_;                  ///< (n x M) PQ codes
+  std::vector<std::vector<uint32_t>> buckets_;  ///< empty when no partition
+};
+
+}  // namespace usp
+
+#endif  // USP_QUANT_SCANN_INDEX_H_

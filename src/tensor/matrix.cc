@@ -1,0 +1,35 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace usp {
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, Rng* rng, float mean,
+                              float stddev) {
+  Matrix m(rows, cols);
+  rng->FillGaussian(m.data(), m.size(), mean, stddev);
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, Rng* rng, float lo,
+                             float hi) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->UniformFloat(lo, hi);
+  return m;
+}
+
+Matrix Matrix::GatherRows(const std::vector<uint32_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    USP_CHECK(indices[i] < rows_);
+    std::memcpy(out.Row(i), Row(indices[i]), cols_ * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace usp

@@ -1,0 +1,75 @@
+// Dense row-major float32 matrix. The single numeric container used by the
+// dataset, k-NN, neural-net and quantization modules.
+#ifndef USP_TENSOR_MATRIX_H_
+#define USP_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace usp {
+
+/// Row-major matrix of float. Rows are points/examples; columns are features.
+/// Cheap to move, explicit to copy (use Clone) to keep large-data copies
+/// visible at call sites.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Matrix(size_t rows, size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    USP_CHECK(data_.size() == rows_ * cols_);
+  }
+
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+  Matrix(const Matrix&) = delete;
+  Matrix& operator=(const Matrix&) = delete;
+
+  /// Explicit deep copy.
+  Matrix Clone() const { return Matrix(rows_, cols_, data_); }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* Row(size_t i) { return data_.data() + i * cols_; }
+  const float* Row(size_t i) const { return data_.data() + i * cols_; }
+
+  float& operator()(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  float operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// All-zeros matrix.
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// iid N(mean, stddev) entries from `rng`.
+  static Matrix RandomGaussian(size_t rows, size_t cols, Rng* rng,
+                               float mean = 0.0f, float stddev = 1.0f);
+
+  /// iid U[lo, hi) entries from `rng`.
+  static Matrix RandomUniform(size_t rows, size_t cols, Rng* rng, float lo,
+                              float hi);
+
+  /// New matrix holding the selected rows (gather).
+  Matrix GatherRows(const std::vector<uint32_t>& indices) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace usp
+
+#endif  // USP_TENSOR_MATRIX_H_

@@ -1,0 +1,212 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "util/thread_pool.h"
+
+namespace usp {
+
+namespace {
+constexpr size_t kRowGrain = 16;  // min rows per parallel chunk
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  USP_CHECK(a.cols() == b.rows());
+  USP_CHECK(c->rows() == a.rows() && c->cols() == b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  ParallelFor(n, kRowGrain, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      float* ci = c->Row(i);
+      std::memset(ci, 0, m * sizeof(float));
+      const float* ai = a.Row(i);
+      for (size_t p = 0; p < k; ++p) {
+        const float aip = ai[p];
+        if (aip == 0.0f) continue;
+        const float* bp = b.Row(p);
+        for (size_t j = 0; j < m; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  });
+}
+
+void GemmTransposedB(const Matrix& a, const Matrix& b, Matrix* c) {
+  USP_CHECK(a.cols() == b.cols());
+  USP_CHECK(c->rows() == a.rows() && c->cols() == b.rows());
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  ParallelFor(n, kRowGrain, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* ai = a.Row(i);
+      float* ci = c->Row(i);
+      for (size_t j = 0; j < m; ++j) ci[j] = Dot(ai, b.Row(j), k);
+    }
+  });
+}
+
+void GemmTransposedA(const Matrix& a, const Matrix& b, Matrix* c) {
+  USP_CHECK(a.rows() == b.rows());
+  USP_CHECK(c->rows() == a.cols() && c->cols() == b.cols());
+  const size_t k = a.rows(), n = a.cols(), m = b.cols();
+  // Parallelize over output rows (columns of A): each worker owns disjoint
+  // rows of C, so no synchronization is needed.
+  ParallelFor(n, kRowGrain, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      float* ci = c->Row(i);
+      std::memset(ci, 0, m * sizeof(float));
+      for (size_t p = 0; p < k; ++p) {
+        const float api = a(p, i);
+        if (api == 0.0f) continue;
+        const float* bp = b.Row(p);
+        for (size_t j = 0; j < m; ++j) ci[j] += api * bp[j];
+      }
+    }
+  });
+}
+
+void RowSquaredNorms(const Matrix& m, std::vector<float>* out) {
+  out->resize(m.rows());
+  ParallelFor(m.rows(), 64, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      (*out)[i] = Dot(m.Row(i), m.Row(i), m.cols());
+    }
+  });
+}
+
+void PairwiseSquaredDistances(const Matrix& a, const Matrix& b, Matrix* dist) {
+  USP_CHECK(a.cols() == b.cols());
+  USP_CHECK(dist->rows() == a.rows() && dist->cols() == b.rows());
+  std::vector<float> a_norms, b_norms;
+  RowSquaredNorms(a, &a_norms);
+  RowSquaredNorms(b, &b_norms);
+  GemmTransposedB(a, b, dist);
+  ParallelFor(a.rows(), kRowGrain, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = dist->Row(i);
+      const float an = a_norms[i];
+      for (size_t j = 0; j < b.rows(); ++j) {
+        row[j] = std::max(0.0f, an + b_norms[j] - 2.0f * row[j]);
+      }
+    }
+  });
+}
+
+float SquaredDistance(const float* x, const float* y, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = x[i] - y[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+float Dot(const float* x, const float* y, size_t d) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    acc0 += x[i] * y[i];
+    acc1 += x[i + 1] * y[i + 1];
+    acc2 += x[i + 2] * y[i + 2];
+    acc3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < d; ++i) acc0 += x[i] * y[i];
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+void SoftmaxRows(Matrix* m) {
+  ParallelFor(m->rows(), 64, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = m->Row(i);
+      const size_t c = m->cols();
+      float mx = row[0];
+      for (size_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (size_t j = 0; j < c; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        sum += row[j];
+      }
+      const float inv = 1.0f / sum;
+      for (size_t j = 0; j < c; ++j) row[j] *= inv;
+    }
+  });
+}
+
+void LogSoftmaxRows(const Matrix& in, Matrix* out) {
+  USP_CHECK(in.rows() == out->rows() && in.cols() == out->cols());
+  ParallelFor(in.rows(), 64, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* src = in.Row(i);
+      float* dst = out->Row(i);
+      const size_t c = in.cols();
+      float mx = src[0];
+      for (size_t j = 1; j < c; ++j) mx = std::max(mx, src[j]);
+      float sum = 0.0f;
+      for (size_t j = 0; j < c; ++j) sum += std::exp(src[j] - mx);
+      const float log_sum = std::log(sum) + mx;
+      for (size_t j = 0; j < c; ++j) dst[j] = src[j] - log_sum;
+    }
+  });
+}
+
+std::vector<uint32_t> ArgmaxRows(const Matrix& m) {
+  std::vector<uint32_t> out(m.rows());
+  ParallelFor(m.rows(), 64, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      const float* row = m.Row(i);
+      uint32_t best = 0;
+      for (size_t j = 1; j < m.cols(); ++j) {
+        if (row[j] > row[best]) best = static_cast<uint32_t>(j);
+      }
+      out[i] = best;
+    }
+  });
+  return out;
+}
+
+std::vector<uint8_t> ColumnTopKMask(const Matrix& m, size_t k) {
+  const size_t rows = m.rows(), cols = m.cols();
+  std::vector<uint8_t> mask(rows * cols, 0);
+  k = std::min(k, rows);
+  if (k == 0) return mask;
+  ParallelFor(cols, 1, [&](size_t begin, size_t end, size_t) {
+    std::vector<uint32_t> order(rows);
+    for (size_t j = begin; j < end; ++j) {
+      std::iota(order.begin(), order.end(), 0u);
+      std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         const float va = m(a, j), vb = m(b, j);
+                         if (va != vb) return va > vb;
+                         return a < b;  // deterministic tie-break
+                       });
+      for (size_t r = 0; r < k; ++r) mask[order[r] * cols + j] = 1;
+    }
+  });
+  return mask;
+}
+
+double MaskedSum(const Matrix& m, const std::vector<uint8_t>& mask) {
+  USP_CHECK(mask.size() == m.size());
+  double total = 0.0;
+  const float* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (mask[i]) total += data[i];
+  }
+  return total;
+}
+
+void Axpy(float alpha, const Matrix& x, Matrix* y) {
+  USP_CHECK(x.rows() == y->rows() && x.cols() == y->cols());
+  float* yd = y->data();
+  const float* xd = x.data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+double Mean(const Matrix& m) {
+  if (m.size() == 0) return 0.0;
+  double sum = std::accumulate(m.data(), m.data() + m.size(), 0.0);
+  return sum / static_cast<double>(m.size());
+}
+
+}  // namespace usp

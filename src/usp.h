@@ -1,0 +1,41 @@
+// Umbrella header for the USP library: everything a downstream application
+// needs to build, query, and evaluate unsupervised space-partitioning ANN
+// indexes. Individual module headers remain includable on their own.
+#ifndef USP_USP_H_
+#define USP_USP_H_
+
+// Core contribution (EDBT 2023 paper).
+#include "core/bin_scorer.h"
+#include "core/ensemble.h"
+#include "core/hierarchical.h"
+#include "core/loss.h"
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+
+// Data: generators, IO, workloads with ground truth.
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "dataset/workload.h"
+
+// Exact search substrate.
+#include "knn/brute_force.h"
+
+// Baselines and companion indexes.
+#include "baselines/cross_polytope_lsh.h"
+#include "baselines/kmeans.h"
+#include "baselines/partition_tree.h"
+#include "graphpart/neural_lsh.h"
+#include "graphpart/regression_lsh.h"
+#include "hnsw/hnsw.h"
+#include "ivf/ivf.h"
+#include "quant/scann_index.h"
+
+// Clustering mode (Table 5).
+#include "cluster/dbscan.h"
+#include "cluster/metrics.h"
+#include "cluster/spectral.h"
+
+// Evaluation harness.
+#include "eval/sweep.h"
+
+#endif  // USP_USP_H_

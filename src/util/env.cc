@@ -1,0 +1,31 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace usp {
+
+int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw) return default_value;
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw) return default_value;
+  return parsed;
+}
+
+std::string EnvString(const char* name, const std::string& default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return default_value;
+  return raw;
+}
+
+}  // namespace usp

@@ -1,0 +1,24 @@
+// Environment-variable configuration used by benchmarks so dataset scale can
+// be raised (e.g. to full SIFT1M) without recompiling.
+#ifndef USP_UTIL_ENV_H_
+#define USP_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace usp {
+
+/// Returns the integer value of environment variable `name`, or
+/// `default_value` when unset or unparsable.
+int64_t EnvInt(const char* name, int64_t default_value);
+
+/// Returns the double value of environment variable `name`, or
+/// `default_value` when unset or unparsable.
+double EnvDouble(const char* name, double default_value);
+
+/// Returns environment variable `name` or `default_value` when unset.
+std::string EnvString(const char* name, const std::string& default_value);
+
+}  // namespace usp
+
+#endif  // USP_UTIL_ENV_H_

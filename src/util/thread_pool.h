@@ -1,0 +1,59 @@
+// Work-sharing thread pool. All data-parallel loops in the library (GEMM,
+// brute-force kNN, k-means assignment, graph refinement) go through
+// ParallelFor so thread count is controlled in one place.
+#ifndef USP_UTIL_THREAD_POOL_H_
+#define USP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace usp {
+
+/// Fixed-size pool of worker threads executing submitted closures.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide default pool (lazily constructed, sized to the machine).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, count) into contiguous chunks and runs
+/// `body(begin, end, worker_index)` across the global pool. Runs inline when
+/// `count` is small or the pool has one thread, so it is safe to call from
+/// anywhere (but not recursively from within another ParallelFor body).
+void ParallelFor(size_t count, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
+}  // namespace usp
+
+#endif  // USP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,29 @@
+// Monotonic wall-clock timing for experiment reporting.
+#ifndef USP_UTIL_TIMER_H_
+#define USP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace usp {
+
+/// Stopwatch measuring elapsed wall time since construction or Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace usp
+
+#endif  // USP_UTIL_TIMER_H_

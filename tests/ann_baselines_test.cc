@@ -1,0 +1,149 @@
+// Tests for hnsw/ and ivf/: index construction invariants and recall floors
+// on clustered workloads.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/workload.h"
+#include "hnsw/hnsw.h"
+#include "ivf/ivf.h"
+
+namespace usp {
+namespace {
+
+const Workload& AnnWorkload() {
+  static const Workload* w = [] {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kGaussian;
+    spec.num_base = 1500;
+    spec.num_queries = 60;
+    spec.gt_k = 10;
+    spec.knn_k = 10;
+    spec.seed = 41;
+    return new Workload(MakeWorkload(spec));
+  }();
+  return *w;
+}
+
+TEST(HnswTest, BuildsAllNodes) {
+  const Workload& w = AnnWorkload();
+  HnswConfig config;
+  config.seed = 1;
+  HnswIndex index(config);
+  index.Build(w.base);
+  EXPECT_EQ(index.size(), w.base.rows());
+  EXPECT_GE(index.max_level(), 1);
+}
+
+TEST(HnswTest, HighRecallAtLargeEf) {
+  const Workload& w = AnnWorkload();
+  HnswConfig config;
+  config.max_neighbors = 16;
+  config.ef_construction = 120;
+  config.seed = 2;
+  HnswIndex index(config);
+  index.Build(w.base);
+  const auto result = index.SearchBatch(w.queries, 10, 200);
+  EXPECT_GT(KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+            0.9);
+}
+
+TEST(HnswTest, EfTradesAccuracyForWork) {
+  const Workload& w = AnnWorkload();
+  HnswConfig config;
+  config.seed = 3;
+  HnswIndex index(config);
+  index.Build(w.base);
+  const auto cheap = index.SearchBatch(w.queries, 10, 10);
+  const auto thorough = index.SearchBatch(w.queries, 10, 150);
+  EXPECT_GE(KnnAccuracy(thorough, w.ground_truth.indices, w.ground_truth.k),
+            KnnAccuracy(cheap, w.ground_truth.indices, w.ground_truth.k));
+  EXPECT_GT(thorough.MeanCandidates(), cheap.MeanCandidates());
+}
+
+TEST(HnswTest, SingleQueryMatchesBatch) {
+  const Workload& w = AnnWorkload();
+  HnswConfig config;
+  config.seed = 4;
+  HnswIndex index(config);
+  index.Build(w.base);
+  const auto batch = index.SearchBatch(w.queries, 5, 60);
+  for (size_t q = 0; q < 5; ++q) {
+    const auto single = index.Search(w.queries.Row(q), 5, 60);
+    ASSERT_EQ(single.size(), 5u);
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(single[j], batch.ids[q * 5 + j]);
+    }
+  }
+}
+
+TEST(HnswTest, ExactNeighborOfBasePointIsFound) {
+  const Workload& w = AnnWorkload();
+  HnswConfig config;
+  config.seed = 5;
+  HnswIndex index(config);
+  index.Build(w.base);
+  // Querying with a base point itself must return that point first.
+  for (size_t i = 0; i < 20; ++i) {
+    const auto result = index.Search(w.base.Row(i), 1, 50);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0], i);
+  }
+}
+
+TEST(IvfFlatTest, NprobeSweepIsMonotone) {
+  const Workload& w = AnnWorkload();
+  IvfConfig config;
+  config.nlist = 32;
+  config.seed = 6;
+  IvfFlatIndex index(&w.base, config);
+  double prev = -1.0;
+  for (size_t nprobe : {1, 4, 16, 32}) {
+    const auto result = index.SearchBatch(w.queries, 10, nprobe);
+    const double accuracy =
+        KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k);
+    EXPECT_GE(accuracy, prev);
+    prev = accuracy;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // all lists probed == exact
+}
+
+TEST(IvfFlatTest, FewProbesScanFraction) {
+  const Workload& w = AnnWorkload();
+  IvfConfig config;
+  config.nlist = 32;
+  config.seed = 7;
+  IvfFlatIndex index(&w.base, config);
+  const auto result = index.SearchBatch(w.queries, 10, 2);
+  EXPECT_LT(result.MeanCandidates(), 0.3 * w.base.rows());
+}
+
+TEST(IvfPqTest, ReachesReasonableRecall) {
+  const Workload& w = AnnWorkload();
+  IvfConfig config;
+  config.nlist = 16;
+  config.seed = 8;
+  config.pq.num_subspaces = 8;
+  config.pq.codebook_size = 32;
+  config.rerank_budget = 100;
+  IvfPqIndex index(&w.base, config);
+  const auto result = index.SearchBatch(w.queries, 10, 8);
+  EXPECT_GT(KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+            0.6);
+}
+
+TEST(IvfPqTest, ResultsAreValidIds) {
+  const Workload& w = AnnWorkload();
+  IvfConfig config;
+  config.nlist = 8;
+  config.seed = 9;
+  config.pq.num_subspaces = 4;
+  IvfPqIndex index(&w.base, config);
+  const auto result = index.SearchBatch(w.queries, 10, 2);
+  for (uint32_t id : result.ids) {
+    EXPECT_LT(id, w.base.rows());
+  }
+}
+
+}  // namespace
+}  // namespace usp

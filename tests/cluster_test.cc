@@ -1,0 +1,146 @@
+// Tests for cluster/: DBSCAN on planted densities, spectral clustering on the
+// non-convex Table-5 shapes, and the external metrics (ARI/NMI/purity)
+// against hand-computed values.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.h"
+#include "cluster/metrics.h"
+#include "cluster/spectral.h"
+#include "dataset/synthetic.h"
+
+namespace usp {
+namespace {
+
+TEST(DbscanTest, SeparatesTwoDenseBlobs) {
+  const LabeledDataset ds = MakeGaussianMixture(300, 2, 2, 50.0f, 0.5f, 1);
+  DbscanConfig config;
+  config.epsilon = 2.0f;
+  config.min_points = 4;
+  const DbscanResult result = RunDbscan(ds.points, config);
+  EXPECT_EQ(result.num_clusters, 2u);
+  // Predicted clusters align with generative labels.
+  const auto dense = DensifyLabels(result.labels);
+  EXPECT_GT(AdjustedRandIndex(ds.labels, dense), 0.95);
+}
+
+TEST(DbscanTest, MarksIsolatedPointsAsNoise) {
+  Matrix points(12, 2);
+  // Dense cluster of 10 near origin + 2 far isolated points.
+  Rng rng(2);
+  for (size_t i = 0; i < 10; ++i) {
+    points(i, 0) = 0.1f * static_cast<float>(rng.Gaussian());
+    points(i, 1) = 0.1f * static_cast<float>(rng.Gaussian());
+  }
+  points(10, 0) = 100.0f;
+  points(11, 0) = -100.0f;
+  DbscanConfig config;
+  config.epsilon = 1.0f;
+  config.min_points = 4;
+  const DbscanResult result = RunDbscan(points, config);
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_EQ(result.labels[10], kDbscanNoise);
+  EXPECT_EQ(result.labels[11], kDbscanNoise);
+}
+
+TEST(DbscanTest, MoonsAreRecoveredDensityBased) {
+  const LabeledDataset moons = MakeMoons(500, 0.04f, 3);
+  DbscanConfig config;
+  config.epsilon = 0.18f;
+  config.min_points = 5;
+  const DbscanResult result = RunDbscan(moons.points, config);
+  const auto dense = DensifyLabels(result.labels);
+  EXPECT_GT(AdjustedRandIndex(moons.labels, dense), 0.9);
+}
+
+TEST(SpectralTest, RecoversConcentricCircles) {
+  // The canonical K-means failure case that spectral clustering solves.
+  const LabeledDataset circles = MakeCircles(400, 0.02f, 0.4f, 4);
+  SpectralConfig config;
+  config.num_clusters = 2;
+  config.graph_neighbors = 8;
+  config.seed = 5;
+  const auto labels = RunSpectralClustering(circles.points, config);
+  EXPECT_GT(AdjustedRandIndex(circles.labels, labels), 0.9);
+}
+
+TEST(SpectralTest, RecoversMoons) {
+  const LabeledDataset moons = MakeMoons(400, 0.04f, 6);
+  SpectralConfig config;
+  config.num_clusters = 2;
+  config.graph_neighbors = 10;
+  config.seed = 7;
+  const auto labels = RunSpectralClustering(moons.points, config);
+  EXPECT_GT(AdjustedRandIndex(moons.labels, labels), 0.9);
+}
+
+TEST(SpectralTest, LabelsWithinRange) {
+  const LabeledDataset ds = MakeGaussianMixture(150, 3, 3, 20.0f, 1.0f, 8);
+  SpectralConfig config;
+  config.num_clusters = 3;
+  const auto labels = RunSpectralClustering(ds.points, config);
+  for (uint32_t l : labels) EXPECT_LT(l, 3u);
+}
+
+TEST(MetricsTest, AriPerfectAndPermuted) {
+  const std::vector<uint32_t> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, truth), 1.0);
+  // Permuting cluster names does not change ARI.
+  const std::vector<uint32_t> permuted = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, permuted), 1.0);
+}
+
+TEST(MetricsTest, AriNearZeroForRandomLabels) {
+  Rng rng(9);
+  std::vector<uint32_t> truth(2000), predicted(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    truth[i] = static_cast<uint32_t>(rng.UniformInt(4));
+    predicted[i] = static_cast<uint32_t>(rng.UniformInt(4));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(truth, predicted), 0.0, 0.05);
+}
+
+TEST(MetricsTest, AriHandComputedSplit) {
+  // truth: {a,a,a,b,b,b}; predicted splits one cluster.
+  const std::vector<uint32_t> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<uint32_t> predicted = {0, 0, 1, 2, 2, 2};
+  const double ari = AdjustedRandIndex(truth, predicted);
+  EXPECT_GT(ari, 0.3);
+  EXPECT_LT(ari, 1.0);
+}
+
+TEST(MetricsTest, NmiBounds) {
+  const std::vector<uint32_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(truth, truth), 1.0);
+  const std::vector<uint32_t> constant = {0, 0, 0, 0};
+  EXPECT_LE(NormalizedMutualInformation(truth, constant), 1e-9);
+}
+
+TEST(MetricsTest, NmiInvariantToRelabeling) {
+  const std::vector<uint32_t> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<uint32_t> relabeled = {5, 5, 3, 3, 0, 0};
+  // Densify first (NMI implementation expects dense-ish ids for efficiency).
+  std::vector<int32_t> as_int(relabeled.begin(), relabeled.end());
+  EXPECT_NEAR(NormalizedMutualInformation(truth, DensifyLabels(as_int)), 1.0,
+              1e-9);
+}
+
+TEST(MetricsTest, PurityMajorityFraction) {
+  // Cluster 0: {a, a, b} -> 2/3 pure; cluster 1: {b} -> pure.
+  const std::vector<uint32_t> truth = {0, 0, 1, 1};
+  const std::vector<uint32_t> predicted = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(Purity(truth, predicted), 3.0 / 4.0);
+}
+
+TEST(MetricsTest, DensifyMapsNoiseAndIds) {
+  const std::vector<int32_t> labels = {-1, 3, 3, -1, 7};
+  const auto dense = DensifyLabels(labels);
+  EXPECT_EQ(dense[0], dense[3]);
+  EXPECT_EQ(dense[1], dense[2]);
+  std::set<uint32_t> unique(dense.begin(), dense.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+}  // namespace
+}  // namespace usp

@@ -1,0 +1,209 @@
+// Tests for core/loss.*: target construction, loss values on hand-computable
+// cases, finite-difference validation of the full gradient (quality +
+// balance, through the softmax), and behavioral properties (balanced
+// partitions score lower balance cost, co-located neighbors score lower
+// quality cost).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/loss.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace usp {
+namespace {
+
+TEST(NeighborTargetsTest, HistogramIsRowStochastic) {
+  // 2 points, 4 neighbors each, 3 bins.
+  const std::vector<uint32_t> neighbor_bins = {0, 0, 1, 2, 1, 1, 1, 1};
+  const Matrix targets = BuildNeighborBinTargets(neighbor_bins, 2, 4, 3);
+  EXPECT_FLOAT_EQ(targets(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(targets(0, 1), 0.25f);
+  EXPECT_FLOAT_EQ(targets(0, 2), 0.25f);
+  EXPECT_FLOAT_EQ(targets(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(targets(1, 0), 0.0f);
+}
+
+TEST(NeighborTargetsTest, SoftTargetsAverageNeighborRows) {
+  Matrix neighbor_probs(4, 2);  // 2 points x 2 neighbors
+  neighbor_probs(0, 0) = 1.0f;
+  neighbor_probs(1, 1) = 1.0f;
+  neighbor_probs(2, 0) = 0.5f;
+  neighbor_probs(2, 1) = 0.5f;
+  neighbor_probs(3, 0) = 0.5f;
+  neighbor_probs(3, 1) = 0.5f;
+  const Matrix targets = BuildSoftNeighborBinTargets(neighbor_probs, 2, 2);
+  EXPECT_FLOAT_EQ(targets(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(targets(0, 1), 0.5f);
+  EXPECT_FLOAT_EQ(targets(1, 0), 0.5f);
+}
+
+TEST(UspLossTest, PerfectPredictionHasLowQualityCost) {
+  // Logits strongly favoring the target bin -> CE near 0.
+  const size_t batch = 4, m = 3;
+  Matrix logits(batch, m);
+  Matrix targets(batch, m);
+  for (size_t i = 0; i < batch; ++i) {
+    const size_t bin = i % m;
+    logits(i, bin) = 20.0f;
+    targets(i, bin) = 1.0f;
+  }
+  Matrix grad;
+  const LossParts parts =
+      UspLoss(logits, targets, nullptr, {m, 0.0f}, &grad);
+  EXPECT_LT(parts.quality, 1e-3);
+}
+
+TEST(UspLossTest, UniformPredictionQualityIsLogM) {
+  const size_t batch = 6, m = 4;
+  Matrix logits(batch, m);  // all-zero logits -> uniform softmax
+  Matrix targets(batch, m);
+  for (size_t i = 0; i < batch; ++i) targets(i, i % m) = 1.0f;
+  Matrix grad;
+  const LossParts parts = UspLoss(logits, targets, nullptr, {m, 0.0f}, &grad);
+  EXPECT_NEAR(parts.quality, std::log(double(m)), 1e-5);
+}
+
+TEST(UspLossTest, BalancedAssignmentScoresLowBalanceCost) {
+  // Perfectly balanced confident assignment: each bin gets batch/m points.
+  const size_t batch = 8, m = 4;
+  Matrix balanced(batch, m);
+  for (size_t i = 0; i < batch; ++i) balanced(i, i % m) = 30.0f;
+  // Collapsed: everything in bin 0.
+  Matrix collapsed(batch, m);
+  for (size_t i = 0; i < batch; ++i) collapsed(i, 0) = 30.0f;
+  Matrix targets(batch, m);
+  for (size_t i = 0; i < batch; ++i) targets(i, 0) = 1.0f;
+
+  Matrix grad;
+  const LossParts lp_balanced =
+      UspLoss(balanced, targets, nullptr, {m, 1.0f}, &grad);
+  const LossParts lp_collapsed =
+      UspLoss(collapsed, targets, nullptr, {m, 1.0f}, &grad);
+  EXPECT_LT(lp_balanced.balance, 0.05);
+  EXPECT_GT(lp_collapsed.balance, 0.5);
+}
+
+TEST(UspLossTest, WeightsScaleQualityContribution) {
+  const size_t batch = 2, m = 2;
+  Matrix logits(batch, m);  // uniform
+  Matrix targets(batch, m);
+  targets(0, 0) = 1.0f;
+  targets(1, 0) = 1.0f;
+  Matrix grad;
+  const std::vector<float> uniform_weights = {1.0f, 1.0f};
+  const std::vector<float> doubled = {2.0f, 2.0f};
+  const LossParts base =
+      UspLoss(logits, targets, &uniform_weights, {m, 0.0f}, &grad);
+  const LossParts heavy =
+      UspLoss(logits, targets, &doubled, {m, 0.0f}, &grad);
+  EXPECT_NEAR(heavy.quality, 2.0 * base.quality, 1e-6);
+}
+
+TEST(UspLossTest, TotalCombinesTermsWithEta) {
+  Rng rng(3);
+  const size_t batch = 10, m = 5;
+  const Matrix logits = Matrix::RandomGaussian(batch, m, &rng);
+  Matrix targets(batch, m);
+  for (size_t i = 0; i < batch; ++i) targets(i, i % m) = 1.0f;
+  Matrix grad;
+  const UspLossConfig config{m, 3.5f};
+  const LossParts parts = UspLoss(logits, targets, nullptr, config, &grad);
+  EXPECT_NEAR(parts.total, parts.quality + 3.5 * parts.balance, 1e-9);
+}
+
+// Numeric loss evaluation for finite differences (recomputes everything).
+double NumericLoss(const Matrix& logits, const Matrix& targets,
+                   const std::vector<float>* weights,
+                   const UspLossConfig& config) {
+  Matrix grad;
+  return UspLoss(logits, targets, weights, config, &grad).total;
+}
+
+class UspLossGradientTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(UspLossGradientTest, MatchesFiniteDifferences) {
+  const float eta = GetParam();
+  Rng rng(11 + static_cast<uint64_t>(eta * 10));
+  const size_t batch = 12, m = 4;
+  Matrix logits = Matrix::RandomGaussian(batch, m, &rng);
+  Matrix targets(batch, m);
+  // Random row-stochastic targets.
+  for (size_t i = 0; i < batch; ++i) {
+    float sum = 0.0f;
+    for (size_t j = 0; j < m; ++j) {
+      targets(i, j) = static_cast<float>(rng.Uniform()) + 0.01f;
+      sum += targets(i, j);
+    }
+    for (size_t j = 0; j < m; ++j) targets(i, j) /= sum;
+  }
+  std::vector<float> weights(batch);
+  for (auto& w : weights) w = static_cast<float>(rng.Uniform()) + 0.5f;
+
+  const UspLossConfig config{m, eta};
+  Matrix grad;
+  UspLoss(logits, targets, &weights, config, &grad);
+
+  // The balance term's top-k window makes the loss piecewise; perturbations
+  // that flip window membership create kinks. Use a small epsilon and a
+  // tolerance that absorbs occasional boundary noise.
+  const double eps = 1e-3;
+  size_t checked = 0, close = 0;
+  for (size_t idx = 0; idx < logits.size(); ++idx) {
+    const float original = logits.data()[idx];
+    logits.data()[idx] = original + static_cast<float>(eps);
+    const double plus = NumericLoss(logits, targets, &weights, config);
+    logits.data()[idx] = original - static_cast<float>(eps);
+    const double minus = NumericLoss(logits, targets, &weights, config);
+    logits.data()[idx] = original;
+    const double numeric = (plus - minus) / (2 * eps);
+    ++checked;
+    if (std::abs(grad.data()[idx] - numeric) < 5e-3) ++close;
+  }
+  // Require near-universal agreement (window-boundary kinks may break a few).
+  EXPECT_GE(close, checked - 3)
+      << "only " << close << "/" << checked << " gradients matched";
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, UspLossGradientTest,
+                         ::testing::Values(0.0f, 1.0f, 7.0f, 30.0f));
+
+TEST(UspLossTest, GradientDescentReducesLoss) {
+  // Pure sanity: stepping against the gradient lowers the loss.
+  Rng rng(21);
+  const size_t batch = 16, m = 4;
+  Matrix logits = Matrix::RandomGaussian(batch, m, &rng);
+  Matrix targets(batch, m);
+  for (size_t i = 0; i < batch; ++i) targets(i, (i * 7) % m) = 1.0f;
+  const UspLossConfig config{m, 2.0f};
+  Matrix grad;
+  double prev = UspLoss(logits, targets, nullptr, config, &grad).total;
+  for (int step = 0; step < 50; ++step) {
+    for (size_t i = 0; i < logits.size(); ++i) {
+      logits.data()[i] -= 5.0f * grad.data()[i];
+    }
+    const double now = UspLoss(logits, targets, nullptr, config, &grad).total;
+    prev = now;
+  }
+  Matrix final_grad;
+  const double final_loss =
+      UspLoss(logits, targets, nullptr, config, &final_grad).total;
+  Matrix fresh = Matrix::RandomGaussian(batch, m, &rng);
+  const double fresh_loss =
+      UspLoss(fresh, targets, nullptr, config, &final_grad).total;
+  EXPECT_LT(final_loss, fresh_loss);
+}
+
+TEST(ExactQualityCostTest, CountsMisplacedNeighbors) {
+  // 3 points, 2 neighbors each.
+  const std::vector<uint32_t> point_bins = {0, 0, 1};
+  const std::vector<uint32_t> neighbor_bins = {0, 1,   // point 0: one misplaced
+                                               0, 0,   // point 1: none
+                                               1, 0};  // point 2: one misplaced
+  EXPECT_DOUBLE_EQ(ExactQualityCost(point_bins, neighbor_bins, 3, 2),
+                   2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace usp

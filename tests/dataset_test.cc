@@ -1,0 +1,204 @@
+// Tests for dataset/: generator shapes/properties, fvecs/ivecs round trips,
+// and workload construction invariants.
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "dataset/workload.h"
+
+namespace usp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SyntheticTest, GaussianMixtureShapesAndLabels) {
+  const LabeledDataset ds = MakeGaussianMixture(500, 8, 4, 10.0f, 0.5f, 1);
+  EXPECT_EQ(ds.points.rows(), 500u);
+  EXPECT_EQ(ds.points.cols(), 8u);
+  EXPECT_EQ(ds.labels.size(), 500u);
+  std::set<uint32_t> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_LE(labels.size(), 4u);
+  EXPECT_GE(labels.size(), 2u);
+}
+
+TEST(SyntheticTest, GaussianMixtureClustersAreCompact) {
+  const LabeledDataset ds = MakeGaussianMixture(400, 4, 2, 100.0f, 0.1f, 2);
+  // Points sharing a label should be far closer than points across labels.
+  double intra = 0.0, inter = 0.0;
+  size_t intra_n = 0, inter_n = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = i + 1; j < 100; ++j) {
+      double dist = 0.0;
+      for (size_t t = 0; t < 4; ++t) {
+        const double diff = ds.points(i, t) - ds.points(j, t);
+        dist += diff * diff;
+      }
+      if (ds.labels[i] == ds.labels[j]) {
+        intra += dist;
+        ++intra_n;
+      } else {
+        inter += dist;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0u);
+  ASSERT_GT(inter_n, 0u);
+  EXPECT_LT(intra / intra_n, inter / inter_n / 10.0);
+}
+
+TEST(SyntheticTest, SiftLikeIsNonNegative128d) {
+  const Matrix data = MakeSiftLike(300, 3);
+  EXPECT_EQ(data.cols(), 128u);
+  for (size_t i = 0; i < data.size(); ++i) EXPECT_GE(data.data()[i], 0.0f);
+}
+
+TEST(SyntheticTest, MnistLikeIsSparse784d) {
+  const Matrix data = MakeMnistLike(200, 4);
+  EXPECT_EQ(data.cols(), 784u);
+  size_t zeroish = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_GE(data.data()[i], 0.0f);
+    EXPECT_LE(data.data()[i], 255.0f);
+    if (data.data()[i] < 1.0f) ++zeroish;
+  }
+  // Most coordinates are background.
+  EXPECT_GT(zeroish, data.size() / 2);
+}
+
+TEST(SyntheticTest, GeneratorsAreDeterministic) {
+  const Matrix a = MakeSiftLike(50, 77);
+  const Matrix b = MakeSiftLike(50, 77);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(SyntheticTest, MoonsAreTwoBalancedClasses) {
+  const LabeledDataset moons = MakeMoons(400, 0.05f, 5);
+  EXPECT_EQ(moons.points.cols(), 2u);
+  size_t ones = 0;
+  for (uint32_t l : moons.labels) {
+    ASSERT_LE(l, 1u);
+    ones += l;
+  }
+  EXPECT_EQ(ones, 200u);
+}
+
+TEST(SyntheticTest, CirclesHaveDistinctRadii) {
+  const LabeledDataset circles = MakeCircles(600, 0.0f, 0.4f, 6);
+  double inner = 0.0, outer = 0.0;
+  size_t inner_n = 0, outer_n = 0;
+  for (size_t i = 0; i < 600; ++i) {
+    const double r = std::sqrt(circles.points(i, 0) * circles.points(i, 0) +
+                               circles.points(i, 1) * circles.points(i, 1));
+    if (circles.labels[i] == 1) {
+      inner += r;
+      ++inner_n;
+    } else {
+      outer += r;
+      ++outer_n;
+    }
+  }
+  EXPECT_NEAR(inner / inner_n, 0.4, 0.05);
+  EXPECT_NEAR(outer / outer_n, 1.0, 0.05);
+}
+
+TEST(SyntheticTest, ClassificationHasRequestedClasses) {
+  const LabeledDataset ds = MakeClassification(300, 2, 4, 6.0f, 7);
+  std::set<uint32_t> labels(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_EQ(ds.points.cols(), 2u);
+}
+
+TEST(IoTest, FvecsRoundTrip) {
+  Rng rng(8);
+  const Matrix original = Matrix::RandomGaussian(20, 7, &rng);
+  const std::string path = TempPath("roundtrip.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, original).ok());
+  auto loaded = ReadFvecs(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Matrix& m = loaded.value();
+  ASSERT_EQ(m.rows(), 20u);
+  ASSERT_EQ(m.cols(), 7u);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m.data()[i], original.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, FvecsMaxRowsTruncates) {
+  Rng rng(9);
+  const Matrix original = Matrix::RandomGaussian(30, 3, &rng);
+  const std::string path = TempPath("truncate.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, original).ok());
+  auto loaded = ReadFvecs(path, 10);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().rows(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, FvecsMissingFileFails) {
+  auto result = ReadFvecs(TempPath("does_not_exist.fvecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, IvecsRoundTrip) {
+  const std::vector<std::vector<int32_t>> rows = {{1, 2, 3}, {4, 5, 6}};
+  const std::string path = TempPath("roundtrip.ivecs");
+  ASSERT_TRUE(WriteIvecs(path, rows).ok());
+  auto loaded = ReadIvecs(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, SplitsBaseAndQueries) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kGaussian;
+  spec.num_base = 400;
+  spec.num_queries = 50;
+  spec.gt_k = 5;
+  spec.knn_k = 4;
+  const Workload w = MakeWorkload(spec);
+  EXPECT_EQ(w.base.rows(), 400u);
+  EXPECT_EQ(w.queries.rows(), 50u);
+  EXPECT_EQ(w.base.cols(), w.queries.cols());
+  EXPECT_EQ(w.ground_truth.k, 5u);
+  EXPECT_EQ(w.ground_truth.indices.size(), 50u * 5u);
+  EXPECT_EQ(w.knn_matrix.k, 4u);
+  EXPECT_EQ(w.knn_matrix.indices.size(), 400u * 4u);
+}
+
+TEST(WorkloadTest, GroundTruthPointsExistInBase) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kGaussian;
+  spec.num_base = 200;
+  spec.num_queries = 20;
+  const Workload w = MakeWorkload(spec);
+  for (uint32_t id : w.ground_truth.indices) {
+    EXPECT_LT(id, 200u);
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kGaussian;
+  spec.num_base = 100;
+  spec.num_queries = 10;
+  spec.seed = 123;
+  const Workload a = MakeWorkload(spec);
+  const Workload b = MakeWorkload(spec);
+  EXPECT_EQ(a.ground_truth.indices, b.ground_truth.indices);
+}
+
+}  // namespace
+}  // namespace usp

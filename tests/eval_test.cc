@@ -1,0 +1,79 @@
+// Tests for eval/: probe sweeps, probe-count schedules and fixed-accuracy
+// interpolation (the machinery behind Figs. 5-7 and Table 4).
+#include <gtest/gtest.h>
+
+#include "eval/sweep.h"
+
+namespace usp {
+namespace {
+
+TEST(DefaultProbeCountsTest, DenseThenSparse) {
+  const auto counts = DefaultProbeCounts(16);
+  ASSERT_FALSE(counts.empty());
+  EXPECT_EQ(counts.front(), 1u);
+  EXPECT_EQ(counts.back(), 16u);
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GT(counts[i], counts[i - 1]);
+  }
+}
+
+TEST(DefaultProbeCountsTest, SmallMax) {
+  const auto counts = DefaultProbeCounts(2);
+  EXPECT_EQ(counts, (std::vector<size_t>{1, 2}));
+}
+
+TEST(DefaultProbeCountsTest, LargeMaxStaysCompact) {
+  const auto counts = DefaultProbeCounts(1024);
+  EXPECT_LE(counts.size(), 30u);
+  EXPECT_EQ(counts.back(), 1024u);
+}
+
+TEST(ProbeSweepTest, CallsSearchPerProbeCount) {
+  // Fake searcher: accuracy and candidates grow with probes.
+  const std::vector<uint32_t> truth = {0, 1, 2, 3};
+  auto search = [](size_t probes) {
+    BatchSearchResult result;
+    result.k = 2;
+    result.candidate_counts = {static_cast<uint32_t>(10 * probes),
+                               static_cast<uint32_t>(10 * probes)};
+    if (probes >= 2) {
+      result.ids = {0, 1, 2, 3};  // perfect
+    } else {
+      result.ids = {9, 9, 9, 9};  // useless
+    }
+    return result;
+  };
+  const auto curve = ProbeSweep(search, {1, 2}, truth, 2);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].mean_candidates, 10.0);
+  EXPECT_DOUBLE_EQ(curve[1].mean_candidates, 20.0);
+}
+
+TEST(CandidatesAtAccuracyTest, InterpolatesLinearly) {
+  std::vector<SweepPoint> curve = {
+      {1, 100.0, 0.5},
+      {2, 200.0, 0.9},
+  };
+  // Target 0.7 is halfway between 0.5 and 0.9 -> 150 candidates.
+  EXPECT_NEAR(CandidatesAtAccuracy(curve, 0.7), 150.0, 1e-9);
+}
+
+TEST(CandidatesAtAccuracyTest, TargetBelowFirstPoint) {
+  std::vector<SweepPoint> curve = {{1, 100.0, 0.5}, {2, 200.0, 0.9}};
+  EXPECT_DOUBLE_EQ(CandidatesAtAccuracy(curve, 0.3), 100.0);
+}
+
+TEST(CandidatesAtAccuracyTest, UnreachableTargetIsNegative) {
+  std::vector<SweepPoint> curve = {{1, 100.0, 0.5}, {2, 200.0, 0.8}};
+  EXPECT_LT(CandidatesAtAccuracy(curve, 0.95), 0.0);
+}
+
+TEST(CandidatesAtAccuracyTest, FlatSegment) {
+  std::vector<SweepPoint> curve = {{1, 100.0, 0.6}, {2, 300.0, 0.6}};
+  EXPECT_DOUBLE_EQ(CandidatesAtAccuracy(curve, 0.6), 100.0);
+}
+
+}  // namespace
+}  // namespace usp

@@ -1,0 +1,209 @@
+// Tests for graphpart/: k-NN graph construction, balanced bisection (balance
+// + cut quality on planted structures), m-way partitioning, Neural LSH
+// end-to-end, and the Regression-LSH tree split.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/partition_tree.h"
+#include "core/partition_index.h"
+#include "dataset/synthetic.h"
+#include "dataset/workload.h"
+#include "graphpart/balanced_partitioner.h"
+#include "graphpart/graph.h"
+#include "graphpart/neural_lsh.h"
+#include "graphpart/regression_lsh.h"
+
+namespace usp {
+namespace {
+
+// Two disjoint cliques of size `half` connected by a single bridge edge.
+Graph TwoCliques(size_t half) {
+  Graph graph;
+  const size_t n = 2 * half;
+  graph.adjacency.resize(n);
+  auto connect = [&](uint32_t a, uint32_t b) {
+    graph.adjacency[a].push_back(b);
+    graph.adjacency[b].push_back(a);
+  };
+  for (size_t i = 0; i < half; ++i) {
+    for (size_t j = i + 1; j < half; ++j) {
+      connect(i, j);
+      connect(half + i, half + j);
+    }
+  }
+  connect(0, static_cast<uint32_t>(half));  // bridge
+  return graph;
+}
+
+TEST(GraphTest, SymmetrizesKnnLists) {
+  KnnResult knn;
+  knn.k = 1;
+  knn.indices = {1, 2, 0};  // 0->1, 1->2, 2->0
+  knn.distances.assign(3, 0.0f);
+  const Graph graph = BuildKnnGraph(knn, 3);
+  // Every directed edge becomes undirected.
+  EXPECT_EQ(graph.num_edges(), 3u);
+  EXPECT_EQ(graph.adjacency[0].size(), 2u);  // 1 (out) and 2 (in)
+}
+
+TEST(GraphTest, RemovesDuplicateEdges) {
+  KnnResult knn;
+  knn.k = 2;
+  knn.indices = {1, 1, 0, 0};  // both lists point at each other twice
+  knn.distances.assign(4, 0.0f);
+  const Graph graph = BuildKnnGraph(knn, 2);
+  EXPECT_EQ(graph.num_edges(), 1u);
+}
+
+TEST(GraphTest, InducedSubgraphRenumbers) {
+  const Graph graph = TwoCliques(4);
+  const Graph sub = InducedSubgraph(graph, {0, 1, 2});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);  // triangle within the first clique
+  for (const auto& list : sub.adjacency) {
+    for (uint32_t v : list) EXPECT_LT(v, 3u);
+  }
+}
+
+TEST(GraphTest, CutSizeCountsCrossEdges) {
+  const Graph graph = TwoCliques(3);
+  std::vector<uint32_t> perfect = {0, 0, 0, 1, 1, 1};
+  EXPECT_EQ(CutSize(graph, perfect), 1u);  // only the bridge
+  std::vector<uint32_t> bad = {0, 1, 0, 1, 0, 1};
+  EXPECT_GT(CutSize(graph, bad), 3u);
+}
+
+TEST(BisectTest, FindsPlantedBisection) {
+  const Graph graph = TwoCliques(20);
+  BalancedPartitionConfig config;
+  config.seed = 3;
+  const auto labels = BisectBalanced(graph, 20, config);
+  EXPECT_EQ(CutSize(graph, labels), 1u);
+  size_t left = 0;
+  for (uint32_t l : labels) {
+    if (l == 0) ++left;
+  }
+  EXPECT_EQ(left, 20u);
+}
+
+TEST(BisectTest, RespectsBalanceSlack) {
+  const Graph graph = TwoCliques(25);
+  BalancedPartitionConfig config;
+  config.epsilon = 0.05;
+  config.seed = 5;
+  const auto labels = BisectBalanced(graph, 25, config);
+  size_t left = 0;
+  for (uint32_t l : labels) {
+    if (l == 0) ++left;
+  }
+  EXPECT_NEAR(static_cast<double>(left), 25.0, 3.0);
+}
+
+TEST(BisectTest, DegenerateTargets) {
+  const Graph graph = TwoCliques(3);
+  BalancedPartitionConfig config;
+  EXPECT_EQ(BisectBalanced(graph, 0, config),
+            std::vector<uint32_t>(6, 1));
+  EXPECT_EQ(BisectBalanced(graph, 6, config),
+            std::vector<uint32_t>(6, 0));
+}
+
+class PartitionGraphTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PartitionGraphTest, ProducesBalancedMWayParts) {
+  const size_t m = GetParam();
+  // Random-ish graph from a Gaussian dataset's kNN structure.
+  const LabeledDataset ds = MakeGaussianMixture(400, 8, 8, 20.0f, 1.0f, 7);
+  const KnnResult knn = BuildKnnMatrix(ds.points, 6);
+  const Graph graph = BuildKnnGraph(knn, 400);
+  BalancedPartitionConfig config;
+  config.seed = 11;
+  const auto labels = PartitionGraph(graph, m, config);
+  // All m labels used, sizes within 35% of ideal.
+  std::vector<size_t> sizes(m, 0);
+  for (uint32_t l : labels) {
+    ASSERT_LT(l, m);
+    ++sizes[l];
+  }
+  const double ideal = 400.0 / static_cast<double>(m);
+  for (size_t s : sizes) {
+    EXPECT_GT(static_cast<double>(s), 0.55 * ideal);
+    EXPECT_LT(static_cast<double>(s), 1.45 * ideal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionGraphTest,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(NeuralLshTest, EndToEndBeatsRandomRouting) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kGaussian;
+  spec.num_base = 1000;
+  spec.num_queries = 60;
+  spec.gt_k = 10;
+  spec.knn_k = 10;
+  spec.seed = 13;
+  const Workload w = MakeWorkload(spec);
+
+  NeuralLshConfig config;
+  config.num_bins = 8;
+  config.hidden_dim = 64;
+  config.epochs = 40;
+  config.batch_size = 128;  // n=1000: small batches so enough Adam steps run
+  config.seed = 2;
+  NeuralLsh nlsh(config);
+  nlsh.Train(w.base, w.knn_matrix);
+
+  // Stage-1 labels are balanced.
+  std::vector<size_t> sizes(8, 0);
+  for (uint32_t l : nlsh.training_labels()) ++sizes[l];
+  for (size_t s : sizes) EXPECT_GT(s, 60u);
+
+  // The classifier agrees with its training labels on most points.
+  const auto predicted = nlsh.AssignBins(w.base);
+  size_t agree = 0;
+  for (size_t i = 0; i < w.base.rows(); ++i) {
+    if (predicted[i] == nlsh.training_labels()[i]) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / w.base.rows(), 0.7);
+
+  // And the index beats chance at 1 probe (random routing ~ 1/8 accuracy).
+  PartitionIndex index(&w.base, &nlsh);
+  const auto result = index.SearchBatch(w.queries, 10, 1);
+  EXPECT_GT(KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+            0.4);
+  EXPECT_GT(nlsh.partition_seconds(), 0.0);
+  EXPECT_GT(nlsh.train_seconds(), 0.0);
+}
+
+TEST(RegressionLshTest, TreeSplitsTrackGraphBisection) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kGaussian;
+  spec.num_base = 600;
+  spec.num_queries = 40;
+  spec.gt_k = 10;
+  spec.knn_k = 8;
+  spec.seed = 19;
+  const Workload w = MakeWorkload(spec);
+  const Graph graph = BuildKnnGraph(w.knn_matrix, w.base.rows());
+
+  PartitionTreeConfig config;
+  config.depth = 3;
+  config.seed = 23;
+  PartitionTree tree(w.base, config, RegressionLshSplit(&graph),
+                     &w.knn_matrix);
+  EXPECT_GE(tree.num_bins(), 4u);
+
+  const auto bins = tree.AssignBins(w.base);
+  EXPECT_LT(BalanceRatio(bins, tree.num_bins()), 2.5);
+
+  PartitionIndex index(&w.base, &tree);
+  const auto result = index.SearchBatch(w.queries, 10, tree.num_bins() / 2);
+  EXPECT_GT(KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+            0.5);
+}
+
+}  // namespace
+}  // namespace usp

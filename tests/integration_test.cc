@@ -1,0 +1,176 @@
+// Cross-module integration tests: the paper's headline comparisons at small
+// scale (USP vs K-means candidate efficiency), the full fvecs -> index ->
+// search round trip, the USP + ScaNN composite pipeline, and end-to-end
+// determinism.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kmeans.h"
+#include "core/bin_scorer.h"
+#include "core/ensemble.h"
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+#include "dataset/io.h"
+#include "dataset/workload.h"
+#include "eval/sweep.h"
+#include "quant/pq.h"
+#include "quant/scann_index.h"
+#include "usp.h"  // umbrella header must stay self-contained
+
+namespace usp {
+namespace {
+
+const Workload& SiftSmall() {
+  static const Workload* w = [] {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kSiftLike;
+    spec.num_base = 3000;
+    spec.num_queries = 150;
+    spec.gt_k = 10;
+    spec.knn_k = 10;
+    spec.seed = 71;
+    return new Workload(MakeWorkload(spec));
+  }();
+  return *w;
+}
+
+UspTrainConfig TrainedConfig() {
+  // n = 3000 here, so smaller batches + more epochs keep the Adam step count
+  // (~360) comparable to the paper's setting on larger data.
+  UspTrainConfig config;
+  config.num_bins = 16;
+  config.eta = 10.0f;
+  config.epochs = 30;
+  config.batch_size = 256;
+  config.seed = 73;
+  return config;
+}
+
+TEST(IntegrationTest, UspNeedsFewerCandidatesThanKMeansAt85) {
+  // The paper's central claim (Table 4 / Fig. 5a): at matched accuracy, USP's
+  // candidate sets are smaller than K-means'.
+  const Workload& w = SiftSmall();
+  UspPartitioner usp(TrainedConfig());
+  usp.Train(w.base, w.knn_matrix);
+  PartitionIndex usp_index(&w.base, &usp);
+
+  KMeansConfig km_config;
+  km_config.num_clusters = 16;
+  km_config.seed = 5;
+  KMeansPartitioner kmeans(w.base, km_config);
+  PartitionIndex km_index(&w.base, &kmeans);
+
+  const auto usp_curve = ProbeSweep(
+      [&](size_t p) { return usp_index.SearchBatch(w.queries, 10, p); },
+      DefaultProbeCounts(16), w.ground_truth.indices, w.ground_truth.k);
+  const auto km_curve = ProbeSweep(
+      [&](size_t p) { return km_index.SearchBatch(w.queries, 10, p); },
+      DefaultProbeCounts(16), w.ground_truth.indices, w.ground_truth.k);
+
+  const double usp_c = CandidatesAtAccuracy(usp_curve, 0.85);
+  const double km_c = CandidatesAtAccuracy(km_curve, 0.85);
+  ASSERT_GT(usp_c, 0.0);
+  ASSERT_GT(km_c, 0.0);
+  EXPECT_LT(usp_c, km_c);
+}
+
+TEST(IntegrationTest, UspPartitionIsMoreBalancedThanKMeans) {
+  const Workload& w = SiftSmall();
+  UspPartitioner usp(TrainedConfig());
+  usp.Train(w.base, w.knn_matrix);
+  KMeansConfig km_config;
+  km_config.num_clusters = 16;
+  km_config.seed = 5;
+  KMeansPartitioner kmeans(w.base, km_config);
+  const double usp_balance = BalanceRatio(usp.AssignBins(w.base), 16);
+  const double km_balance = BalanceRatio(kmeans.AssignBins(w.base), 16);
+  EXPECT_LT(usp_balance, km_balance);
+  EXPECT_LT(usp_balance, 1.8);
+}
+
+TEST(IntegrationTest, FvecsRoundTripPreservesSearchResults) {
+  const Workload& w = SiftSmall();
+  const std::string base_path = testing::TempDir() + "/integ_base.fvecs";
+  ASSERT_TRUE(WriteFvecs(base_path, w.base).ok());
+  auto reloaded = ReadFvecs(base_path);
+  ASSERT_TRUE(reloaded.ok());
+
+  UspPartitioner usp(TrainedConfig());
+  usp.Train(w.base, w.knn_matrix);
+  PartitionIndex original_index(&w.base, &usp);
+  PartitionIndex reloaded_index(&reloaded.value(), &usp);
+
+  const auto a = original_index.SearchBatch(w.queries, 10, 2);
+  const auto b = reloaded_index.SearchBatch(w.queries, 10, 2);
+  EXPECT_EQ(a.ids, b.ids);
+  std::remove(base_path.c_str());
+}
+
+TEST(IntegrationTest, UspScannPipelineReachesHighRecall) {
+  const Workload& w = SiftSmall();
+  UspPartitioner usp(TrainedConfig());
+  usp.Train(w.base, w.knn_matrix);
+
+  PqConfig pq_config;
+  pq_config.num_subspaces = 8;
+  pq_config.codebook_size = 16;
+  pq_config.anisotropic_eta = 4.0f;
+  pq_config.seed = 9;
+  ProductQuantizer pq(pq_config);
+  pq.Train(w.base);
+
+  ScannIndexConfig index_config;
+  index_config.rerank_budget = 100;
+  ScannIndex index(&w.base, &usp, std::move(pq), index_config);
+  const auto result = index.SearchBatch(w.queries, 10, 6);
+  EXPECT_GT(KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+            0.8);
+  // Partitioned: candidate sets well under the full dataset.
+  EXPECT_LT(result.MeanCandidates(), 0.7 * w.base.rows());
+}
+
+TEST(IntegrationTest, EndToEndDeterministicAcrossRuns) {
+  const Workload& w = SiftSmall();
+  auto run = [&] {
+    UspPartitioner usp(TrainedConfig());
+    usp.Train(w.base, w.knn_matrix);
+    PartitionIndex index(&w.base, &usp);
+    const auto result = index.SearchBatch(w.queries, 10, 2);
+    return result.ids;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IntegrationTest, EnsembleImprovesRecallAtFixedProbeCount) {
+  // Fig. 5's "ours e=3 vs e=1" ordering at a small scale: allow slack, but
+  // the ensemble must never be much worse.
+  const Workload& w = SiftSmall();
+  UspEnsembleConfig config;
+  config.model = TrainedConfig();
+  config.num_models = 3;
+  UspEnsemble ensemble(config);
+  ensemble.Train(w.base, w.knn_matrix);
+
+  PartitionIndex single(&w.base, &ensemble.model(0));
+  const auto single_result = single.SearchBatch(w.queries, 10, 1);
+  const auto ensemble_result = ensemble.SearchBatch(w.queries, 10, 1);
+  const double single_accuracy =
+      KnnAccuracy(single_result, w.ground_truth.indices, w.ground_truth.k);
+  const double ensemble_accuracy =
+      KnnAccuracy(ensemble_result, w.ground_truth.indices, w.ground_truth.k);
+  EXPECT_GE(ensemble_accuracy, single_accuracy - 0.01);
+}
+
+TEST(IntegrationTest, BalanceHelpersEdgeCases) {
+  EXPECT_DOUBLE_EQ(BalanceRatio({}, 4), 1.0);
+  const std::vector<uint32_t> all_one_bin = {2, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(BalanceRatio(all_one_bin, 4), 4.0);
+  const auto histogram = BinHistogram(all_one_bin, 4);
+  EXPECT_EQ(histogram[2], 4u);
+  EXPECT_EQ(histogram[0], 0u);
+}
+
+}  // namespace
+}  // namespace usp

@@ -1,0 +1,199 @@
+// Tests for knn/: TopK heap semantics, brute-force search against an O(n^2)
+// reference, k'-NN matrix construction invariants, candidate re-ranking, and
+// subset filtering.
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "knn/brute_force.h"
+#include "knn/top_k.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace usp {
+namespace {
+
+TEST(TopKTest, KeepsSmallestDistances) {
+  TopK heap(3);
+  heap.Push(5.0f, 0);
+  heap.Push(1.0f, 1);
+  heap.Push(3.0f, 2);
+  heap.Push(2.0f, 3);
+  heap.Push(9.0f, 4);
+  const auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 1u);
+  EXPECT_EQ(sorted[1].id, 3u);
+  EXPECT_EQ(sorted[2].id, 2u);
+}
+
+TEST(TopKTest, WorstDistanceInfiniteUntilFull) {
+  TopK heap(2);
+  EXPECT_TRUE(std::isinf(heap.WorstDistance()));
+  heap.Push(1.0f, 0);
+  EXPECT_TRUE(std::isinf(heap.WorstDistance()));
+  heap.Push(2.0f, 1);
+  EXPECT_FLOAT_EQ(heap.WorstDistance(), 2.0f);
+}
+
+TEST(TopKTest, TieBrokenByLowerId) {
+  TopK heap(2);
+  heap.Push(1.0f, 7);
+  heap.Push(1.0f, 3);
+  heap.Push(1.0f, 5);
+  const auto sorted = heap.TakeSorted();
+  EXPECT_EQ(sorted[0].id, 3u);
+  EXPECT_EQ(sorted[1].id, 5u);
+}
+
+TEST(TopKTest, FewerCandidatesThanK) {
+  TopK heap(10);
+  heap.Push(2.0f, 1);
+  heap.Push(1.0f, 0);
+  const auto sorted = heap.TakeSorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 0u);
+}
+
+class BruteForceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BruteForceTest, MatchesExhaustiveReference) {
+  const size_t k = GetParam();
+  Rng rng(k * 7 + 1);
+  const Matrix base = Matrix::RandomGaussian(120, 12, &rng);
+  const Matrix queries = Matrix::RandomGaussian(15, 12, &rng);
+  const KnnResult result = BruteForceKnn(base, queries, k);
+  ASSERT_EQ(result.k, k);
+
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    // Exhaustive reference sort.
+    std::vector<std::pair<float, uint32_t>> all;
+    for (size_t b = 0; b < base.rows(); ++b) {
+      all.push_back({SquaredDistance(queries.Row(q), base.Row(b), 12),
+                     static_cast<uint32_t>(b)});
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t j = 0; j < k; ++j) {
+      EXPECT_EQ(result.indices[q * k + j], all[j].second)
+          << "query " << q << " pos " << j;
+      EXPECT_NEAR(result.distances[q * k + j], all[j].first, 1e-3f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BruteForceTest, ::testing::Values(1, 5, 10, 50));
+
+TEST(BruteForceTest, DistancesAscendPerQuery) {
+  Rng rng(2);
+  const Matrix base = Matrix::RandomGaussian(300, 8, &rng);
+  const Matrix queries = Matrix::RandomGaussian(10, 8, &rng);
+  const KnnResult result = BruteForceKnn(base, queries, 20);
+  for (size_t q = 0; q < 10; ++q) {
+    for (size_t j = 1; j < 20; ++j) {
+      EXPECT_LE(result.distances[q * 20 + j - 1], result.distances[q * 20 + j]);
+    }
+  }
+}
+
+TEST(BruteForceTest, BlockBoundaryCorrectness) {
+  // More base points than one internal tile to cross the blocking path.
+  Rng rng(3);
+  const Matrix base = Matrix::RandomGaussian(4100, 4, &rng);
+  Matrix query(1, 4);
+  for (size_t j = 0; j < 4; ++j) query(0, j) = base(4099, j);
+  const KnnResult result = BruteForceKnn(base, query, 1);
+  EXPECT_EQ(result.indices[0], 4099u);
+  EXPECT_NEAR(result.distances[0], 0.0f, 1e-5f);
+}
+
+TEST(KnnMatrixTest, ExcludesSelf) {
+  Rng rng(4);
+  const Matrix data = Matrix::RandomGaussian(50, 6, &rng);
+  const KnnResult knn = BuildKnnMatrix(data, 5);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NE(knn.indices[i * 5 + j], i) << "row " << i;
+    }
+  }
+}
+
+TEST(KnnMatrixTest, RowsHaveDistinctNeighbors) {
+  Rng rng(5);
+  const Matrix data = Matrix::RandomGaussian(40, 6, &rng);
+  const KnnResult knn = BuildKnnMatrix(data, 8);
+  for (size_t i = 0; i < 40; ++i) {
+    std::set<uint32_t> unique(knn.Row(i), knn.Row(i) + 8);
+    EXPECT_EQ(unique.size(), 8u);
+  }
+}
+
+TEST(KnnMatrixTest, NearDuplicatePointsAreMutualNeighbors) {
+  Matrix data(4, 2);
+  data(0, 0) = 0.0f;
+  data(1, 0) = 0.01f;   // near point 0
+  data(2, 0) = 10.0f;
+  data(3, 0) = 10.01f;  // near point 2
+  const KnnResult knn = BuildKnnMatrix(data, 1);
+  EXPECT_EQ(knn.indices[0], 1u);
+  EXPECT_EQ(knn.indices[1], 0u);
+  EXPECT_EQ(knn.indices[2], 3u);
+  EXPECT_EQ(knn.indices[3], 2u);
+}
+
+TEST(RerankTest, ReturnsTopKByExactDistance) {
+  Matrix base(5, 1);
+  for (size_t i = 0; i < 5; ++i) base(i, 0) = static_cast<float>(i);
+  const float query = 2.2f;
+  const auto top = RerankCandidates(base, &query, {0, 1, 2, 3, 4}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(RerankTest, HandlesFewerCandidatesThanK) {
+  Matrix base(3, 1);
+  const float query = 0.0f;
+  const auto top = RerankCandidates(base, &query, {1}, 5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 1u);
+}
+
+TEST(FilterKnnTest, KeepsInSubsetNeighborsWithLocalIds) {
+  // Global: 6 points; knn lists handcrafted.
+  KnnResult global;
+  global.k = 3;
+  global.indices = {
+      1, 2, 3,  // 0
+      0, 2, 4,  // 1
+      0, 1, 5,  // 2
+      0, 4, 5,  // 3
+      1, 3, 5,  // 4
+      2, 3, 4,  // 5
+  };
+  global.distances.assign(18, 0.0f);
+  // Subset {0, 2, 4} -> local ids {0:0, 2:1, 4:2}.
+  const KnnResult local = FilterKnnToSubset(global, {0, 2, 4});
+  ASSERT_EQ(local.k, 3u);
+  // Point 0's global list {1,2,3} -> kept {2}=local 1, padded cyclically.
+  EXPECT_EQ(local.indices[0], 1u);
+  EXPECT_EQ(local.indices[1], 1u);
+  EXPECT_EQ(local.indices[2], 1u);
+  // Point 2's list {0,1,5} -> kept {0}=local 0.
+  EXPECT_EQ(local.indices[3], 0u);
+}
+
+TEST(FilterKnnTest, SelfPadWhenNoNeighborSurvives) {
+  KnnResult global;
+  global.k = 2;
+  global.indices = {1, 2, 0, 2, 0, 1};
+  global.distances.assign(6, 0.0f);
+  const KnnResult local = FilterKnnToSubset(global, {0});  // alone
+  EXPECT_EQ(local.indices[0], 0u);
+  EXPECT_EQ(local.indices[1], 0u);
+}
+
+}  // namespace
+}  // namespace usp

@@ -1,0 +1,141 @@
+// Tests for model persistence: a saved-and-reloaded partitioner must behave
+// identically to the original (including batch-norm running statistics), and
+// malformed inputs must fail with clear Status codes, never crash.
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+#include "dataset/workload.h"
+
+namespace usp {
+namespace {
+
+const Workload& SerializeWorkload() {
+  static const Workload* w = [] {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kGaussian;
+    spec.num_base = 800;
+    spec.num_queries = 60;
+    spec.gt_k = 10;
+    spec.knn_k = 8;
+    spec.seed = 91;
+    return new Workload(MakeWorkload(spec));
+  }();
+  return *w;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+UspPartitioner TrainSmall(UspModelKind kind) {
+  UspTrainConfig config;
+  config.num_bins = 8;
+  config.model = kind;
+  config.eta = 8.0f;
+  config.epochs = 10;
+  config.batch_size = 256;
+  config.hidden_dim = 32;
+  config.seed = 17;
+  UspPartitioner partitioner(config);
+  const Workload& w = SerializeWorkload();
+  partitioner.Train(w.base, w.knn_matrix);
+  return partitioner;
+}
+
+TEST(SerializeTest, MlpRoundTripScoresIdentically) {
+  const Workload& w = SerializeWorkload();
+  const UspPartitioner original = TrainSmall(UspModelKind::kMlp);
+  const std::string path = TempPath("model.uspm");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  auto loaded = UspPartitioner::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Matrix a = original.ScoreBins(w.queries);
+  const Matrix b = loaded.value().ScoreBins(w.queries);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << "score mismatch at " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ReloadedModelDrivesIdenticalIndex) {
+  const Workload& w = SerializeWorkload();
+  const UspPartitioner original = TrainSmall(UspModelKind::kMlp);
+  const std::string path = TempPath("index_model.uspm");
+  ASSERT_TRUE(original.Save(path).ok());
+  auto loaded = UspPartitioner::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  PartitionIndex original_index(&w.base, &original);
+  PartitionIndex loaded_index(&w.base, &loaded.value());
+  EXPECT_EQ(original_index.assignments(), loaded_index.assignments());
+  const auto ra = original_index.SearchBatch(w.queries, 10, 2);
+  const auto rb = loaded_index.SearchBatch(w.queries, 10, 2);
+  EXPECT_EQ(ra.ids, rb.ids);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LogisticRoundTrip) {
+  const Workload& w = SerializeWorkload();
+  const UspPartitioner original = TrainSmall(UspModelKind::kLogisticRegression);
+  const std::string path = TempPath("logistic.uspm");
+  ASSERT_TRUE(original.Save(path).ok());
+  auto loaded = UspPartitioner::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(original.AssignBins(w.base), loaded.value().AssignBins(w.base));
+  EXPECT_EQ(loaded.value().ParameterCount(), original.ParameterCount());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveUntrainedFailsPrecondition) {
+  UspTrainConfig config;
+  config.num_bins = 4;
+  UspPartitioner untrained(config);
+  const Status status = untrained.Save(TempPath("untrained.uspm"));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeTest, LoadMissingFileIsIoError) {
+  auto result = UspPartitioner::Load(TempPath("nope.uspm"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, LoadGarbageIsInvalidArgument) {
+  const std::string path = TempPath("garbage.uspm");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[128] = "definitely not a model";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto result = UspPartitioner::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadTruncatedIsError) {
+  // Save a valid model, truncate it, expect a clean failure.
+  const UspPartitioner original = TrainSmall(UspModelKind::kMlp);
+  const std::string path = TempPath("truncated.uspm");
+  ASSERT_TRUE(original.Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(0, truncate(path.c_str(), size / 2));
+  auto result = UspPartitioner::Load(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace usp

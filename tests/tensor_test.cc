@@ -1,0 +1,273 @@
+// Tests for tensor/: Matrix container semantics and the parallel kernels
+// (GEMM family, distances, softmax, column top-k) against naive references.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace usp {
+namespace {
+
+Matrix NaiveGemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t p = 0; p < a.cols(); ++p) acc += a(i, p) * b(p, j);
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(MatrixTest, ConstructsZeroed) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(MatrixTest, CloneIsDeep) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f;
+  Matrix c = m.Clone();
+  c(0, 0) = 5.0f;
+  EXPECT_EQ(m(0, 0), 1.0f);
+  EXPECT_EQ(c(0, 0), 5.0f);
+}
+
+TEST(MatrixTest, GatherRowsSelectsAndOrders) {
+  Matrix m(4, 2);
+  for (size_t i = 0; i < 4; ++i) {
+    m(i, 0) = static_cast<float>(i);
+    m(i, 1) = static_cast<float>(10 * i);
+  }
+  const Matrix g = m.GatherRows({3, 1});
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g(0, 0), 3.0f);
+  EXPECT_EQ(g(1, 1), 10.0f);
+}
+
+TEST(MatrixTest, FillSetsEveryEntry) {
+  Matrix m(3, 3);
+  m.Fill(2.5f);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 2.5f);
+}
+
+TEST(MatrixTest, RandomGaussianMoments) {
+  Rng rng(1);
+  Matrix m = Matrix::RandomGaussian(200, 50, &rng, 1.0f, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sq += m.data()[i] * m.data()[i];
+  }
+  const double mean = sum / m.size();
+  const double var = sq / m.size() - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesNaiveReference) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(n * 131 + k * 17 + m);
+  const Matrix a = Matrix::RandomGaussian(n, k, &rng);
+  const Matrix b = Matrix::RandomGaussian(k, m, &rng);
+  Matrix c(n, m);
+  Gemm(a, b, &c);
+  const Matrix expected = NaiveGemm(a, b);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], expected.data()[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(17, 8, 31), std::make_tuple(64, 33, 20),
+                      std::make_tuple(128, 16, 1), std::make_tuple(2, 100, 2)));
+
+TEST(GemmTest, TransposedBMatchesExplicitTranspose) {
+  Rng rng(5);
+  const Matrix a = Matrix::RandomGaussian(7, 12, &rng);
+  const Matrix b = Matrix::RandomGaussian(9, 12, &rng);  // (m x k)
+  Matrix bt(12, 9);
+  for (size_t i = 0; i < 9; ++i) {
+    for (size_t j = 0; j < 12; ++j) bt(j, i) = b(i, j);
+  }
+  Matrix c(7, 9);
+  GemmTransposedB(a, b, &c);
+  const Matrix expected = NaiveGemm(a, bt);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], expected.data()[i], 1e-3f);
+  }
+}
+
+TEST(GemmTest, TransposedAMatchesExplicitTranspose) {
+  Rng rng(6);
+  const Matrix a = Matrix::RandomGaussian(12, 7, &rng);  // (k x n)
+  const Matrix b = Matrix::RandomGaussian(12, 9, &rng);  // (k x m)
+  Matrix at(7, 12);
+  for (size_t i = 0; i < 12; ++i) {
+    for (size_t j = 0; j < 7; ++j) at(j, i) = a(i, j);
+  }
+  Matrix c(7, 9);
+  GemmTransposedA(a, b, &c);
+  const Matrix expected = NaiveGemm(at, b);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], expected.data()[i], 1e-3f);
+  }
+}
+
+TEST(DistanceTest, PairwiseMatchesDirect) {
+  Rng rng(7);
+  const Matrix a = Matrix::RandomGaussian(11, 16, &rng);
+  const Matrix b = Matrix::RandomGaussian(13, 16, &rng);
+  Matrix dist(11, 13);
+  PairwiseSquaredDistances(a, b, &dist);
+  for (size_t i = 0; i < 11; ++i) {
+    for (size_t j = 0; j < 13; ++j) {
+      EXPECT_NEAR(dist(i, j), SquaredDistance(a.Row(i), b.Row(j), 16), 1e-2f);
+    }
+  }
+}
+
+TEST(DistanceTest, NonNegativeEvenWithCancellation) {
+  // Identical points: |a|^2 + |b|^2 - 2ab can go slightly negative in float.
+  Matrix a(1, 8), b(1, 8);
+  for (size_t j = 0; j < 8; ++j) a(0, j) = b(0, j) = 1e3f + float(j) * 0.1f;
+  Matrix dist(1, 1);
+  PairwiseSquaredDistances(a, b, &dist);
+  EXPECT_GE(dist(0, 0), 0.0f);
+  EXPECT_LT(dist(0, 0), 1.0f);
+}
+
+TEST(DistanceTest, DotHandlesTailLengths) {
+  // Exercises the 4-way unrolled loop remainder handling.
+  for (size_t d = 1; d <= 9; ++d) {
+    std::vector<float> x(d, 2.0f), y(d, 3.0f);
+    EXPECT_FLOAT_EQ(Dot(x.data(), y.data(), d), 6.0f * d);
+  }
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(8);
+  Matrix m = Matrix::RandomGaussian(10, 6, &rng, 0.0f, 5.0f);
+  SoftmaxRows(&m);
+  for (size_t i = 0; i < 10; ++i) {
+    float sum = 0.0f;
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_GT(m(i, j), 0.0f);
+      sum += m(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  Matrix m(1, 3);
+  m(0, 0) = 1000.0f;
+  m(0, 1) = 999.0f;
+  m(0, 2) = -1000.0f;
+  SoftmaxRows(&m);
+  EXPECT_TRUE(std::isfinite(m(0, 0)));
+  EXPECT_GT(m(0, 0), m(0, 1));
+  EXPECT_NEAR(m(0, 0) + m(0, 1) + m(0, 2), 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(9);
+  const Matrix logits = Matrix::RandomGaussian(5, 7, &rng, 0.0f, 3.0f);
+  Matrix log_probs(5, 7);
+  LogSoftmaxRows(logits, &log_probs);
+  Matrix probs = logits.Clone();
+  SoftmaxRows(&probs);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(log_probs.data()[i], std::log(probs.data()[i]), 1e-4f);
+  }
+}
+
+TEST(ArgmaxTest, FindsRowMaxima) {
+  Matrix m(2, 4);
+  m(0, 2) = 5.0f;
+  m(1, 0) = 3.0f;
+  const auto arg = ArgmaxRows(m);
+  EXPECT_EQ(arg[0], 2u);
+  EXPECT_EQ(arg[1], 0u);
+}
+
+class ColumnTopKTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ColumnTopKTest, MarksExactlyKLargestPerColumn) {
+  const size_t k = GetParam();
+  Rng rng(10 + k);
+  const Matrix m = Matrix::RandomGaussian(50, 8, &rng);
+  const auto mask = ColumnTopKMask(m, k);
+  for (size_t j = 0; j < 8; ++j) {
+    size_t marked = 0;
+    float min_marked = 1e30f, max_unmarked = -1e30f;
+    for (size_t i = 0; i < 50; ++i) {
+      if (mask[i * 8 + j]) {
+        ++marked;
+        min_marked = std::min(min_marked, m(i, j));
+      } else {
+        max_unmarked = std::max(max_unmarked, m(i, j));
+      }
+    }
+    EXPECT_EQ(marked, std::min<size_t>(k, 50));
+    if (marked > 0 && marked < 50) {
+      EXPECT_GE(min_marked, max_unmarked);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, ColumnTopKTest,
+                         ::testing::Values(1, 3, 10, 49, 50, 80));
+
+TEST(ColumnTopKTest, ZeroKMarksNothing) {
+  Matrix m(5, 2);
+  const auto mask = ColumnTopKMask(m, 0);
+  for (uint8_t v : mask) EXPECT_EQ(v, 0);
+}
+
+TEST(MaskedSumTest, SumsOnlyMarked) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  m(1, 0) = 4.0f;
+  m(1, 1) = 8.0f;
+  const std::vector<uint8_t> mask = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(MaskedSum(m, mask), 9.0);
+}
+
+TEST(AxpyTest, AccumulatesScaled) {
+  Matrix x(1, 3), y(1, 3);
+  for (size_t j = 0; j < 3; ++j) {
+    x(0, j) = 1.0f;
+    y(0, j) = float(j);
+  }
+  Axpy(2.0f, x, &y);
+  EXPECT_EQ(y(0, 0), 2.0f);
+  EXPECT_EQ(y(0, 2), 4.0f);
+}
+
+TEST(MeanTest, AveragesAllEntries) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f;
+  m(0, 1) = 2.0f;
+  m(1, 0) = 3.0f;
+  m(1, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(Mean(m), 2.5);
+}
+
+TEST(MeanTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(Mean(Matrix()), 0.0); }
+
+}  // namespace
+}  // namespace usp
