@@ -57,7 +57,8 @@ void UspEnsemble::Train(const Matrix& data, const KnnResult& knn_matrix) {
 }
 
 BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
-                                           size_t num_probes) const {
+                                           size_t num_probes,
+                                           size_t num_threads) const {
   USP_CHECK(base_ != nullptr && !models_.empty());
   const size_t nq = queries.rows();
   const size_t e = models_.size();
@@ -74,7 +75,7 @@ BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
   result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
   result.candidate_counts.assign(nq, 0);
 
-  ParallelFor(nq, 8, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 8, num_threads, [&](size_t begin, size_t end, size_t) {
     std::vector<uint32_t> candidates, merged;
     for (size_t q = begin; q < end; ++q) {
       merged.clear();

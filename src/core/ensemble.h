@@ -42,9 +42,12 @@ class UspEnsemble {
   void Train(const Matrix& data, const KnnResult& knn_matrix);
 
   /// Algorithm 4: probe `num_probes` bins in the chosen model(s), re-rank by
-  /// exact distance.
+  /// exact distance. `num_threads` caps the per-query search sharding
+  /// (0 = pool default, 1 = serial; model scoring still uses the pool's
+  /// GEMM); results are identical at every setting.
   BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t num_probes) const;
+                                size_t num_probes,
+                                size_t num_threads = 0) const;
 
   size_t num_models() const { return models_.size(); }
   const UspPartitioner& model(size_t i) const { return *models_[i]; }

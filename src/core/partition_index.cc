@@ -55,13 +55,15 @@ void PartitionIndex::CollectCandidates(const float* scores, size_t num_probes,
 }
 
 BatchSearchResult PartitionIndex::SearchBatch(const Matrix& queries, size_t k,
-                                              size_t num_probes) const {
-  return SearchBatchWithScores(queries, ScoreQueries(queries), k, num_probes);
+                                              size_t num_probes,
+                                              size_t num_threads) const {
+  return SearchBatchWithScores(queries, ScoreQueries(queries), k, num_probes,
+                               num_threads);
 }
 
 BatchSearchResult PartitionIndex::SearchBatchWithScores(
-    const Matrix& queries, const Matrix& scores, size_t k,
-    size_t num_probes) const {
+    const Matrix& queries, const Matrix& scores, size_t k, size_t num_probes,
+    size_t num_threads) const {
   USP_CHECK(scores.rows() == queries.rows());
   USP_CHECK(scores.cols() == buckets_.size());
   const size_t nq = queries.rows();
@@ -70,7 +72,7 @@ BatchSearchResult PartitionIndex::SearchBatchWithScores(
   result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
   result.candidate_counts.assign(nq, 0);
 
-  ParallelFor(nq, 8, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 8, num_threads, [&](size_t begin, size_t end, size_t) {
     std::vector<uint32_t> candidates;
     for (size_t q = begin; q < end; ++q) {
       CollectCandidates(scores.Row(q), num_probes, &candidates);

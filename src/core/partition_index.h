@@ -40,14 +40,22 @@ class PartitionIndex {
   /// Scores all queries once; reuse across different probe counts.
   Matrix ScoreQueries(const Matrix& queries) const;
 
-  /// k-NN search probing the `num_probes` best bins per query.
+  /// k-NN search probing the `num_probes` best bins per query. The per-query
+  /// probe/rerank stage is sharded over the global thread pool; `num_threads`
+  /// caps that sharding (0 = pool default, 1 = that stage runs serially on
+  /// the calling thread). The bin-scoring stage (ScoreQueries) always uses
+  /// the pool's data-parallel GEMM regardless of the cap. Results are
+  /// bit-identical at every thread count: each query's work is independent
+  /// and writes only its own output rows.
   BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t num_probes) const;
+                                size_t num_probes,
+                                size_t num_threads = 0) const;
 
   /// Same but with externally computed scores (one scoring, many sweeps).
   BatchSearchResult SearchBatchWithScores(const Matrix& queries,
                                           const Matrix& scores, size_t k,
-                                          size_t num_probes) const;
+                                          size_t num_probes,
+                                          size_t num_threads = 0) const;
 
   /// Collects the candidate ids for one query given its bin scores.
   void CollectCandidates(const float* scores, size_t num_probes,

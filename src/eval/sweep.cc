@@ -19,6 +19,20 @@ std::vector<SweepPoint> ProbeSweep(
   return curve;
 }
 
+std::vector<SweepPoint> ProbeSweep(const PartitionIndex& index,
+                                   const Matrix& queries, size_t k,
+                                   const std::vector<size_t>& probe_counts,
+                                   const std::vector<uint32_t>& truth,
+                                   size_t truth_k, size_t num_threads) {
+  const Matrix scores = index.ScoreQueries(queries);
+  return ProbeSweep(
+      [&](size_t probes) {
+        return index.SearchBatchWithScores(queries, scores, k, probes,
+                                           num_threads);
+      },
+      probe_counts, truth, truth_k);
+}
+
 std::vector<size_t> DefaultProbeCounts(size_t max_probes) {
   std::vector<size_t> counts;
   size_t p = 1;
@@ -50,6 +64,25 @@ double CandidatesAtAccuracy(const std::vector<SweepPoint>& curve,
     }
   }
   return -1.0;
+}
+
+double AccuracyAtCandidates(const std::vector<SweepPoint>& curve,
+                            double candidate_budget) {
+  if (curve.empty()) return 0.0;
+  if (candidate_budget <= curve.front().mean_candidates) {
+    return curve.front().accuracy;
+  }
+  for (size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].mean_candidates >= candidate_budget) {
+      const SweepPoint& lo = curve[i - 1];
+      const SweepPoint& hi = curve[i];
+      const double span = hi.mean_candidates - lo.mean_candidates;
+      if (span <= 1e-12) return hi.accuracy;
+      const double t = (candidate_budget - lo.mean_candidates) / span;
+      return lo.accuracy + t * (hi.accuracy - lo.accuracy);
+    }
+  }
+  return curve.back().accuracy;
 }
 
 }  // namespace usp

@@ -24,6 +24,17 @@ std::vector<SweepPoint> ProbeSweep(
     const std::vector<size_t>& probe_counts,
     const std::vector<uint32_t>& truth, size_t truth_k);
 
+/// Sweeps a PartitionIndex directly: scores every query exactly once, then
+/// reuses the scores across all probe counts through the batched parallel
+/// search path. `num_threads` caps the per-query search sharding (0 = pool
+/// default, 1 = serial; the single scoring pass still uses the pool's GEMM);
+/// the curve is identical at every setting.
+std::vector<SweepPoint> ProbeSweep(const PartitionIndex& index,
+                                   const Matrix& queries, size_t k,
+                                   const std::vector<size_t>& probe_counts,
+                                   const std::vector<uint32_t>& truth,
+                                   size_t truth_k, size_t num_threads = 0);
+
 /// 1, 2, ..., up to `max_probes` (dense for small counts, then doubling).
 std::vector<size_t> DefaultProbeCounts(size_t max_probes);
 
@@ -33,6 +44,13 @@ std::vector<size_t> DefaultProbeCounts(size_t max_probes);
 /// output order).
 double CandidatesAtAccuracy(const std::vector<SweepPoint>& curve,
                             double target_accuracy);
+
+/// Inverse lookup: linearly interpolates the accuracy a curve reaches at a
+/// given candidate budget (Table 4's fixed-budget comparison). Clamps to the
+/// first point's accuracy below the curve and to the last point's accuracy
+/// beyond it. Input points must be sorted by ascending candidates.
+double AccuracyAtCandidates(const std::vector<SweepPoint>& curve,
+                            double candidate_budget);
 
 }  // namespace usp
 

@@ -12,8 +12,9 @@ IvfFlatIndex::IvfFlatIndex(const Matrix* base, const IvfConfig& config) {
 }
 
 BatchSearchResult IvfFlatIndex::SearchBatch(const Matrix& queries, size_t k,
-                                            size_t nprobe) const {
-  return index_->SearchBatch(queries, k, nprobe);
+                                            size_t nprobe,
+                                            size_t num_threads) const {
+  return index_->SearchBatch(queries, k, nprobe, num_threads);
 }
 
 IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config) {
@@ -31,8 +32,9 @@ IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config) {
 }
 
 BatchSearchResult IvfPqIndex::SearchBatch(const Matrix& queries, size_t k,
-                                          size_t nprobe) const {
-  return index_->SearchBatch(queries, k, nprobe);
+                                          size_t nprobe,
+                                          size_t num_threads) const {
+  return index_->SearchBatch(queries, k, nprobe, num_threads);
 }
 
 }  // namespace usp

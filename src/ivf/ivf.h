@@ -29,8 +29,11 @@ class IvfFlatIndex {
  public:
   IvfFlatIndex(const Matrix* base, const IvfConfig& config);
 
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t nprobe) const;
+  /// `num_threads` caps the per-query search sharding (0 = pool default,
+  /// 1 = serial; coarse scoring still uses the pool's GEMM); results are
+  /// identical at every setting.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t nprobe,
+                                size_t num_threads = 0) const;
 
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
 
@@ -44,8 +47,11 @@ class IvfPqIndex {
  public:
   IvfPqIndex(const Matrix* base, const IvfConfig& config);
 
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t nprobe) const;
+  /// `num_threads` caps the per-query search sharding (0 = pool default,
+  /// 1 = serial; coarse scoring still uses the pool's GEMM); results are
+  /// identical at every setting.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t nprobe,
+                                size_t num_threads = 0) const;
 
  private:
   std::unique_ptr<KMeansPartitioner> coarse_;

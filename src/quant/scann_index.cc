@@ -27,7 +27,8 @@ ScannIndex::ScannIndex(const Matrix* base, const BinScorer* partitioner,
 }
 
 BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
-                                          size_t num_probes) const {
+                                          size_t num_probes,
+                                          size_t num_threads) const {
   const size_t nq = queries.rows();
   const size_t m_sub = quantizer_.num_subspaces();
   BatchSearchResult result;
@@ -40,7 +41,7 @@ BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
     scores = partitioner_->ScoreBins(queries);
   }
 
-  ParallelFor(nq, 4, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 4, num_threads, [&](size_t begin, size_t end, size_t) {
     std::vector<uint32_t> candidates;
     std::vector<uint32_t> shortlist;
     for (size_t q = begin; q < end; ++q) {

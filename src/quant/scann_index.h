@@ -28,9 +28,12 @@ class ScannIndex {
              ProductQuantizer quantizer, ScannIndexConfig config);
 
   /// k-NN search: probe -> ADC score -> exact rerank of the best
-  /// `rerank_budget` candidates.
+  /// `rerank_budget` candidates. `num_threads` caps the per-query search
+  /// sharding (0 = thread-pool default, 1 = serial; partition scoring still
+  /// uses the pool's GEMM); results are identical at every setting.
   BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t num_probes) const;
+                                size_t num_probes,
+                                size_t num_threads = 0) const;
 
   const ProductQuantizer& quantizer() const { return quantizer_; }
   bool has_partition() const { return partitioner_ != nullptr; }

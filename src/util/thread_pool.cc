@@ -64,10 +64,22 @@ ThreadPool& ThreadPool::Global() {
 
 void ParallelFor(size_t count, size_t grain,
                  const std::function<void(size_t, size_t, size_t)>& body) {
+  ParallelFor(count, grain, /*num_threads=*/0, body);
+}
+
+void ParallelFor(size_t count, size_t grain, size_t num_threads,
+                 const std::function<void(size_t, size_t, size_t)>& body) {
   if (count == 0) return;
+  // Serial cases never touch Global(), so a strictly serial caller does not
+  // lazily spin up the pool as a side effect.
+  if (num_threads == 1 || count <= grain) {
+    body(0, count, 0);
+    return;
+  }
   ThreadPool& pool = ThreadPool::Global();
-  const size_t workers = pool.num_threads();
-  if (workers <= 1 || count <= grain) {
+  const size_t workers =
+      num_threads == 0 ? pool.num_threads() : num_threads;
+  if (workers <= 1) {
     body(0, count, 0);
     return;
   }

@@ -54,6 +54,18 @@ class ThreadPool {
 void ParallelFor(size_t count, size_t grain,
                  const std::function<void(size_t, size_t, size_t)>& body);
 
+/// Same, but with an explicit cap on sharding. `num_threads == 0` defers to
+/// the global pool's size; `num_threads == 1` runs the whole range inline on
+/// the calling thread (a true serial path, no pool involvement); larger
+/// values split the range into at most `num_threads` chunks. For
+/// `num_threads >= 1`, chunk boundaries depend only on (count, grain,
+/// num_threads); at 0 they additionally depend on the pool size, which varies
+/// across machines. Boundaries never depend on scheduling, so a
+/// per-index-deterministic body (one that ignores the chunk/worker indexes)
+/// yields identical results at every setting.
+void ParallelFor(size_t count, size_t grain, size_t num_threads,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
 }  // namespace usp
 
 #endif  // USP_UTIL_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 // scale (USP vs K-means candidate efficiency), the full fvecs -> index ->
 // search round trip, the USP + ScaNN composite pipeline, and end-to-end
 // determinism.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -74,6 +75,47 @@ TEST(IntegrationTest, UspNeedsFewerCandidatesThanKMeansAt85) {
   ASSERT_GT(usp_c, 0.0);
   ASSERT_GT(km_c, 0.0);
   EXPECT_LT(usp_c, km_c);
+}
+
+TEST(IntegrationTest, UspRecallBeatsKMeansAtEqualCandidateBudget) {
+  // Table 4 read along the other axis: at a fixed candidate budget, USP's
+  // recall must be at least K-means', and must clear absolute floors. Uses
+  // the index-based ProbeSweep (one scoring pass, batched parallel search).
+  const Workload& w = SiftSmall();
+  UspPartitioner usp(TrainedConfig());
+  usp.Train(w.base, w.knn_matrix);
+  PartitionIndex usp_index(&w.base, &usp);
+
+  KMeansConfig km_config;
+  km_config.num_clusters = 16;
+  km_config.seed = 5;
+  KMeansPartitioner kmeans(w.base, km_config);
+  PartitionIndex km_index(&w.base, &kmeans);
+
+  const auto probes = DefaultProbeCounts(16);
+  const auto usp_curve = ProbeSweep(usp_index, w.queries, 10, probes,
+                                    w.ground_truth.indices, w.ground_truth.k);
+  const auto km_curve = ProbeSweep(km_index, w.queries, 10, probes,
+                                   w.ground_truth.indices, w.ground_truth.k);
+
+  // Equal-budget comparison at budgets spanning the K-means curve: probe
+  // counts 2, 4, and 8 out of 16 bins.
+  for (size_t probe_count : {2u, 4u, 8u}) {
+    const auto km_point =
+        std::find_if(km_curve.begin(), km_curve.end(),
+                     [&](const SweepPoint& p) { return p.probes == probe_count; });
+    ASSERT_NE(km_point, km_curve.end());
+    const double budget = km_point->mean_candidates;
+    const double usp_recall = AccuracyAtCandidates(usp_curve, budget);
+    const double km_recall = AccuracyAtCandidates(km_curve, budget);
+    EXPECT_GE(usp_recall, km_recall)
+        << "USP below K-means at budget " << budget;
+  }
+
+  // Absolute recall floors: a quarter of the bins must already reach high
+  // recall, and the full sweep must essentially saturate.
+  EXPECT_GE(AccuracyAtCandidates(usp_curve, 0.25 * w.base.rows()), 0.85);
+  EXPECT_GE(usp_curve.back().accuracy, 0.95);
 }
 
 TEST(IntegrationTest, UspPartitionIsMoreBalancedThanKMeans) {

@@ -1,6 +1,7 @@
 // Tests for model persistence: a saved-and-reloaded partitioner must behave
 // identically to the original (including batch-norm running statistics), and
 // malformed inputs must fail with clear Status codes, never crash.
+#include <cstdint>
 #include <cstdio>
 #include <unistd.h>
 #include <string>
@@ -122,7 +123,8 @@ TEST(SerializeTest, LoadGarbageIsInvalidArgument) {
 }
 
 TEST(SerializeTest, LoadTruncatedIsError) {
-  // Save a valid model, truncate it, expect a clean failure.
+  // Save a valid model, truncate it, expect a clean IO/argument error — never
+  // a crash and never a silently half-loaded model.
   const UspPartitioner original = TrainSmall(UspModelKind::kMlp);
   const std::string path = TempPath("truncated.uspm");
   ASSERT_TRUE(original.Save(path).ok());
@@ -133,7 +135,62 @@ TEST(SerializeTest, LoadTruncatedIsError) {
   std::fclose(f);
   ASSERT_EQ(0, truncate(path.c_str(), size / 2));
   auto result = UspPartitioner::Load(path);
-  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().code() == StatusCode::kIoError ||
+              result.status().code() == StatusCode::kInvalidArgument)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadTruncatedHeaderIsIoError) {
+  // Cut inside the fixed-size header: the first read itself comes up short.
+  const UspPartitioner original = TrainSmall(UspModelKind::kMlp);
+  const std::string path = TempPath("truncated_header.uspm");
+  ASSERT_TRUE(original.Save(path).ok());
+  ASSERT_EQ(0, truncate(path.c_str(), 40));
+  auto result = UspPartitioner::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadTruncatedTensorDataIsIoError) {
+  // Cut a few bytes off the end: header parses, the last tensor record is
+  // short.
+  const UspPartitioner original = TrainSmall(UspModelKind::kMlp);
+  const std::string path = TempPath("truncated_tensor.uspm");
+  ASSERT_TRUE(original.Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_GT(size, 7);
+  ASSERT_EQ(0, truncate(path.c_str(), size - 7));
+  auto result = UspPartitioner::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadWrongMagicIsInvalidArgument) {
+  // A structurally complete file whose magic bytes are wrong must be rejected
+  // as not-a-model, before any tensor data is interpreted.
+  const UspPartitioner original = TrainSmall(UspModelKind::kMlp);
+  const std::string path = TempPath("wrong_magic.uspm");
+  ASSERT_TRUE(original.Save(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const uint64_t bogus_magic = 0xDEADBEEFDEADBEEFULL;
+  ASSERT_EQ(sizeof(bogus_magic),
+            std::fwrite(&bogus_magic, 1, sizeof(bogus_magic), f));
+  std::fclose(f);
+  auto result = UspPartitioner::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
   std::remove(path.c_str());
 }
 
