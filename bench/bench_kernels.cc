@@ -1,0 +1,159 @@
+// Microbenchmark for the src/dist/ kernel layer: 1-vs-1 scalar vs dispatched
+// vs batched ScoreBlock / gather ScoreIds, at d in {32, 128, 960}. Writes
+// machine-readable results to BENCH_kernels.json (override the path with
+// argv[1]) to seed the perf trajectory; the headline number is the speedup of
+// the dispatched batched kernels over the scalar 1-vs-1 loop.
+//
+// Scale knobs: USP_BENCH_KERNEL_MB (working set, default 64) and
+// USP_BENCH_KERNEL_REPS (timed repetitions, default 5).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dist/distance_kernels.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace usp::bench {
+namespace {
+
+struct BenchResult {
+  std::string kernel;
+  std::string impl;
+  size_t dim;
+  size_t rows;
+  double ns_per_row;
+  double gb_per_sec;
+  double speedup_vs_scalar_1v1;  // 0 when it IS the baseline
+};
+
+double BestOfReps(size_t reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+int Run(const char* out_path) {
+  const size_t budget_floats =
+      static_cast<size_t>(EnvInt("USP_BENCH_KERNEL_MB", 64)) * (1u << 20) / 4;
+  const size_t reps = static_cast<size_t>(EnvInt("USP_BENCH_KERNEL_REPS", 5));
+  const DistanceKernels& scalar = ScalarKernels();
+  const DistanceKernels& dispatched = GetDistanceKernels();
+  std::printf("dispatched kernel set: %s\n", dispatched.name);
+
+  std::vector<BenchResult> results;
+  float sink = 0.0f;  // defeats dead-code elimination
+
+  for (const size_t d : {size_t{32}, size_t{128}, size_t{960}}) {
+    const size_t rows = std::min<size_t>(200000, budget_floats / d);
+    std::vector<float> base(rows * d), query(d);
+    std::mt19937 gen(42);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    for (auto& v : base) v = dist(gen);
+    for (auto& v : query) v = dist(gen);
+    std::vector<uint32_t> ids(rows);
+    std::iota(ids.begin(), ids.end(), 0u);
+    std::shuffle(ids.begin(), ids.end(), gen);
+    std::vector<float> out(rows);
+    const double bytes = static_cast<double>(rows) * d * sizeof(float);
+
+    auto record = [&](const std::string& kernel, const std::string& impl,
+                      double seconds, double baseline_seconds) {
+      BenchResult r;
+      r.kernel = kernel;
+      r.impl = impl;
+      r.dim = d;
+      r.rows = rows;
+      r.ns_per_row = seconds * 1e9 / static_cast<double>(rows);
+      r.gb_per_sec = bytes / seconds / 1e9;
+      r.speedup_vs_scalar_1v1 =
+          baseline_seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+      results.push_back(r);
+      std::printf("%-18s %-7s d=%-4zu rows=%-7zu %8.2f ns/row %7.2f GB/s%s\n",
+                  kernel.c_str(), impl.c_str(), d, rows, r.ns_per_row,
+                  r.gb_per_sec,
+                  baseline_seconds > 0.0
+                      ? ("  (" + std::to_string(r.speedup_vs_scalar_1v1) +
+                         "x vs scalar 1v1)")
+                            .c_str()
+                      : "");
+    };
+
+    // Baseline: scalar 1-vs-1 loop (the pre-refactor call-site shape).
+    const double scalar_1v1 = BestOfReps(reps, [&] {
+      for (size_t i = 0; i < rows; ++i) {
+        out[i] = scalar.squared_l2(query.data(), base.data() + i * d, d);
+      }
+      sink += out[rows / 2];
+    });
+    record("l2_1v1", "scalar", scalar_1v1, 0.0);
+
+    record("l2_1v1", dispatched.name, BestOfReps(reps, [&] {
+             for (size_t i = 0; i < rows; ++i) {
+               out[i] =
+                   dispatched.squared_l2(query.data(), base.data() + i * d, d);
+             }
+             sink += out[rows / 2];
+           }),
+           scalar_1v1);
+
+    record("l2_score_block", dispatched.name, BestOfReps(reps, [&] {
+             dispatched.score_block_l2(query.data(), base.data(), rows, d,
+                                       out.data());
+             sink += out[rows / 2];
+           }),
+           scalar_1v1);
+
+    record("l2_score_ids", dispatched.name, BestOfReps(reps, [&] {
+             dispatched.score_ids_l2(query.data(), base.data(), d, ids.data(),
+                                     rows, out.data());
+             sink += out[rows / 2];
+           }),
+           scalar_1v1);
+
+    record("dot_score_block", dispatched.name, BestOfReps(reps, [&] {
+             dispatched.score_block_dot(query.data(), base.data(), rows, d,
+                                        out.data());
+             sink += out[rows / 2];
+           }),
+           scalar_1v1);
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"dispatched\": \"%s\",\n  \"results\": [\n",
+               dispatched.name);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"impl\": \"%s\", \"dim\": %zu, "
+                 "\"rows\": %zu, \"ns_per_row\": %.3f, \"gb_per_sec\": %.3f, "
+                 "\"speedup_vs_scalar_1v1\": %.3f}%s\n",
+                 r.kernel.c_str(), r.impl.c_str(), r.dim, r.rows, r.ns_per_row,
+                 r.gb_per_sec, r.speedup_vs_scalar_1v1,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (sink=%g)\n", out_path, static_cast<double>(sink));
+  return 0;
+}
+
+}  // namespace
+}  // namespace usp::bench
+
+int main(int argc, char** argv) {
+  return usp::bench::Run(argc > 1 ? argv[1] : "BENCH_kernels.json");
+}

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dist/distance_kernels.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -20,11 +21,12 @@ Matrix CrossPolytopeLsh::ScoreBins(const Matrix& points) const {
   Matrix rotated(points.rows(), half);
   Gemm(points, projection_, &rotated);
   Matrix scores(points.rows(), 2 * half);
+  const DistanceKernels& kd = GetDistanceKernels();
   for (size_t i = 0; i < points.rows(); ++i) {
     // Normalize per point so scores are scale-free (the hash of the
     // direction, as in angular-distance LSH).
     const float* r = rotated.Row(i);
-    float norm = std::sqrt(Dot(r, r, half)) + 1e-12f;
+    float norm = std::sqrt(kd.dot(r, r, half)) + 1e-12f;
     float* s = scores.Row(i);
     for (size_t j = 0; j < half; ++j) {
       s[j] = r[j] / norm;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 
+#include "dist/distance_kernels.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -18,15 +19,18 @@ namespace {
 Matrix KMeansPlusPlusInit(const Matrix& data, size_t k, Rng* rng) {
   const size_t n = data.rows(), d = data.cols();
   Matrix centroids(k, d);
+  const DistanceKernels& kd = GetDistanceKernels();
   std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  std::vector<float> prev_dist(n);
   size_t first = rng->UniformInt(n);
   std::memcpy(centroids.Row(0), data.Row(first), d * sizeof(float));
   for (size_t c = 1; c < k; ++c) {
-    const float* prev = centroids.Row(c - 1);
+    // 1-vs-many block scan of the whole dataset against the latest center.
+    kd.score_block_l2(centroids.Row(c - 1), data.data(), n, d,
+                      prev_dist.data());
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      min_dist[i] = std::min(min_dist[i],
-                             SquaredDistance(data.Row(i), prev, d));
+      min_dist[i] = std::min(min_dist[i], prev_dist[i]);
       total += min_dist[i];
     }
     size_t chosen = 0;
@@ -63,16 +67,20 @@ KMeansResult RunKMeans(const Matrix& data, const KMeansConfig& config) {
 
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    // Assignment step (parallel).
+    // Assignment step (parallel): 1-vs-many scan over the contiguous
+    // centroid rows, then a deterministic argmin (strict < keeps the lowest
+    // index on ties, matching the historical per-centroid loop).
+    const DistanceKernels& kd = GetDistanceKernels();
     ParallelFor(n, 64, [&](size_t begin, size_t end, size_t) {
+      std::vector<float> dist(k);
       for (size_t i = begin; i < end; ++i) {
-        const float* x = data.Row(i);
+        kd.score_block_l2(data.Row(i), result.centroids.data(), k, d,
+                          dist.data());
         float best = std::numeric_limits<float>::max();
         uint32_t best_c = 0;
         for (size_t c = 0; c < k; ++c) {
-          const float dist = SquaredDistance(x, result.centroids.Row(c), d);
-          if (dist < best) {
-            best = dist;
+          if (dist[c] < best) {
+            best = dist[c];
             best_c = static_cast<uint32_t>(c);
           }
         }
@@ -126,14 +134,35 @@ KMeansPartitioner::KMeansPartitioner(const Matrix& data,
   centroids_ = std::move(RunKMeans(data, config).centroids);
 }
 
-KMeansPartitioner::KMeansPartitioner(Matrix centroids)
-    : centroids_(std::move(centroids)) {}
+KMeansPartitioner::KMeansPartitioner(Matrix centroids, Metric metric)
+    : centroids_(std::move(centroids)), metric_(metric) {
+  if (metric_ == Metric::kCosine) NormalizeRows(&centroids_);
+}
 
 Matrix KMeansPartitioner::ScoreBins(const Matrix& points) const {
-  Matrix dist(points.rows(), centroids_.rows());
-  PairwiseSquaredDistances(points, centroids_, &dist);
-  for (size_t i = 0; i < dist.size(); ++i) dist.data()[i] = -dist.data()[i];
-  return dist;
+  Matrix scores(points.rows(), centroids_.rows());
+  switch (metric_) {
+    case Metric::kSquaredL2: {
+      PairwiseSquaredDistances(points, centroids_, &scores);
+      for (size_t i = 0; i < scores.size(); ++i) {
+        scores.data()[i] = -scores.data()[i];
+      }
+      break;
+    }
+    case Metric::kInnerProduct:
+      GemmTransposedB(points, centroids_, &scores);
+      break;
+    case Metric::kCosine: {
+      // Cosine similarity against the unit centroids; normalizing the points
+      // makes scores scale-free (ranking would survive without it, but
+      // AssignBins/argmax comparisons stay well-conditioned this way).
+      Matrix normalized = points.Clone();
+      NormalizeRows(&normalized);
+      GemmTransposedB(normalized, centroids_, &scores);
+      break;
+    }
+  }
+  return scores;
 }
 
 }  // namespace usp

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/bin_scorer.h"
+#include "dist/metric.h"
 #include "tensor/matrix.h"
 
 namespace usp {
@@ -33,27 +34,32 @@ struct KMeansResult {
 /// are reseeded from the point currently farthest from its centroid.
 KMeansResult RunKMeans(const Matrix& data, const KMeansConfig& config);
 
-/// K-means as a space partition: bin score = negated squared distance to each
-/// centroid, so argmax-score matches nearest-centroid assignment and probing
-/// order matches the standard IVF probe order.
+/// K-means as a space partition. Bin scores follow the metric: negated
+/// squared distance for kSquaredL2 (argmax-score = nearest centroid, the
+/// standard IVF probe order), raw dot products for kInnerProduct, and cosine
+/// similarity for kCosine (centroids are unit-normalized at construction and
+/// query rows are normalized inside ScoreBins).
 class KMeansPartitioner : public BinScorer {
  public:
-  /// Trains centroids on `data`.
+  /// Trains centroids on `data` (squared-L2 scoring).
   KMeansPartitioner(const Matrix& data, const KMeansConfig& config);
 
-  /// Wraps existing centroids.
-  explicit KMeansPartitioner(Matrix centroids);
+  /// Wraps existing centroids, scoring under `metric`.
+  explicit KMeansPartitioner(Matrix centroids,
+                             Metric metric = Metric::kSquaredL2);
 
   size_t num_bins() const override { return centroids_.rows(); }
   Matrix ScoreBins(const Matrix& points) const override;
 
   const Matrix& centroids() const { return centroids_; }
+  Metric metric() const { return metric_; }
 
   /// Learnable parameter count analogue (centroid table, Table 2).
   size_t ParameterCount() const { return centroids_.size(); }
 
  private:
   Matrix centroids_;
+  Metric metric_ = Metric::kSquaredL2;
 };
 
 }  // namespace usp

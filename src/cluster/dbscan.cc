@@ -2,18 +2,23 @@
 
 #include <deque>
 
-#include "tensor/ops.h"
+#include "dist/distance_kernels.h"
 
 namespace usp {
 
 namespace {
+// 1-vs-many block scan of the whole dataset against the center point;
+// `dist_scratch` (resized to n) keeps the scan allocation-free per call.
 void RegionQuery(const Matrix& points, size_t center, float eps_sq,
+                 std::vector<float>* dist_scratch,
                  std::vector<uint32_t>* out) {
   out->clear();
-  const size_t d = points.cols();
-  const float* c = points.Row(center);
-  for (size_t i = 0; i < points.rows(); ++i) {
-    if (SquaredDistance(c, points.Row(i), d) <= eps_sq) {
+  const size_t n = points.rows(), d = points.cols();
+  dist_scratch->resize(n);
+  GetDistanceKernels().score_block_l2(points.Row(center), points.data(), n, d,
+                                      dist_scratch->data());
+  for (size_t i = 0; i < n; ++i) {
+    if ((*dist_scratch)[i] <= eps_sq) {
       out->push_back(static_cast<uint32_t>(i));
     }
   }
@@ -27,12 +32,13 @@ DbscanResult RunDbscan(const Matrix& points, const DbscanConfig& config) {
   result.labels.assign(n, kDbscanNoise);
   std::vector<uint8_t> visited(n, 0);
   std::vector<uint32_t> neighbors, expansion;
+  std::vector<float> dist_scratch;
 
   int32_t cluster = 0;
   for (size_t i = 0; i < n; ++i) {
     if (visited[i]) continue;
     visited[i] = 1;
-    RegionQuery(points, i, eps_sq, &neighbors);
+    RegionQuery(points, i, eps_sq, &dist_scratch, &neighbors);
     if (neighbors.size() < config.min_points) continue;  // stays noise for now
 
     // Start a new cluster and expand it breadth-first over core points.
@@ -45,7 +51,7 @@ DbscanResult RunDbscan(const Matrix& points, const DbscanConfig& config) {
       if (visited[p]) continue;
       visited[p] = 1;
       result.labels[p] = cluster;
-      RegionQuery(points, p, eps_sq, &expansion);
+      RegionQuery(points, p, eps_sq, &dist_scratch, &expansion);
       if (expansion.size() >= config.min_points) {
         frontier.insert(frontier.end(), expansion.begin(), expansion.end());
       }

@@ -182,11 +182,7 @@ std::vector<uint32_t> RunSpectralClustering(const Matrix& points,
   }
 
   // Row-normalize the embedding (Ng-Jordan-Weiss) and cluster with k-means.
-  for (size_t i = 0; i < n; ++i) {
-    float* row = embedding.Row(i);
-    const float norm = std::sqrt(Dot(row, row, k)) + 1e-12f;
-    for (size_t c = 0; c < k; ++c) row[c] /= norm;
-  }
+  NormalizeRows(&embedding);
   KMeansConfig kc;
   kc.num_clusters = k;
   kc.max_iterations = 50;

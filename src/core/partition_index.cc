@@ -17,12 +17,16 @@ double BatchSearchResult::MeanCandidates() const {
   return sum / static_cast<double>(candidate_counts.size());
 }
 
-PartitionIndex::PartitionIndex(const Matrix* base, const BinScorer* scorer)
-    : PartitionIndex(base, scorer, scorer->AssignBins(*base)) {}
+PartitionIndex::PartitionIndex(const Matrix* base, const BinScorer* scorer,
+                               Metric metric)
+    : PartitionIndex(base, scorer, scorer->AssignBins(*base), metric) {}
 
 PartitionIndex::PartitionIndex(const Matrix* base, const BinScorer* scorer,
-                               std::vector<uint32_t> assignments)
-    : base_(base), scorer_(scorer), assignments_(std::move(assignments)) {
+                               std::vector<uint32_t> assignments, Metric metric)
+    : base_(base),
+      scorer_(scorer),
+      dist_(base, metric),
+      assignments_(std::move(assignments)) {
   USP_CHECK(assignments_.size() == base_->rows());
   buckets_.resize(scorer_->num_bins());
   for (size_t i = 0; i < assignments_.size(); ++i) {
@@ -78,7 +82,7 @@ BatchSearchResult PartitionIndex::SearchBatchWithScores(
       CollectCandidates(scores.Row(q), num_probes, &candidates);
       result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
       const auto top =
-          RerankCandidates(*base_, queries.Row(q), candidates, k);
+          RerankCandidates(dist_, queries.Row(q), candidates, k);
       std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
     }
   });

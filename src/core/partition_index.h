@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/bin_scorer.h"
+#include "dist/distance_computer.h"
+#include "dist/metric.h"
 #include "tensor/matrix.h"
 
 namespace usp {
@@ -31,11 +33,19 @@ struct BatchSearchResult {
 class PartitionIndex {
  public:
   /// Builds the lookup table by assigning every base point to its argmax bin.
-  PartitionIndex(const Matrix* base, const BinScorer* scorer);
-
-  /// Builds from precomputed assignments (used by ensembles and tests).
+  /// `metric` selects the exact-distance metric of the final rerank stage
+  /// (dist/metric.h); the default keeps the historical squared-L2 behavior
+  /// bit-compatible. Bin-scoring semantics stay whatever the scorer encodes,
+  /// so a metric-consistent index pairs this with a matching scorer (e.g.
+  /// KMeansPartitioner built with the same metric).
   PartitionIndex(const Matrix* base, const BinScorer* scorer,
-                 std::vector<uint32_t> assignments);
+                 Metric metric = Metric::kSquaredL2);
+
+  /// Builds from precomputed assignments (used by ensembles, IVF residency,
+  /// and tests).
+  PartitionIndex(const Matrix* base, const BinScorer* scorer,
+                 std::vector<uint32_t> assignments,
+                 Metric metric = Metric::kSquaredL2);
 
   /// Scores all queries once; reuse across different probe counts.
   Matrix ScoreQueries(const Matrix& queries) const;
@@ -62,12 +72,14 @@ class PartitionIndex {
                          std::vector<uint32_t>* candidates) const;
 
   size_t num_bins() const { return buckets_.size(); }
+  Metric metric() const { return dist_.metric(); }
   const std::vector<std::vector<uint32_t>>& buckets() const { return buckets_; }
   const std::vector<uint32_t>& assignments() const { return assignments_; }
 
  private:
   const Matrix* base_;
   const BinScorer* scorer_;
+  DistanceComputer dist_;  ///< exact rerank under the index metric
   std::vector<uint32_t> assignments_;
   std::vector<std::vector<uint32_t>> buckets_;  ///< the paper's lookup table
 };

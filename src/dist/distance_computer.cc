@@ -1,0 +1,92 @@
+#include "dist/distance_computer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace usp {
+
+DistanceComputer::DistanceComputer(const Matrix* base, Metric metric)
+    : base_(base), metric_(metric), kernels_(&GetDistanceKernels()) {
+  USP_CHECK(base_ != nullptr);
+  if (metric_ == Metric::kCosine) {
+    // Parallel norm pass; cosine computers are only built at index
+    // construction (never from inside a ParallelFor body).
+    RowSquaredNorms(*base_, &inv_norms_);
+    for (auto& v : inv_norms_) v = v > 0.0f ? 1.0f / std::sqrt(v) : 0.0f;
+  }
+}
+
+const float* DistanceComputer::PrepareQuery(const float* query,
+                                            std::vector<float>* scratch) const {
+  if (metric_ != Metric::kCosine) return query;
+  const size_t d = base_->cols();
+  scratch->assign(query, query + d);
+  const float norm = std::sqrt(kernels_->dot(query, query, d));
+  if (norm > 0.0f) {
+    const float inv = 1.0f / norm;
+    for (size_t j = 0; j < d; ++j) (*scratch)[j] *= inv;
+  }
+  return scratch->data();
+}
+
+float DistanceComputer::Distance(const float* prepared_query,
+                                 uint32_t id) const {
+  const size_t d = base_->cols();
+  const float* row = base_->Row(id);
+  switch (metric_) {
+    case Metric::kSquaredL2:
+      return kernels_->squared_l2(prepared_query, row, d);
+    case Metric::kInnerProduct:
+      return -kernels_->dot(prepared_query, row, d);
+    case Metric::kCosine:
+      return 1.0f - kernels_->dot(prepared_query, row, d) * inv_norms_[id];
+  }
+  return 0.0f;
+}
+
+void DistanceComputer::ScoreIds(const float* prepared_query,
+                                const uint32_t* ids, size_t count,
+                                float* out) const {
+  const size_t d = base_->cols();
+  const float* data = base_->data();
+  switch (metric_) {
+    case Metric::kSquaredL2:
+      kernels_->score_ids_l2(prepared_query, data, d, ids, count, out);
+      return;
+    case Metric::kInnerProduct:
+      kernels_->score_ids_dot(prepared_query, data, d, ids, count, out);
+      for (size_t i = 0; i < count; ++i) out[i] = -out[i];
+      return;
+    case Metric::kCosine:
+      kernels_->score_ids_dot(prepared_query, data, d, ids, count, out);
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = 1.0f - out[i] * inv_norms_[ids[i]];
+      }
+      return;
+  }
+}
+
+void DistanceComputer::ScoreRange(const float* prepared_query,
+                                  uint32_t first_id, size_t count,
+                                  float* out) const {
+  const size_t d = base_->cols();
+  const float* rows = base_->Row(first_id);
+  switch (metric_) {
+    case Metric::kSquaredL2:
+      kernels_->score_block_l2(prepared_query, rows, count, d, out);
+      return;
+    case Metric::kInnerProduct:
+      kernels_->score_block_dot(prepared_query, rows, count, d, out);
+      for (size_t i = 0; i < count; ++i) out[i] = -out[i];
+      return;
+    case Metric::kCosine:
+      kernels_->score_block_dot(prepared_query, rows, count, d, out);
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = 1.0f - out[i] * inv_norms_[first_id + i];
+      }
+      return;
+  }
+}
+
+}  // namespace usp

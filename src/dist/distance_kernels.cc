@@ -1,0 +1,20 @@
+#include "dist/distance_kernels.h"
+
+#include "util/env.h"
+
+namespace usp {
+
+const DistanceKernels& SelectKernels(bool force_scalar) {
+  if (!force_scalar) {
+    if (const DistanceKernels* avx2 = Avx2KernelsOrNull()) return *avx2;
+  }
+  return ScalarKernels();
+}
+
+const DistanceKernels& GetDistanceKernels() {
+  static const DistanceKernels& kernels =
+      SelectKernels(EnvInt("USP_FORCE_SCALAR", 0) != 0);
+  return kernels;
+}
+
+}  // namespace usp

@@ -1,0 +1,77 @@
+// Low-level distance kernels behind every search path: 1-vs-1 distances,
+// batched 1-vs-many scoring over contiguous rows (centroid/codebook scans),
+// and gather-by-id scoring (candidate rerank). One implementation set is
+// selected ONCE at process startup by runtime CPU detection:
+//
+//   - "avx2":   AVX2 + FMA vector kernels (x86-64 with both features)
+//   - "scalar": portable fallback
+//
+// Set USP_FORCE_SCALAR=1 in the environment to pin the scalar set.
+//
+// Bit-compatibility contract: the scalar `squared_l2` and `dot` mirror the
+// AVX2 arithmetic exactly — eight independent fused-multiply-add lanes
+// (element i feeds lane i % 8) reduced by the fixed tree
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) — so both sets produce bitwise
+// identical results for identical inputs. `score_block_*` / `score_ids_*`
+// apply the matching 1-vs-1 kernel per row and inherit the guarantee.
+// tests/dist_test.cc enforces this across dims covering every SIMD tail.
+#ifndef USP_DIST_DISTANCE_KERNELS_H_
+#define USP_DIST_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace usp {
+
+/// Function table for one kernel implementation set. All pointers are
+/// non-null. `d` is the vector dimensionality; rows are dense row-major.
+struct DistanceKernels {
+  const char* name;  ///< "scalar" or "avx2"
+
+  /// ||x - y||^2.
+  float (*squared_l2)(const float* x, const float* y, size_t d);
+
+  /// <x, y>.
+  float (*dot)(const float* x, const float* y, size_t d);
+
+  /// out[r] = ||query - rows[r*d .. r*d+d)||^2 for r in [0, count).
+  void (*score_block_l2)(const float* query, const float* rows, size_t count,
+                         size_t d, float* out);
+
+  /// out[r] = <query, rows[r*d ..]> for r in [0, count).
+  void (*score_block_dot)(const float* query, const float* rows, size_t count,
+                          size_t d, float* out);
+
+  /// out[i] = ||query - base[ids[i]*d ..]||^2, software-prefetching the
+  /// gathered rows a few ids ahead.
+  void (*score_ids_l2)(const float* query, const float* base, size_t d,
+                       const uint32_t* ids, size_t count, float* out);
+
+  /// out[i] = <query, base[ids[i]*d ..]>, prefetched gather.
+  void (*score_ids_dot)(const float* query, const float* base, size_t d,
+                        const uint32_t* ids, size_t count, float* out);
+
+  /// y[i] += alpha * x[i] for i in [0, n). GEMM inner loop. (No cross-set
+  /// bit-compatibility promise: the vector path uses FMA contraction.)
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+};
+
+/// The portable fallback set (always available).
+const DistanceKernels& ScalarKernels();
+
+/// The AVX2+FMA set, or nullptr when not compiled in or the CPU lacks
+/// AVX2/FMA. Exposed for tests and benchmarks.
+const DistanceKernels* Avx2KernelsOrNull();
+
+/// Selection policy: the AVX2 set when available and not `force_scalar`,
+/// else the scalar set. Exposed so tests can exercise both branches without
+/// re-launching the process.
+const DistanceKernels& SelectKernels(bool force_scalar);
+
+/// The process-wide kernel set, resolved once on first use from CPU
+/// detection and the USP_FORCE_SCALAR environment variable.
+const DistanceKernels& GetDistanceKernels();
+
+}  // namespace usp
+
+#endif  // USP_DIST_DISTANCE_KERNELS_H_

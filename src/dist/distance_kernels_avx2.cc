@@ -1,0 +1,165 @@
+// AVX2 + FMA kernel set. Compiled via per-function target attributes so the
+// rest of the library keeps its baseline ISA; GetDistanceKernels() only hands
+// this set out after __builtin_cpu_supports confirms avx2 and fma at runtime.
+//
+// Arithmetic contract (mirrored by distance_kernels_scalar.cc — keep in
+// sync): one 8-lane FMA accumulator, element i -> lane i % 8, masked tail
+// load contributing zero to the untouched lanes, reduction tree
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+#include "dist/distance_kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace usp {
+namespace {
+
+constexpr size_t kPrefetchAhead = 4;  // gather lookahead, in rows
+
+// First `8 - offset` lanes active when loaded from kMaskTable + offset.
+alignas(32) constexpr int32_t kMaskTable[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                                0,  0,  0,  0,  0,  0,  0,  0};
+
+__attribute__((target("avx2,fma"))) inline __m256i TailMask(size_t rem) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + 8 - rem));
+}
+
+__attribute__((target("avx2,fma"))) inline float Reduce8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);          // [l0+l4, l1+l5, l2+l6, l3+l7]
+  const __m128 half = _mm_movehl_ps(s, s);
+  s = _mm_add_ps(s, half);                // [even, odd, ..]
+  const __m128 odd = _mm_shuffle_ps(s, s, 0x55);
+  return _mm_cvtss_f32(_mm_add_ss(s, odd));
+}
+
+__attribute__((target("avx2,fma"))) float SquaredL2Avx2(const float* x,
+                                                        const float* y,
+                                                        size_t d) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  const size_t rem = d - i;
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    const __m256 diff = _mm256_sub_ps(_mm256_maskload_ps(x + i, mask),
+                                      _mm256_maskload_ps(y + i, mask));
+    acc = _mm256_fmadd_ps(diff, diff, acc);
+  }
+  return Reduce8(acc);
+}
+
+__attribute__((target("avx2,fma"))) float DotAvx2(const float* x,
+                                                  const float* y, size_t d) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), acc);
+  }
+  const size_t rem = d - i;
+  if (rem > 0) {
+    const __m256i mask = TailMask(rem);
+    acc = _mm256_fmadd_ps(_mm256_maskload_ps(x + i, mask),
+                          _mm256_maskload_ps(y + i, mask), acc);
+  }
+  return Reduce8(acc);
+}
+
+__attribute__((target("avx2,fma"))) inline void PrefetchRow(const float* row,
+                                                            size_t d) {
+  const size_t bytes = d * sizeof(float);
+  __builtin_prefetch(row);
+  if (bytes > 64) __builtin_prefetch(reinterpret_cast<const char*>(row) + 64);
+}
+
+__attribute__((target("avx2,fma"))) void ScoreBlockL2Avx2(const float* query,
+                                                          const float* rows,
+                                                          size_t count,
+                                                          size_t d,
+                                                          float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    if (r + 1 < count) PrefetchRow(rows + (r + 1) * d, d);
+    out[r] = SquaredL2Avx2(query, rows + r * d, d);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScoreBlockDotAvx2(const float* query,
+                                                           const float* rows,
+                                                           size_t count,
+                                                           size_t d,
+                                                           float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    if (r + 1 < count) PrefetchRow(rows + (r + 1) * d, d);
+    out[r] = DotAvx2(query, rows + r * d, d);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScoreIdsL2Avx2(
+    const float* query, const float* base, size_t d, const uint32_t* ids,
+    size_t count, float* out) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      PrefetchRow(base + static_cast<size_t>(ids[i + kPrefetchAhead]) * d, d);
+    }
+    out[i] = SquaredL2Avx2(query, base + static_cast<size_t>(ids[i]) * d, d);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScoreIdsDotAvx2(
+    const float* query, const float* base, size_t d, const uint32_t* ids,
+    size_t count, float* out) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      PrefetchRow(base + static_cast<size_t>(ids[i + kPrefetchAhead]) * d, d);
+    }
+    out[i] = DotAvx2(query, base + static_cast<size_t>(ids[i]) * d, d);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void AxpyAvx2(float alpha, const float* x,
+                                                  float* y, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 updated =
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, updated);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+}  // namespace
+
+const DistanceKernels* Avx2KernelsOrNull() {
+  static const DistanceKernels kernels = {
+      "avx2",           SquaredL2Avx2,   DotAvx2,
+      ScoreBlockL2Avx2, ScoreBlockDotAvx2, ScoreIdsL2Avx2,
+      ScoreIdsDotAvx2,  AxpyAvx2,
+  };
+  static const bool supported = CpuHasAvx2Fma();
+  return supported ? &kernels : nullptr;
+}
+
+}  // namespace usp
+
+#else  // non-x86: the scalar set is the only implementation.
+
+namespace usp {
+const DistanceKernels* Avx2KernelsOrNull() { return nullptr; }
+}  // namespace usp
+
+#endif

@@ -1,0 +1,104 @@
+// Portable kernel set. squared_l2/dot deliberately mirror the AVX2 lane
+// structure (eight fused-multiply-add accumulators, element i -> lane i % 8,
+// fixed reduction tree) so the scalar and vector sets agree bit-for-bit; see
+// the contract in distance_kernels.h before changing any arithmetic here.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "dist/distance_kernels.h"
+
+namespace usp {
+namespace {
+
+constexpr size_t kLanes = 8;
+constexpr size_t kPrefetchAhead = 4;  // gather lookahead, in rows
+
+// Reduction tree shared by both kernel sets:
+// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+inline float ReduceLanes(const float* acc) {
+  const float even = (acc[0] + acc[4]) + (acc[2] + acc[6]);
+  const float odd = (acc[1] + acc[5]) + (acc[3] + acc[7]);
+  return even + odd;
+}
+
+float SquaredL2Scalar(const float* x, const float* y, size_t d) {
+  float acc[kLanes] = {0.0f};
+  size_t i = 0;
+  for (; i + kLanes <= d; i += kLanes) {
+    for (size_t j = 0; j < kLanes; ++j) {
+      const float diff = x[i + j] - y[i + j];
+      acc[j] = std::fmaf(diff, diff, acc[j]);
+    }
+  }
+  for (size_t j = 0; i < d; ++i, ++j) {
+    const float diff = x[i] - y[i];
+    acc[j] = std::fmaf(diff, diff, acc[j]);
+  }
+  return ReduceLanes(acc);
+}
+
+float DotScalar(const float* x, const float* y, size_t d) {
+  float acc[kLanes] = {0.0f};
+  size_t i = 0;
+  for (; i + kLanes <= d; i += kLanes) {
+    for (size_t j = 0; j < kLanes; ++j) {
+      acc[j] = std::fmaf(x[i + j], y[i + j], acc[j]);
+    }
+  }
+  for (size_t j = 0; i < d; ++i, ++j) {
+    acc[j] = std::fmaf(x[i], y[i], acc[j]);
+  }
+  return ReduceLanes(acc);
+}
+
+void ScoreBlockL2Scalar(const float* query, const float* rows, size_t count,
+                        size_t d, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = SquaredL2Scalar(query, rows + r * d, d);
+  }
+}
+
+void ScoreBlockDotScalar(const float* query, const float* rows, size_t count,
+                         size_t d, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = DotScalar(query, rows + r * d, d);
+  }
+}
+
+void ScoreIdsL2Scalar(const float* query, const float* base, size_t d,
+                      const uint32_t* ids, size_t count, float* out) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      __builtin_prefetch(base + static_cast<size_t>(ids[i + kPrefetchAhead]) * d);
+    }
+    out[i] = SquaredL2Scalar(query, base + static_cast<size_t>(ids[i]) * d, d);
+  }
+}
+
+void ScoreIdsDotScalar(const float* query, const float* base, size_t d,
+                       const uint32_t* ids, size_t count, float* out) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      __builtin_prefetch(base + static_cast<size_t>(ids[i + kPrefetchAhead]) * d);
+    }
+    out[i] = DotScalar(query, base + static_cast<size_t>(ids[i]) * d, d);
+  }
+}
+
+void AxpyScalar(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace
+
+const DistanceKernels& ScalarKernels() {
+  static const DistanceKernels kernels = {
+      "scalar",         SquaredL2Scalar,  DotScalar,
+      ScoreBlockL2Scalar, ScoreBlockDotScalar, ScoreIdsL2Scalar,
+      ScoreIdsDotScalar, AxpyScalar,
+  };
+  return kernels;
+}
+
+}  // namespace usp

@@ -1,0 +1,31 @@
+// Distance metrics served by the library. Every metric is expressed as a
+// score to MINIMIZE so index code (top-k heaps, rerank, ground truth) is
+// metric-agnostic: squared L2 stays as-is, inner product is negated, cosine
+// becomes the cosine distance 1 - cos(q, x).
+#ifndef USP_DIST_METRIC_H_
+#define USP_DIST_METRIC_H_
+
+namespace usp {
+
+enum class Metric {
+  kSquaredL2,     ///< ||q - x||^2 (the default; matches all prior behavior)
+  kInnerProduct,  ///< -<q, x> (maximum inner product search)
+  kCosine,        ///< 1 - <q, x> / (||q|| ||x||)
+};
+
+/// Human-readable metric name ("l2", "ip", "cosine").
+inline const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kSquaredL2:
+      return "l2";
+    case Metric::kInnerProduct:
+      return "ip";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+}  // namespace usp
+
+#endif  // USP_DIST_METRIC_H_

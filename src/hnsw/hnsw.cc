@@ -5,7 +5,7 @@
 #include <limits>
 #include <queue>
 
-#include "tensor/ops.h"
+#include "dist/distance_kernels.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -36,6 +36,7 @@ std::vector<uint32_t> SelectNeighborsHeuristic(
     const std::vector<std::pair<float, uint32_t>>& sorted_candidates,
     size_t max_links) {
   const size_t d = base.cols();
+  const DistanceKernels& kd = GetDistanceKernels();
   std::vector<uint32_t> kept;
   std::vector<uint32_t> pruned;
   for (const auto& [dist, cand] : sorted_candidates) {
@@ -43,7 +44,7 @@ std::vector<uint32_t> SelectNeighborsHeuristic(
     if (kept.size() >= max_links) break;
     bool diverse = true;
     for (uint32_t existing : kept) {
-      if (SquaredDistance(base.Row(cand), base.Row(existing), d) < dist) {
+      if (kd.squared_l2(base.Row(cand), base.Row(existing), d) < dist) {
         diverse = false;
         break;
       }
@@ -70,6 +71,7 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
     const float* query, uint32_t entry, size_t ef, int level,
     size_t* evaluations) const {
   const size_t d = base_->cols();
+  const DistanceKernels& kd = GetDistanceKernels();
   std::vector<uint8_t> visited(base_->rows(), 0);
 
   std::priority_queue<std::pair<float, uint32_t>,
@@ -79,7 +81,7 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
                       std::vector<std::pair<float, uint32_t>>, CloserFirst>
       best;  // farthest of the kept set on top
 
-  const float entry_dist = SquaredDistance(query, base_->Row(entry), d);
+  const float entry_dist = kd.squared_l2(query, base_->Row(entry), d);
   if (evaluations != nullptr) ++*evaluations;
   visited[entry] = 1;
   frontier.push({entry_dist, entry});
@@ -92,7 +94,7 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
     for (uint32_t nb : LinksAt(node, level)) {
       if (visited[nb]) continue;
       visited[nb] = 1;
-      const float nb_dist = SquaredDistance(query, base_->Row(nb), d);
+      const float nb_dist = kd.squared_l2(query, base_->Row(nb), d);
       if (evaluations != nullptr) ++*evaluations;
       if (best.size() < ef || nb_dist < best.top().first) {
         frontier.push({nb_dist, nb});
@@ -119,6 +121,7 @@ void HnswIndex::Build(const Matrix& base) {
   max_level_ = -1;
 
   Rng rng(config_.seed);
+  const DistanceKernels& kd = GetDistanceKernels();
   const double level_lambda = 1.0 / std::log(double(config_.max_neighbors));
   const size_t max_links0 = 2 * config_.max_neighbors;
 
@@ -138,13 +141,13 @@ void HnswIndex::Build(const Matrix& base) {
     // Greedy descent through layers above the node's top level.
     uint32_t current = entry_point_;
     const size_t d = base.cols();
-    float current_dist = SquaredDistance(base.Row(i), base.Row(current), d);
+    float current_dist = kd.squared_l2(base.Row(i), base.Row(current), d);
     for (int l = max_level_; l > level; --l) {
       bool improved = true;
       while (improved) {
         improved = false;
         for (uint32_t nb : LinksAt(current, l)) {
-          const float dist = SquaredDistance(base.Row(i), base.Row(nb), d);
+          const float dist = kd.squared_l2(base.Row(i), base.Row(nb), d);
           if (dist < current_dist) {
             current_dist = dist;
             current = nb;
@@ -177,7 +180,7 @@ void HnswIndex::Build(const Matrix& base) {
           theirs.reserve(their_links.size());
           for (uint32_t existing : their_links) {
             theirs.push_back(
-                {SquaredDistance(base.Row(nb), base.Row(existing), d),
+                {kd.squared_l2(base.Row(nb), base.Row(existing), d),
                  existing});
           }
           std::sort(theirs.begin(), theirs.end());
@@ -201,13 +204,14 @@ std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
   // Greedy descent to layer 1.
   uint32_t current = entry_point_;
   const size_t d = base_->cols();
-  float current_dist = SquaredDistance(query, base_->Row(current), d);
+  const DistanceKernels& kd = GetDistanceKernels();
+  float current_dist = kd.squared_l2(query, base_->Row(current), d);
   for (int l = max_level_; l >= 1; --l) {
     bool improved = true;
     while (improved) {
       improved = false;
       for (uint32_t nb : LinksAt(current, l)) {
-        const float dist = SquaredDistance(query, base_->Row(nb), d);
+        const float dist = kd.squared_l2(query, base_->Row(nb), d);
         if (dist < current_dist) {
           current_dist = dist;
           current = nb;
@@ -233,12 +237,14 @@ BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
   result.k = k;
   result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
   result.candidate_counts.assign(nq, 0);
+  const DistanceKernels& kd = GetDistanceKernels();
   ParallelFor(nq, 4, [&](size_t begin, size_t end, size_t) {
     for (size_t q = begin; q < end; ++q) {
       size_t evals = 0;
       uint32_t current = entry_point_;
       const size_t d = base_->cols();
-      float current_dist = SquaredDistance(queries.Row(q), base_->Row(current), d);
+      float current_dist =
+          kd.squared_l2(queries.Row(q), base_->Row(current), d);
       ++evals;
       for (int l = max_level_; l >= 1; --l) {
         bool improved = true;
@@ -246,7 +252,7 @@ BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
           improved = false;
           for (uint32_t nb : LinksAt(current, l)) {
             const float dist =
-                SquaredDistance(queries.Row(q), base_->Row(nb), d);
+                kd.squared_l2(queries.Row(q), base_->Row(nb), d);
             ++evals;
             if (dist < current_dist) {
               current_dist = dist;

@@ -1,5 +1,9 @@
 #include "ivf/ivf.h"
 
+#include <utility>
+
+#include "tensor/ops.h"
+
 namespace usp {
 
 IvfFlatIndex::IvfFlatIndex(const Matrix* base, const IvfConfig& config) {
@@ -7,8 +11,39 @@ IvfFlatIndex::IvfFlatIndex(const Matrix* base, const IvfConfig& config) {
   kc.num_clusters = config.nlist;
   kc.max_iterations = config.kmeans_iterations;
   kc.seed = config.seed;
-  coarse_ = std::make_unique<KMeansPartitioner>(*base, kc);
-  index_ = std::make_unique<PartitionIndex>(base, coarse_.get());
+  switch (config.metric) {
+    case Metric::kSquaredL2:
+      coarse_ = std::make_unique<KMeansPartitioner>(*base, kc);
+      index_ = std::make_unique<PartitionIndex>(base, coarse_.get());
+      break;
+    case Metric::kInnerProduct: {
+      // Standard IVF-IP: lists hold L2-nearest-centroid residents, queries
+      // probe lists by centroid inner product, rerank is exact -<q, x>.
+      KMeansResult km = RunKMeans(*base, kc);
+      coarse_ = std::make_unique<KMeansPartitioner>(std::move(km.centroids),
+                                                    Metric::kInnerProduct);
+      index_ = std::make_unique<PartitionIndex>(base, coarse_.get(),
+                                                std::move(km.assignments),
+                                                Metric::kInnerProduct);
+      break;
+    }
+    case Metric::kCosine: {
+      // Spherical coarse quantizer: k-means on unit-normalized data.
+      // Residency is assigned with the same cosine scoring that ranks probe
+      // lists at query time (argmax similarity to the unit centroids), so a
+      // point's home list is always its query-side rank-1 list; rerank is
+      // exact cosine distance.
+      Matrix normalized = base->Clone();
+      NormalizeRows(&normalized);
+      KMeansResult km = RunKMeans(normalized, kc);
+      coarse_ = std::make_unique<KMeansPartitioner>(std::move(km.centroids),
+                                                    Metric::kCosine);
+      index_ = std::make_unique<PartitionIndex>(
+          base, coarse_.get(), coarse_->AssignBins(normalized),
+          Metric::kCosine);
+      break;
+    }
+  }
 }
 
 BatchSearchResult IvfFlatIndex::SearchBatch(const Matrix& queries, size_t k,
@@ -18,6 +53,9 @@ BatchSearchResult IvfFlatIndex::SearchBatch(const Matrix& queries, size_t k,
 }
 
 IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config) {
+  // The ADC pipeline is squared-L2 only for now; fail loudly rather than
+  // silently serving wrong-metric neighbors.
+  USP_CHECK(config.metric == Metric::kSquaredL2);
   KMeansConfig kc;
   kc.num_clusters = config.nlist;
   kc.max_iterations = config.kmeans_iterations;

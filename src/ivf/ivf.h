@@ -9,6 +9,7 @@
 
 #include "baselines/kmeans.h"
 #include "core/partition_index.h"
+#include "dist/metric.h"
 #include "quant/pq.h"
 #include "quant/scann_index.h"
 
@@ -19,6 +20,12 @@ struct IvfConfig {
   size_t nlist = 64;             ///< coarse clusters (inverted lists)
   size_t kmeans_iterations = 20;
   uint64_t seed = 1;
+  /// Search metric (IVF-Flat): kSquaredL2 reproduces the historical
+  /// behavior exactly. kInnerProduct keeps L2 list residency (standard
+  /// IVF-IP) but probes lists by centroid dot product and reranks by negated
+  /// inner product. kCosine trains the coarse quantizer on unit-normalized
+  /// data (spherical k-means) and probes/reranks by cosine distance.
+  Metric metric = Metric::kSquaredL2;
   // IVF-PQ only:
   PqConfig pq;
   size_t rerank_budget = 100;
@@ -28,6 +35,8 @@ struct IvfConfig {
 class IvfFlatIndex {
  public:
   IvfFlatIndex(const Matrix* base, const IvfConfig& config);
+
+  Metric metric() const { return index_->metric(); }
 
   /// `num_threads` caps the per-query search sharding (0 = pool default,
   /// 1 = serial; coarse scoring still uses the pool's GEMM); results are

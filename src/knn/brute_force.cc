@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "dist/distance_kernels.h"
 #include "knn/top_k.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
@@ -23,24 +24,28 @@ KnnResult KnnImpl(const Matrix& base, const Matrix& queries, size_t k,
   result.indices.resize(nq * k);
   result.distances.resize(nq * k);
 
-  std::vector<float> base_norms;
+  std::vector<float> base_norms, query_norms;
   RowSquaredNorms(base, &base_norms);
+  RowSquaredNorms(queries, &query_norms);
+  const DistanceKernels& kd = GetDistanceKernels();
 
   ParallelFor(nq, 8, [&](size_t q_begin, size_t q_end, size_t) {
     std::vector<TopK> heaps;
     heaps.reserve(q_end - q_begin);
     for (size_t q = q_begin; q < q_end; ++q) heaps.emplace_back(k);
+    std::vector<float> dots(kBaseBlock);
 
     for (size_t b0 = 0; b0 < nb; b0 += kBaseBlock) {
       const size_t b1 = std::min(nb, b0 + kBaseBlock);
       for (size_t q = q_begin; q < q_end; ++q) {
         const float* qv = queries.Row(q);
-        float q_norm = Dot(qv, qv, d);
+        const float q_norm = query_norms[q];
+        kd.score_block_dot(qv, base.Row(b0), b1 - b0, d, dots.data());
         TopK& heap = heaps[q - q_begin];
         for (size_t b = b0; b < b1; ++b) {
           if (exclude_identity && b == q) continue;
           const float dist =
-              std::max(0.0f, q_norm + base_norms[b] - 2.0f * Dot(qv, base.Row(b), d));
+              std::max(0.0f, q_norm + base_norms[b] - 2.0f * dots[b - b0]);
           heap.Push(dist, static_cast<uint32_t>(b));
         }
       }
@@ -55,10 +60,56 @@ KnnResult KnnImpl(const Matrix& base, const Matrix& queries, size_t k,
   });
   return result;
 }
+
+// Generic-metric brute force: per query, score contiguous base blocks through
+// the DistanceComputer (already in minimized form) and keep the top k.
+KnnResult KnnImplMetric(const Matrix& base, const Matrix& queries, size_t k,
+                        Metric metric) {
+  USP_CHECK(base.cols() == queries.cols());
+  USP_CHECK(k > 0 && k <= base.rows());
+  const size_t nq = queries.rows(), nb = base.rows();
+
+  KnnResult result;
+  result.k = k;
+  result.indices.resize(nq * k);
+  result.distances.resize(nq * k);
+
+  const DistanceComputer dist(&base, metric);
+  ParallelFor(nq, 8, [&](size_t q_begin, size_t q_end, size_t) {
+    std::vector<float> scores(kBaseBlock);
+    std::vector<float> scratch;
+    for (size_t q = q_begin; q < q_end; ++q) {
+      const float* prepared = dist.PrepareQuery(queries.Row(q), &scratch);
+      TopK heap(k);
+      for (size_t b0 = 0; b0 < nb; b0 += kBaseBlock) {
+        const size_t count = std::min(nb - b0, kBaseBlock);
+        dist.ScoreRange(prepared, static_cast<uint32_t>(b0), count,
+                        scores.data());
+        for (size_t b = 0; b < count; ++b) {
+          heap.Push(scores[b], static_cast<uint32_t>(b0 + b));
+        }
+      }
+      auto sorted = heap.TakeSorted();
+      for (size_t j = 0; j < k; ++j) {
+        result.indices[q * k + j] = sorted[j].id;
+        result.distances[q * k + j] = sorted[j].distance;
+      }
+    }
+  });
+  return result;
+}
 }  // namespace
 
 KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k) {
   return KnnImpl(base, queries, k, /*exclude_identity=*/false);
+}
+
+KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k,
+                        Metric metric) {
+  if (metric == Metric::kSquaredL2) {
+    return KnnImpl(base, queries, k, /*exclude_identity=*/false);
+  }
+  return KnnImplMetric(base, queries, k, metric);
 }
 
 KnnResult BuildKnnMatrix(const Matrix& data, size_t k) {
@@ -95,19 +146,35 @@ KnnResult FilterKnnToSubset(const KnnResult& global,
   return out;
 }
 
-std::vector<uint32_t> RerankCandidates(const Matrix& base, const float* query,
+std::vector<uint32_t> RerankCandidates(const DistanceComputer& dist,
+                                       const float* query,
                                        const std::vector<uint32_t>& candidates,
                                        size_t k) {
-  TopK heap(std::min(k, candidates.size()));
-  const size_t d = base.cols();
-  for (uint32_t id : candidates) {
-    heap.Push(SquaredDistance(query, base.Row(id), d), id);
-  }
+  // Ensembles and multi-probe sweeps can feed overlapping candidate lists;
+  // dedupe so duplicates never occupy several top-k slots.
+  std::vector<uint32_t> ids(candidates);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  std::vector<float> scratch;
+  const float* prepared = dist.PrepareQuery(query, &scratch);
+  std::vector<float> scores(ids.size());
+  dist.ScoreIds(prepared, ids.data(), ids.size(), scores.data());
+
+  TopK heap(std::min(k, ids.size()));
+  for (size_t i = 0; i < ids.size(); ++i) heap.Push(scores[i], ids[i]);
   auto sorted = heap.TakeSorted();
   std::vector<uint32_t> out;
   out.reserve(sorted.size());
   for (const auto& n : sorted) out.push_back(n.id);
   return out;
+}
+
+std::vector<uint32_t> RerankCandidates(const Matrix& base, const float* query,
+                                       const std::vector<uint32_t>& candidates,
+                                       size_t k) {
+  return RerankCandidates(DistanceComputer(&base, Metric::kSquaredL2), query,
+                          candidates, k);
 }
 
 }  // namespace usp

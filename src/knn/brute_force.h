@@ -7,16 +7,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "dist/distance_computer.h"
+#include "dist/metric.h"
 #include "tensor/matrix.h"
 
 namespace usp {
 
-/// Exact k-NN result for a batch of queries: row i holds the ids (and squared
-/// distances) of query i's neighbors, ascending by distance.
+/// Exact k-NN result for a batch of queries: row i holds the ids (and
+/// distances) of query i's neighbors, ascending by distance. Distances are in
+/// the metric's minimized form (squared L2, negated inner product, or cosine
+/// distance — see dist/metric.h).
 struct KnnResult {
   size_t k = 0;
   std::vector<uint32_t> indices;   // (num_queries x k), row-major
-  std::vector<float> distances;    // matching squared distances
+  std::vector<float> distances;    // matching minimized-form distances
 
   const uint32_t* Row(size_t q) const { return indices.data() + q * k; }
 };
@@ -26,13 +30,28 @@ struct KnnResult {
 /// stays bounded at O(block^2) regardless of dataset size.
 KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k);
 
+/// Same, under an arbitrary metric. kSquaredL2 takes the blocked norm-trick
+/// path above; other metrics scan base blocks through the dispatched
+/// ScoreRange kernels.
+KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k,
+                        Metric metric);
+
 /// k'-NN matrix of the dataset against itself with self-matches excluded
 /// (row i never contains i). This is Fig. 2 of the paper.
 KnnResult BuildKnnMatrix(const Matrix& data, size_t k);
 
-/// Re-ranks an explicit candidate list by exact distance and returns the top k
-/// candidate ids, ascending by distance. Used by every partition-based index
-/// for the final scan of the candidate set.
+/// Re-ranks a candidate list by exact distance under `dist`'s metric and
+/// returns the top k candidate ids, ascending by distance. Duplicate ids in
+/// `candidates` (e.g. from overlapping ensemble probes) are deduplicated
+/// before scoring, so the result never repeats an id. Scoring goes through
+/// the batched gather-by-id kernels (prefetched). Used by every
+/// partition-based index for the final scan of the candidate set.
+std::vector<uint32_t> RerankCandidates(const DistanceComputer& dist,
+                                       const float* query,
+                                       const std::vector<uint32_t>& candidates,
+                                       size_t k);
+
+/// Squared-L2 convenience overload over a raw base matrix.
 std::vector<uint32_t> RerankCandidates(const Matrix& base, const float* query,
                                        const std::vector<uint32_t>& candidates,
                                        size_t k);

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "baselines/kmeans.h"
+#include "dist/distance_kernels.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -51,13 +52,14 @@ void ProductQuantizer::Train(const Matrix& data) {
       // (they perturb inner-product scores); update step is the plain mean of
       // the re-assigned points.
       const float eta = config_.anisotropic_eta;
+      const DistanceKernels& kd = GetDistanceKernels();
       std::vector<uint32_t> assign(n, 0);
       for (size_t iter = 0; iter < 4; ++iter) {
         ParallelFor(n, 128, [&](size_t begin, size_t end, size_t) {
           std::vector<float> r(sd);
           for (size_t i = begin; i < end; ++i) {
             const float* x = sub.Row(i);
-            const float x_norm2 = Dot(x, x, sd);
+            const float x_norm2 = kd.dot(x, x, sd);
             float best = std::numeric_limits<float>::max();
             uint32_t best_c = 0;
             for (size_t c = 0; c < km.centroids.rows(); ++c) {
@@ -105,18 +107,20 @@ std::vector<uint8_t> ProductQuantizer::Encode(const Matrix& points) const {
   USP_CHECK(points.cols() == dims_);
   const size_t n = points.rows(), m = config_.num_subspaces;
   std::vector<uint8_t> codes(n * m, 0);
+  const DistanceKernels& kd = GetDistanceKernels();
   ParallelFor(n, 128, [&](size_t begin, size_t end, size_t) {
+    std::vector<float> dist(config_.codebook_size);
     for (size_t i = begin; i < end; ++i) {
       const float* x = points.Row(i);
       for (size_t s = 0; s < m; ++s) {
         const size_t sd = SubspaceDim(s), off = SubspaceBegin(s);
         const Matrix& cb = codebooks_[s];
+        kd.score_block_l2(x + off, cb.data(), cb.rows(), sd, dist.data());
         float best = std::numeric_limits<float>::max();
         uint8_t best_c = 0;
         for (size_t c = 0; c < cb.rows(); ++c) {
-          const float dist = SquaredDistance(x + off, cb.Row(c), sd);
-          if (dist < best) {
-            best = dist;
+          if (dist[c] < best) {
+            best = dist[c];
             best_c = static_cast<uint8_t>(c);
           }
         }
@@ -130,12 +134,12 @@ std::vector<uint8_t> ProductQuantizer::Encode(const Matrix& points) const {
 std::vector<float> ProductQuantizer::BuildAdcTable(const float* query) const {
   const size_t m = config_.num_subspaces, k = config_.codebook_size;
   std::vector<float> table(m * k, 0.0f);
+  const DistanceKernels& kd = GetDistanceKernels();
   for (size_t s = 0; s < m; ++s) {
     const size_t sd = SubspaceDim(s), off = SubspaceBegin(s);
     const Matrix& cb = codebooks_[s];
-    for (size_t c = 0; c < cb.rows(); ++c) {
-      table[s * k + c] = SquaredDistance(query + off, cb.Row(c), sd);
-    }
+    // One batched 1-vs-many scan fills the subspace's table row.
+    kd.score_block_l2(query + off, cb.data(), cb.rows(), sd, table.data() + s * k);
   }
   return table;
 }

@@ -14,6 +14,7 @@ ScannIndex::ScannIndex(const Matrix* base, const BinScorer* partitioner,
                        ProductQuantizer quantizer, ScannIndexConfig config)
     : base_(base),
       partitioner_(partitioner),
+      dist_(base, Metric::kSquaredL2),
       quantizer_(std::move(quantizer)),
       config_(config) {
   codes_ = quantizer_.Encode(*base_);
@@ -79,8 +80,9 @@ BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
       shortlist.clear();
       for (const auto& cand : top_approx) shortlist.push_back(cand.id);
 
-      // Stage 3: exact re-rank of the shortlist.
-      const auto top = RerankCandidates(*base_, query, shortlist, k);
+      // Stage 3: exact re-rank of the shortlist through the batched
+      // gather-by-id kernels.
+      const auto top = RerankCandidates(dist_, query, shortlist, k);
       std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
     }
   });

@@ -11,6 +11,7 @@
 
 #include "core/bin_scorer.h"
 #include "core/partition_index.h"
+#include "dist/distance_computer.h"
 #include "quant/pq.h"
 
 namespace usp {
@@ -41,6 +42,7 @@ class ScannIndex {
  private:
   const Matrix* base_;
   const BinScorer* partitioner_;
+  DistanceComputer dist_;  ///< exact rerank (squared L2)
   ProductQuantizer quantizer_;
   ScannIndexConfig config_;
   std::vector<uint8_t> codes_;                  ///< (n x M) PQ codes

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "dist/distance_kernels.h"
 #include "util/thread_pool.h"
 
 namespace usp {
@@ -18,17 +19,13 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
   USP_CHECK(a.cols() == b.rows());
   USP_CHECK(c->rows() == a.rows() && c->cols() == b.cols());
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  const DistanceKernels& kd = GetDistanceKernels();
   ParallelFor(n, kRowGrain, [&](size_t begin, size_t end, size_t) {
     for (size_t i = begin; i < end; ++i) {
       float* ci = c->Row(i);
       std::memset(ci, 0, m * sizeof(float));
       const float* ai = a.Row(i);
-      for (size_t p = 0; p < k; ++p) {
-        const float aip = ai[p];
-        if (aip == 0.0f) continue;
-        const float* bp = b.Row(p);
-        for (size_t j = 0; j < m; ++j) ci[j] += aip * bp[j];
-      }
+      for (size_t p = 0; p < k; ++p) kd.axpy(ai[p], b.Row(p), ci, m);
     }
   });
 }
@@ -37,11 +34,10 @@ void GemmTransposedB(const Matrix& a, const Matrix& b, Matrix* c) {
   USP_CHECK(a.cols() == b.cols());
   USP_CHECK(c->rows() == a.rows() && c->cols() == b.rows());
   const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  const DistanceKernels& kd = GetDistanceKernels();
   ParallelFor(n, kRowGrain, [&](size_t begin, size_t end, size_t) {
     for (size_t i = begin; i < end; ++i) {
-      const float* ai = a.Row(i);
-      float* ci = c->Row(i);
-      for (size_t j = 0; j < m; ++j) ci[j] = Dot(ai, b.Row(j), k);
+      kd.score_block_dot(a.Row(i), b.data(), m, k, c->Row(i));
     }
   });
 }
@@ -50,27 +46,39 @@ void GemmTransposedA(const Matrix& a, const Matrix& b, Matrix* c) {
   USP_CHECK(a.rows() == b.rows());
   USP_CHECK(c->rows() == a.cols() && c->cols() == b.cols());
   const size_t k = a.rows(), n = a.cols(), m = b.cols();
+  const DistanceKernels& kd = GetDistanceKernels();
   // Parallelize over output rows (columns of A): each worker owns disjoint
   // rows of C, so no synchronization is needed.
   ParallelFor(n, kRowGrain, [&](size_t begin, size_t end, size_t) {
     for (size_t i = begin; i < end; ++i) {
       float* ci = c->Row(i);
       std::memset(ci, 0, m * sizeof(float));
-      for (size_t p = 0; p < k; ++p) {
-        const float api = a(p, i);
-        if (api == 0.0f) continue;
-        const float* bp = b.Row(p);
-        for (size_t j = 0; j < m; ++j) ci[j] += api * bp[j];
-      }
+      for (size_t p = 0; p < k; ++p) kd.axpy(a(p, i), b.Row(p), ci, m);
     }
   });
 }
 
 void RowSquaredNorms(const Matrix& m, std::vector<float>* out) {
   out->resize(m.rows());
+  const DistanceKernels& kd = GetDistanceKernels();
   ParallelFor(m.rows(), 64, [&](size_t begin, size_t end, size_t) {
     for (size_t i = begin; i < end; ++i) {
-      (*out)[i] = Dot(m.Row(i), m.Row(i), m.cols());
+      (*out)[i] = kd.dot(m.Row(i), m.Row(i), m.cols());
+    }
+  });
+}
+
+void NormalizeRows(Matrix* m) {
+  const size_t d = m->cols();
+  const DistanceKernels& kd = GetDistanceKernels();
+  ParallelFor(m->rows(), 64, [&](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) {
+      float* row = m->Row(i);
+      const float norm = std::sqrt(kd.dot(row, row, d));
+      if (norm > 0.0f) {
+        const float inv = 1.0f / norm;
+        for (size_t j = 0; j < d; ++j) row[j] *= inv;
+      }
     }
   });
 }
@@ -94,25 +102,11 @@ void PairwiseSquaredDistances(const Matrix& a, const Matrix& b, Matrix* dist) {
 }
 
 float SquaredDistance(const float* x, const float* y, size_t d) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < d; ++i) {
-    const float diff = x[i] - y[i];
-    acc += diff * diff;
-  }
-  return acc;
+  return GetDistanceKernels().squared_l2(x, y, d);
 }
 
 float Dot(const float* x, const float* y, size_t d) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= d; i += 4) {
-    acc0 += x[i] * y[i];
-    acc1 += x[i + 1] * y[i + 1];
-    acc2 += x[i + 2] * y[i + 2];
-    acc3 += x[i + 3] * y[i + 3];
-  }
-  for (; i < d; ++i) acc0 += x[i] * y[i];
-  return acc0 + acc1 + acc2 + acc3;
+  return GetDistanceKernels().dot(x, y, d);
 }
 
 void SoftmaxRows(Matrix* m) {

@@ -26,14 +26,20 @@ void GemmTransposedA(const Matrix& a, const Matrix& b, Matrix* c);
 /// out[i] = ||row i||^2.
 void RowSquaredNorms(const Matrix& m, std::vector<float>* out);
 
+/// Scales every row to unit L2 norm in place (zero rows stay zero). Used for
+/// cosine-metric preprocessing and spectral embeddings.
+void NormalizeRows(Matrix* m);
+
 /// dist(i, j) = ||a_i - b_j||^2, computed as |a|^2 + |b|^2 - 2 a.b via GEMM.
 /// Clamped at 0 to guard against floating-point cancellation.
 void PairwiseSquaredDistances(const Matrix& a, const Matrix& b, Matrix* dist);
 
-/// Exact squared Euclidean distance between two d-vectors.
+/// Exact squared Euclidean distance between two d-vectors. Thin wrapper over
+/// the dispatched kernel set (src/dist/); hot loops should hoist
+/// GetDistanceKernels() and call the kernels directly.
 float SquaredDistance(const float* x, const float* y, size_t d);
 
-/// Dot product of two d-vectors.
+/// Dot product of two d-vectors (dispatched kernel wrapper, see above).
 float Dot(const float* x, const float* y, size_t d);
 
 /// In-place numerically stable softmax applied to each row.

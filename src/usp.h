@@ -4,6 +4,11 @@
 #ifndef USP_USP_H_
 #define USP_USP_H_
 
+// Distance kernels and metrics (runtime-dispatched SIMD).
+#include "dist/distance_computer.h"
+#include "dist/distance_kernels.h"
+#include "dist/metric.h"
+
 // Core contribution (EDBT 2023 paper).
 #include "core/bin_scorer.h"
 #include "core/ensemble.h"

@@ -153,6 +153,23 @@ TEST(RerankTest, ReturnsTopKByExactDistance) {
   EXPECT_EQ(top[1], 3u);
 }
 
+TEST(RerankTest, DeduplicatesOverlappingCandidates) {
+  // Overlapping ensemble probes can repeat ids; duplicates must not occupy
+  // several top-k slots.
+  Matrix base(4, 1);
+  for (size_t i = 0; i < 4; ++i) base(i, 0) = static_cast<float>(i);
+  const float query = 0.0f;
+  const auto top =
+      RerankCandidates(base, &query, {2, 0, 0, 1, 1, 1, 2, 3}, 4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+  EXPECT_EQ(top[2], 2u);
+  EXPECT_EQ(top[3], 3u);
+  const std::set<uint32_t> unique(top.begin(), top.end());
+  EXPECT_EQ(unique.size(), top.size());
+}
+
 TEST(RerankTest, HandlesFewerCandidatesThanK) {
   Matrix base(3, 1);
   const float query = 0.0f;
