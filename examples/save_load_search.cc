@@ -1,0 +1,104 @@
+// Train-once / serve-many walkthrough: build three index types over one
+// synthetic workload, persist each to the versioned container format, reopen
+// them through the OpenIndex factory (both the streaming and the zero-copy
+// mmap loader), and verify the reopened indexes reproduce the in-memory
+// search results exactly. This is the end-to-end smoke CI runs for the
+// serialization subsystem; see docs/FORMAT.md for the byte layout.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "usp.h"
+#include "util/env.h"
+
+namespace {
+
+// Searches `index` and returns recall@k against the workload ground truth.
+double Recall(const usp::Index& index, const usp::Workload& w, size_t k,
+              size_t budget) {
+  const usp::BatchSearchResult result = index.SearchBatch(w.queries, k, budget);
+  return usp::KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k);
+}
+
+// Saves, reopens in both modes, and checks search parity with the original.
+bool RoundTrip(const usp::Index& index, const usp::Workload& w, size_t k,
+               size_t budget, const std::string& path) {
+  usp::Status status = usp::SaveIndex(index, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+
+  const usp::BatchSearchResult expected =
+      index.SearchBatch(w.queries, k, budget);
+  for (const usp::LoadMode mode :
+       {usp::LoadMode::kHeap, usp::LoadMode::kMmap}) {
+    auto reopened = usp::OpenIndex(path, mode);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                   reopened.status().ToString().c_str());
+      return false;
+    }
+    const usp::Index& loaded = *reopened.value();
+    const usp::BatchSearchResult got = loaded.SearchBatch(w.queries, k, budget);
+    if (got.ids != expected.ids) {
+      std::fprintf(stderr, "%s: %s reload changed search results\n",
+                   path.c_str(),
+                   mode == usp::LoadMode::kMmap ? "mmap" : "heap");
+      return false;
+    }
+    std::printf("  %-6s %-12s n=%zu d=%zu recall@%zu=%.3f\n",
+                mode == usp::LoadMode::kMmap ? "mmap" : "heap",
+                usp::IndexTypeName(loaded.type()), loaded.size(), loaded.dim(),
+                k, Recall(loaded, w, k, budget));
+  }
+  std::remove(path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  usp::WorkloadSpec spec;
+  spec.kind = usp::WorkloadKind::kGaussian;
+  spec.num_base = static_cast<size_t>(usp::EnvInt("USP_NUM_BASE", 2000));
+  spec.num_queries = 100;
+  spec.gt_k = 10;
+  spec.knn_k = 8;
+  const usp::Workload w = usp::MakeWorkload(spec);
+  const std::string dir = usp::EnvString("TMPDIR", "/tmp");
+  const size_t k = 10;
+  bool ok = true;
+
+  // 1. The paper's index: a trained USP partition behind PartitionIndex.
+  std::printf("PartitionIndex + UspPartitioner:\n");
+  usp::UspTrainConfig train;
+  train.num_bins = 16;
+  train.epochs = 15;
+  train.hidden_dim = 32;
+  usp::UspPartitioner partitioner(train);
+  partitioner.Train(w.base, w.knn_matrix);
+  usp::PartitionIndex partition_index(&w.base, &partitioner);
+  ok = RoundTrip(partition_index, w, k, 4, dir + "/usp_partition.uspidx") && ok;
+
+  // 2. IVF-Flat baseline.
+  std::printf("IvfFlatIndex:\n");
+  usp::IvfConfig ivf;
+  ivf.nlist = 32;
+  usp::IvfFlatIndex ivf_flat(&w.base, ivf);
+  ok = RoundTrip(ivf_flat, w, k, 6, dir + "/ivf_flat.uspidx") && ok;
+
+  // 3. HNSW graph baseline (budget = ef_search).
+  std::printf("HnswIndex:\n");
+  usp::HnswConfig hnsw_config;
+  hnsw_config.max_neighbors = 12;
+  usp::HnswIndex hnsw(hnsw_config);
+  hnsw.Build(w.base);
+  ok = RoundTrip(hnsw, w, k, 60, dir + "/hnsw.uspidx") && ok;
+
+  if (!ok) return EXIT_FAILURE;
+  std::printf("all round trips bit-identical\n");
+  return EXIT_SUCCESS;
+}

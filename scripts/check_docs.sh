@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fails when any tracked markdown file contains a broken intra-repo link:
+# a [text](target) whose target is a relative path that does not exist.
+# External links (scheme://, mailto:) and pure in-page anchors (#...) are
+# skipped; anchors on existing files are accepted. Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+errors=0
+# Tracked markdown only, so build artifacts and vendored trees stay out.
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # Pull every (target) of a markdown link. grep -o keeps it line-based, so
+  # multi-line links are out of scope (and out of style).
+  while IFS= read -r target; do
+    # Strip surrounding parens and any #anchor / "title" suffix.
+    target=${target#(}
+    target=${target%)}
+    target=${target%% *}
+    target=${target%%#*}
+    [ -z "$target" ] && continue                      # pure anchor
+    case "$target" in
+      *://*|mailto:*) continue ;;                     # external
+    esac
+    if [ "${target#/}" != "$target" ]; then
+      resolved=".$target"                             # repo-absolute
+    else
+      resolved="$dir/$target"
+    fi
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $file -> $target"
+      errors=$((errors + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed 's/^]//')
+done < <(git ls-files --cached --others --exclude-standard '*.md')
+
+if [ "$errors" -gt 0 ]; then
+  echo "check_docs: $errors broken intra-repo link(s)"
+  exit 1
+fi
+echo "check_docs: all intra-repo markdown links resolve"

@@ -139,6 +139,13 @@ KMeansPartitioner::KMeansPartitioner(Matrix centroids, Metric metric)
   if (metric_ == Metric::kCosine) NormalizeRows(&centroids_);
 }
 
+KMeansPartitioner KMeansPartitioner::FromTrainedCentroids(Matrix centroids,
+                                                          Metric metric) {
+  KMeansPartitioner partitioner(std::move(centroids), Metric::kSquaredL2);
+  partitioner.metric_ = metric;
+  return partitioner;
+}
+
 Matrix KMeansPartitioner::ScoreBins(const Matrix& points) const {
   Matrix scores(points.rows(), centroids_.rows());
   switch (metric_) {

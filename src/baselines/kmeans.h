@@ -44,9 +44,17 @@ class KMeansPartitioner : public BinScorer {
   /// Trains centroids on `data` (squared-L2 scoring).
   KMeansPartitioner(const Matrix& data, const KMeansConfig& config);
 
-  /// Wraps existing centroids, scoring under `metric`.
+  /// Wraps existing centroids, scoring under `metric`. Cosine centroids are
+  /// unit-normalized here.
   explicit KMeansPartitioner(Matrix centroids,
                              Metric metric = Metric::kSquaredL2);
+
+  /// Wraps centroids exactly as a previous partitioner stored them (e.g.
+  /// deserialized from an index container), with no preprocessing — in
+  /// particular no cosine re-normalization, whose rounding would break the
+  /// bit-identical save/load contract of index/serialize.h.
+  static KMeansPartitioner FromTrainedCentroids(Matrix centroids,
+                                                Metric metric);
 
   size_t num_bins() const override { return centroids_.rows(); }
   Matrix ScoreBins(const Matrix& points) const override;

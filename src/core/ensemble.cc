@@ -14,8 +14,22 @@ UspEnsemble::UspEnsemble(UspEnsembleConfig config)
   USP_CHECK(config_.num_models >= 1);
 }
 
+UspEnsemble::UspEnsemble(UspEnsembleConfig config, MatrixView base,
+                         std::vector<std::unique_ptr<UspPartitioner>> models,
+                         std::vector<std::unique_ptr<PartitionIndex>> indexes,
+                         std::vector<float> weights)
+    : config_(std::move(config)),
+      base_(base),
+      dist_(DistanceComputer(base, Metric::kSquaredL2)),
+      models_(std::move(models)),
+      indexes_(std::move(indexes)),
+      weights_(std::move(weights)) {
+  USP_CHECK(!models_.empty() && models_.size() == indexes_.size());
+}
+
 void UspEnsemble::Train(const Matrix& data, const KnnResult& knn_matrix) {
-  base_ = &data;
+  base_ = MatrixView(data);
+  dist_.emplace(base_, Metric::kSquaredL2);
   const size_t n = data.rows();
   const size_t kp = knn_matrix.k;
   models_.clear();
@@ -59,7 +73,7 @@ void UspEnsemble::Train(const Matrix& data, const KnnResult& knn_matrix) {
 BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
                                            size_t num_probes,
                                            size_t num_threads) const {
-  USP_CHECK(base_ != nullptr && !models_.empty());
+  USP_CHECK(!base_.empty() && !models_.empty());
   const size_t nq = queries.rows();
   const size_t e = models_.size();
 
@@ -105,7 +119,7 @@ BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
         }
       }
       result.candidate_counts[q] = static_cast<uint32_t>(merged.size());
-      const auto top = RerankCandidates(*base_, queries.Row(q), merged, k);
+      const auto top = RerankCandidates(*dist_, queries.Row(q), merged, k);
       std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
     }
   });

@@ -6,10 +6,12 @@
 #define USP_CORE_ENSEMBLE_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/partition_index.h"
 #include "core/partitioner.h"
+#include "index/index.h"
 
 namespace usp {
 
@@ -32,26 +34,39 @@ struct UspEnsembleConfig {
 };
 
 /// A trained ensemble of USP partitions over one dataset.
-class UspEnsemble {
+class UspEnsemble : public Index {
  public:
   explicit UspEnsemble(UspEnsembleConfig config);
 
-  /// Trains all e models sequentially per Algorithm 3. Keeps a pointer to
+  /// Rehydrates a trained ensemble from deserialized state over external
+  /// (possibly mmap'd) base storage. `indexes[j]` must be built over the same
+  /// base view with `models[j]` as its scorer.
+  UspEnsemble(UspEnsembleConfig config, MatrixView base,
+              std::vector<std::unique_ptr<UspPartitioner>> models,
+              std::vector<std::unique_ptr<PartitionIndex>> indexes,
+              std::vector<float> weights);
+
+  /// Trains all e models sequentially per Algorithm 3. Keeps a view of
   /// `data` for query-time candidate collection; it must outlive the
   /// ensemble.
   void Train(const Matrix& data, const KnnResult& knn_matrix);
 
-  /// Algorithm 4: probe `num_probes` bins in the chosen model(s), re-rank by
+  /// Algorithm 4: probe `budget` bins in the chosen model(s), re-rank by
   /// exact distance. `num_threads` caps the per-query search sharding
   /// (0 = pool default, 1 = serial; model scoring still uses the pool's
   /// GEMM); results are identical at every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t num_probes,
-                                size_t num_threads = 0) const;
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const override;
+
+  size_t dim() const override { return base_.cols(); }
+  size_t size() const override { return base_.rows(); }
+  Metric metric() const override { return Metric::kSquaredL2; }
+  IndexType type() const override { return IndexType::kUspEnsemble; }
 
   size_t num_models() const { return models_.size(); }
   const UspPartitioner& model(size_t i) const { return *models_[i]; }
   const PartitionIndex& index(size_t i) const { return *indexes_[i]; }
+  const UspEnsembleConfig& config() const { return config_; }
 
   /// Final per-point weights after training (diagnostics + tests).
   const std::vector<float>& final_weights() const { return weights_; }
@@ -61,7 +76,8 @@ class UspEnsemble {
 
  private:
   UspEnsembleConfig config_;
-  const Matrix* base_ = nullptr;
+  MatrixView base_;
+  std::optional<DistanceComputer> dist_;  ///< exact rerank (squared L2)
   std::vector<std::unique_ptr<UspPartitioner>> models_;
   std::vector<std::unique_ptr<PartitionIndex>> indexes_;
   std::vector<float> weights_;

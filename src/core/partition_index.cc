@@ -10,24 +10,23 @@
 
 namespace usp {
 
-double BatchSearchResult::MeanCandidates() const {
-  if (candidate_counts.empty()) return 0.0;
-  const double sum = std::accumulate(candidate_counts.begin(),
-                                     candidate_counts.end(), 0.0);
-  return sum / static_cast<double>(candidate_counts.size());
-}
-
 PartitionIndex::PartitionIndex(const Matrix* base, const BinScorer* scorer,
                                Metric metric)
-    : PartitionIndex(base, scorer, scorer->AssignBins(*base), metric) {}
+    : PartitionIndex(MatrixView(*base), scorer, scorer->AssignBins(*base),
+                     metric) {}
 
 PartitionIndex::PartitionIndex(const Matrix* base, const BinScorer* scorer,
+                               std::vector<uint32_t> assignments, Metric metric)
+    : PartitionIndex(MatrixView(*base), scorer, std::move(assignments),
+                     metric) {}
+
+PartitionIndex::PartitionIndex(MatrixView base, const BinScorer* scorer,
                                std::vector<uint32_t> assignments, Metric metric)
     : base_(base),
       scorer_(scorer),
       dist_(base, metric),
       assignments_(std::move(assignments)) {
-  USP_CHECK(assignments_.size() == base_->rows());
+  USP_CHECK(assignments_.size() == base_.rows());
   buckets_.resize(scorer_->num_bins());
   for (size_t i = 0; i < assignments_.size(); ++i) {
     USP_CHECK(assignments_[i] < buckets_.size());
@@ -59,9 +58,9 @@ void PartitionIndex::CollectCandidates(const float* scores, size_t num_probes,
 }
 
 BatchSearchResult PartitionIndex::SearchBatch(const Matrix& queries, size_t k,
-                                              size_t num_probes,
+                                              size_t budget,
                                               size_t num_threads) const {
-  return SearchBatchWithScores(queries, ScoreQueries(queries), k, num_probes,
+  return SearchBatchWithScores(queries, ScoreQueries(queries), k, budget,
                                num_threads);
 }
 

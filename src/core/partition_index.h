@@ -11,26 +11,15 @@
 #include "core/bin_scorer.h"
 #include "dist/distance_computer.h"
 #include "dist/metric.h"
+#include "index/index.h"
 #include "tensor/matrix.h"
 
 namespace usp {
 
-/// Search output for a batch of queries.
-struct BatchSearchResult {
-  size_t k = 0;
-  std::vector<uint32_t> ids;               ///< (num_queries x k), row-major
-  std::vector<uint32_t> candidate_counts;  ///< |C(q)| per query
-
-  const uint32_t* Row(size_t q) const { return ids.data() + q * k; }
-
-  /// Mean candidate-set size S(R) over the batch (Eq. 4).
-  double MeanCandidates() const;
-};
-
 /// Immutable ANN index: bin lookup table (Alg. 1 step 3) + multi-probe search
-/// (Alg. 2). Holds pointers to the base matrix and scorer; both must outlive
-/// the index.
-class PartitionIndex {
+/// (Alg. 2). Holds a view of the base matrix (heap or mmap'd storage) and a
+/// pointer to the scorer; both must outlive the index.
+class PartitionIndex : public Index {
  public:
   /// Builds the lookup table by assigning every base point to its argmax bin.
   /// `metric` selects the exact-distance metric of the final rerank stage
@@ -47,19 +36,23 @@ class PartitionIndex {
                  std::vector<uint32_t> assignments,
                  Metric metric = Metric::kSquaredL2);
 
+  /// Rehydrates from deserialized state over external (possibly mmap'd)
+  /// storage; assignments must be the ones the index was saved with.
+  PartitionIndex(MatrixView base, const BinScorer* scorer,
+                 std::vector<uint32_t> assignments, Metric metric);
+
   /// Scores all queries once; reuse across different probe counts.
   Matrix ScoreQueries(const Matrix& queries) const;
 
-  /// k-NN search probing the `num_probes` best bins per query. The per-query
+  /// k-NN search probing the `budget` best bins per query. The per-query
   /// probe/rerank stage is sharded over the global thread pool; `num_threads`
   /// caps that sharding (0 = pool default, 1 = that stage runs serially on
   /// the calling thread). The bin-scoring stage (ScoreQueries) always uses
   /// the pool's data-parallel GEMM regardless of the cap. Results are
   /// bit-identical at every thread count: each query's work is independent
   /// and writes only its own output rows.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t num_probes,
-                                size_t num_threads = 0) const;
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const override;
 
   /// Same but with externally computed scores (one scoring, many sweeps).
   BatchSearchResult SearchBatchWithScores(const Matrix& queries,
@@ -72,12 +65,17 @@ class PartitionIndex {
                          std::vector<uint32_t>* candidates) const;
 
   size_t num_bins() const { return buckets_.size(); }
-  Metric metric() const { return dist_.metric(); }
+  size_t dim() const override { return base_.cols(); }
+  size_t size() const override { return base_.rows(); }
+  Metric metric() const override { return dist_.metric(); }
+  IndexType type() const override { return IndexType::kPartition; }
+  MatrixView base() const { return base_; }
+  const BinScorer* scorer() const { return scorer_; }
   const std::vector<std::vector<uint32_t>>& buckets() const { return buckets_; }
   const std::vector<uint32_t>& assignments() const { return assignments_; }
 
  private:
-  const Matrix* base_;
+  MatrixView base_;
   const BinScorer* scorer_;
   DistanceComputer dist_;  ///< exact rerank under the index metric
   std::vector<uint32_t> assignments_;

@@ -41,30 +41,27 @@ void UspPartitioner::BuildModel(size_t input_dim) {
 namespace {
 constexpr uint32_t kModelMagic = 0x5553504DU;  // "USPM"
 constexpr uint32_t kModelVersion = 1;
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-bool WritePod(std::FILE* f, const void* data, size_t size) {
-  return std::fwrite(data, 1, size, f) == size;
-}
-
-bool ReadPod(std::FILE* f, void* data, size_t size) {
-  return std::fread(data, 1, size, f) == size;
-}
 }  // namespace
 
 Status UspPartitioner::Save(const std::string& path) const {
   if (!trained_) {
     return Status::FailedPrecondition("partitioner not trained");
   }
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  FileWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  Status status = SaveTo(&writer, path);
+  if (!status.ok()) return status;
+  if (!writer.Close()) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
 
+Status UspPartitioner::SaveTo(Writer* writer,
+                              const std::string& context) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("partitioner not trained");
+  }
   const uint64_t header[] = {
       kModelMagic,
       kModelVersion,
@@ -75,42 +72,44 @@ Status UspPartitioner::Save(const std::string& path) const {
       static_cast<uint64_t>(input_dim_),
       config_.seed,
   };
-  if (!WritePod(f.get(), header, sizeof(header)) ||
-      !WritePod(f.get(), &config_.eta, sizeof(config_.eta)) ||
-      !WritePod(f.get(), &config_.dropout, sizeof(config_.dropout))) {
-    return Status::IoError("short write to " + path);
+  if (!writer->Write(header, sizeof(header)) ||
+      !writer->WritePod(config_.eta) || !writer->WritePod(config_.dropout)) {
+    return Status::IoError("short write to " + context);
   }
 
   std::vector<Matrix*> tensors;
   const_cast<Sequential&>(model_).CollectStateTensors(&tensors);
   const uint64_t tensor_count = tensors.size();
-  if (!WritePod(f.get(), &tensor_count, sizeof(tensor_count))) {
-    return Status::IoError("short write to " + path);
+  if (!writer->WritePod(tensor_count)) {
+    return Status::IoError("short write to " + context);
   }
   for (const Matrix* tensor : tensors) {
     const uint64_t rows = tensor->rows(), cols = tensor->cols();
-    if (!WritePod(f.get(), &rows, sizeof(rows)) ||
-        !WritePod(f.get(), &cols, sizeof(cols)) ||
-        !WritePod(f.get(), tensor->data(), tensor->size() * sizeof(float))) {
-      return Status::IoError("short write to " + path);
+    if (!writer->WritePod(rows) || !writer->WritePod(cols) ||
+        !writer->Write(tensor->data(), tensor->size() * sizeof(float))) {
+      return Status::IoError("short write to " + context);
     }
   }
   return Status::Ok();
 }
 
 StatusOr<UspPartitioner> UspPartitioner::Load(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IoError("cannot open " + path);
+  FileReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open " + path);
+  return LoadFrom(&reader, path);
+}
 
+StatusOr<UspPartitioner> UspPartitioner::LoadFrom(Reader* reader,
+                                                  const std::string& context) {
   uint64_t header[8];
-  if (!ReadPod(f.get(), header, sizeof(header))) {
-    return Status::IoError("truncated model file " + path);
+  if (!reader->Read(header, sizeof(header))) {
+    return Status::IoError("truncated model file " + context);
   }
   if (header[0] != kModelMagic) {
-    return Status::InvalidArgument(path + " is not a USP model file");
+    return Status::InvalidArgument(context + " is not a USP model file");
   }
   if (header[1] != kModelVersion) {
-    return Status::InvalidArgument("unsupported model version in " + path);
+    return Status::InvalidArgument("unsupported model version in " + context);
   }
   UspTrainConfig config;
   config.num_bins = static_cast<size_t>(header[2]);
@@ -120,9 +119,15 @@ StatusOr<UspPartitioner> UspPartitioner::Load(const std::string& path) {
   config.use_batchnorm = header[5] != 0;
   const size_t input_dim = static_cast<size_t>(header[6]);
   config.seed = header[7];
-  if (!ReadPod(f.get(), &config.eta, sizeof(config.eta)) ||
-      !ReadPod(f.get(), &config.dropout, sizeof(config.dropout))) {
-    return Status::IoError("truncated model file " + path);
+  // Plausibility bounds before BuildModel allocates layer tensors: a corrupt
+  // header must surface as a Status, never a bad_alloc.
+  if (config.num_bins < 2 || config.num_bins > (1u << 20) ||
+      config.hidden_dim > (1u << 20) || input_dim == 0 ||
+      input_dim > (1u << 24)) {
+    return Status::InvalidArgument("corrupt model header in " + context);
+  }
+  if (!reader->ReadPod(&config.eta) || !reader->ReadPod(&config.dropout)) {
+    return Status::IoError("truncated model file " + context);
   }
 
   UspPartitioner partitioner(config);
@@ -131,17 +136,15 @@ StatusOr<UspPartitioner> UspPartitioner::Load(const std::string& path) {
   std::vector<Matrix*> tensors;
   partitioner.model_.CollectStateTensors(&tensors);
   uint64_t tensor_count = 0;
-  if (!ReadPod(f.get(), &tensor_count, sizeof(tensor_count)) ||
-      tensor_count != tensors.size()) {
-    return Status::InvalidArgument("tensor count mismatch in " + path);
+  if (!reader->ReadPod(&tensor_count) || tensor_count != tensors.size()) {
+    return Status::InvalidArgument("tensor count mismatch in " + context);
   }
   for (Matrix* tensor : tensors) {
     uint64_t rows = 0, cols = 0;
-    if (!ReadPod(f.get(), &rows, sizeof(rows)) ||
-        !ReadPod(f.get(), &cols, sizeof(cols)) ||
+    if (!reader->ReadPod(&rows) || !reader->ReadPod(&cols) ||
         rows != tensor->rows() || cols != tensor->cols() ||
-        !ReadPod(f.get(), tensor->data(), tensor->size() * sizeof(float))) {
-      return Status::IoError("bad tensor record in " + path);
+        !reader->Read(tensor->data(), tensor->size() * sizeof(float))) {
+      return Status::IoError("bad tensor record in " + context);
     }
   }
   partitioner.trained_ = true;

@@ -13,6 +13,7 @@
 #include "knn/brute_force.h"
 #include "nn/sequential.h"
 #include "tensor/matrix.h"
+#include "util/io.h"
 
 namespace usp {
 
@@ -76,6 +77,13 @@ class UspPartitioner : public BinScorer {
   /// Restores a partitioner saved with Save(). The returned object scores and
   /// assigns bins identically to the original.
   static StatusOr<UspPartitioner> Load(const std::string& path);
+
+  /// Same record format over an arbitrary byte stream, so the model can live
+  /// in a standalone file or embedded as an index-container section
+  /// (index/serialize.h). `context` names the destination in error messages.
+  Status SaveTo(Writer* writer, const std::string& context) const;
+  static StatusOr<UspPartitioner> LoadFrom(Reader* reader,
+                                           const std::string& context);
 
  private:
   /// Instantiates the configured architecture for `input_dim` features.

@@ -3,24 +3,32 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace usp {
 
-DistanceComputer::DistanceComputer(const Matrix* base, Metric metric)
+DistanceComputer::DistanceComputer(MatrixView base, Metric metric)
     : base_(base), metric_(metric), kernels_(&GetDistanceKernels()) {
-  USP_CHECK(base_ != nullptr);
   if (metric_ == Metric::kCosine) {
-    // Parallel norm pass; cosine computers are only built at index
-    // construction (never from inside a ParallelFor body).
-    RowSquaredNorms(*base_, &inv_norms_);
-    for (auto& v : inv_norms_) v = v > 0.0f ? 1.0f / std::sqrt(v) : 0.0f;
+    // Parallel norm pass over the view (which may be mmap'd storage); cosine
+    // computers are only built at index construction/load, never from inside
+    // a ParallelFor body. Per-row results are thread-count independent.
+    const size_t d = base_.cols();
+    inv_norms_.resize(base_.rows());
+    ParallelFor(base_.rows(), 64, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        const float* row = base_.Row(i);
+        const float norm2 = kernels_->dot(row, row, d);
+        inv_norms_[i] = norm2 > 0.0f ? 1.0f / std::sqrt(norm2) : 0.0f;
+      }
+    });
   }
 }
 
 const float* DistanceComputer::PrepareQuery(const float* query,
                                             std::vector<float>* scratch) const {
   if (metric_ != Metric::kCosine) return query;
-  const size_t d = base_->cols();
+  const size_t d = base_.cols();
   scratch->assign(query, query + d);
   const float norm = std::sqrt(kernels_->dot(query, query, d));
   if (norm > 0.0f) {
@@ -32,8 +40,8 @@ const float* DistanceComputer::PrepareQuery(const float* query,
 
 float DistanceComputer::Distance(const float* prepared_query,
                                  uint32_t id) const {
-  const size_t d = base_->cols();
-  const float* row = base_->Row(id);
+  const size_t d = base_.cols();
+  const float* row = base_.Row(id);
   switch (metric_) {
     case Metric::kSquaredL2:
       return kernels_->squared_l2(prepared_query, row, d);
@@ -48,8 +56,8 @@ float DistanceComputer::Distance(const float* prepared_query,
 void DistanceComputer::ScoreIds(const float* prepared_query,
                                 const uint32_t* ids, size_t count,
                                 float* out) const {
-  const size_t d = base_->cols();
-  const float* data = base_->data();
+  const size_t d = base_.cols();
+  const float* data = base_.data();
   switch (metric_) {
     case Metric::kSquaredL2:
       kernels_->score_ids_l2(prepared_query, data, d, ids, count, out);
@@ -70,8 +78,8 @@ void DistanceComputer::ScoreIds(const float* prepared_query,
 void DistanceComputer::ScoreRange(const float* prepared_query,
                                   uint32_t first_id, size_t count,
                                   float* out) const {
-  const size_t d = base_->cols();
-  const float* rows = base_->Row(first_id);
+  const size_t d = base_.cols();
+  const float* rows = base_.Row(first_id);
   switch (metric_) {
     case Metric::kSquaredL2:
       kernels_->score_block_l2(prepared_query, rows, count, d, out);

@@ -20,15 +20,18 @@
 namespace usp {
 
 /// Scores queries against rows of a fixed base matrix under one metric.
-/// Holds a pointer to the base; it must outlive the computer. Construction is
-/// O(1) for L2 and inner product; cosine precomputes per-row inverse norms
-/// (rows with zero norm score the neutral distance 1).
+/// Holds a view of the base; the viewed storage (heap Matrix or mmap'd
+/// container section) must outlive the computer. Construction is O(1) for L2
+/// and inner product; cosine precomputes per-row inverse norms (rows with
+/// zero norm score the neutral distance 1).
 class DistanceComputer {
  public:
-  DistanceComputer(const Matrix* base, Metric metric);
+  DistanceComputer(MatrixView base, Metric metric);
+  DistanceComputer(const Matrix* base, Metric metric)
+      : DistanceComputer(MatrixView(*base), metric) {}
 
   Metric metric() const { return metric_; }
-  const Matrix& base() const { return *base_; }
+  MatrixView base() const { return base_; }
 
   /// Metric-specific query preprocessing, called once per query: for cosine,
   /// writes the unit-normalized query into *scratch and returns its data
@@ -52,7 +55,7 @@ class DistanceComputer {
                   float* out) const;
 
  private:
-  const Matrix* base_;
+  MatrixView base_;
   Metric metric_;
   const DistanceKernels* kernels_;
   std::vector<float> inv_norms_;  ///< cosine only: 1 / ||base row||

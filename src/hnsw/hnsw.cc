@@ -67,12 +67,27 @@ HnswIndex::HnswIndex(HnswConfig config) : config_(std::move(config)) {
   USP_CHECK(config_.max_neighbors >= 2);
 }
 
+HnswIndex::HnswIndex(HnswConfig config, MatrixView base,
+                     std::vector<std::vector<std::vector<uint32_t>>> links,
+                     std::vector<int> node_levels, int max_level,
+                     uint32_t entry_point)
+    : config_(std::move(config)),
+      base_(base),
+      links_(std::move(links)),
+      node_levels_(std::move(node_levels)),
+      max_level_(max_level),
+      entry_point_(entry_point) {
+  USP_CHECK(links_.size() == base_.rows());
+  USP_CHECK(node_levels_.size() == base_.rows());
+  USP_CHECK(max_level_ >= 0 && entry_point_ < base_.rows());
+}
+
 std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
     const float* query, uint32_t entry, size_t ef, int level,
     size_t* evaluations) const {
-  const size_t d = base_->cols();
+  const size_t d = base_.cols();
   const DistanceKernels& kd = GetDistanceKernels();
-  std::vector<uint8_t> visited(base_->rows(), 0);
+  std::vector<uint8_t> visited(base_.rows(), 0);
 
   std::priority_queue<std::pair<float, uint32_t>,
                       std::vector<std::pair<float, uint32_t>>, FartherFirst>
@@ -81,7 +96,7 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
                       std::vector<std::pair<float, uint32_t>>, CloserFirst>
       best;  // farthest of the kept set on top
 
-  const float entry_dist = kd.squared_l2(query, base_->Row(entry), d);
+  const float entry_dist = kd.squared_l2(query, base_.Row(entry), d);
   if (evaluations != nullptr) ++*evaluations;
   visited[entry] = 1;
   frontier.push({entry_dist, entry});
@@ -94,7 +109,7 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
     for (uint32_t nb : LinksAt(node, level)) {
       if (visited[nb]) continue;
       visited[nb] = 1;
-      const float nb_dist = kd.squared_l2(query, base_->Row(nb), d);
+      const float nb_dist = kd.squared_l2(query, base_.Row(nb), d);
       if (evaluations != nullptr) ++*evaluations;
       if (best.size() < ef || nb_dist < best.top().first) {
         frontier.push({nb_dist, nb});
@@ -113,7 +128,7 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
 }
 
 void HnswIndex::Build(const Matrix& base) {
-  base_ = &base;
+  base_ = MatrixView(base);
   const size_t n = base.rows();
   USP_CHECK(n > 0);
   links_.assign(n, {});
@@ -198,20 +213,20 @@ void HnswIndex::Build(const Matrix& base) {
 }
 
 std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
-                                        size_t ef_search) const {
-  USP_CHECK(base_ != nullptr && max_level_ >= 0);
+                                        size_t budget) const {
+  USP_CHECK(!base_.empty() && max_level_ >= 0);
   size_t evals = 0;
   // Greedy descent to layer 1.
   uint32_t current = entry_point_;
-  const size_t d = base_->cols();
+  const size_t d = base_.cols();
   const DistanceKernels& kd = GetDistanceKernels();
-  float current_dist = kd.squared_l2(query, base_->Row(current), d);
+  float current_dist = kd.squared_l2(query, base_.Row(current), d);
   for (int l = max_level_; l >= 1; --l) {
     bool improved = true;
     while (improved) {
       improved = false;
       for (uint32_t nb : LinksAt(current, l)) {
-        const float dist = kd.squared_l2(query, base_->Row(nb), d);
+        const float dist = kd.squared_l2(query, base_.Row(nb), d);
         if (dist < current_dist) {
           current_dist = dist;
           current = nb;
@@ -221,7 +236,7 @@ std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
     }
   }
   const auto nearest =
-      SearchLayer(query, current, std::max(k, ef_search), 0, &evals);
+      SearchLayer(query, current, std::max(k, budget), 0, &evals);
   std::vector<uint32_t> out;
   out.reserve(std::min(k, nearest.size()));
   for (size_t i = 0; i < nearest.size() && i < k; ++i) {
@@ -231,20 +246,21 @@ std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
 }
 
 BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
-                                         size_t ef_search) const {
+                                         size_t budget,
+                                         size_t num_threads) const {
   const size_t nq = queries.rows();
   BatchSearchResult result;
   result.k = k;
   result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
   result.candidate_counts.assign(nq, 0);
   const DistanceKernels& kd = GetDistanceKernels();
-  ParallelFor(nq, 4, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 4, num_threads, [&](size_t begin, size_t end, size_t) {
     for (size_t q = begin; q < end; ++q) {
       size_t evals = 0;
       uint32_t current = entry_point_;
-      const size_t d = base_->cols();
+      const size_t d = base_.cols();
       float current_dist =
-          kd.squared_l2(queries.Row(q), base_->Row(current), d);
+          kd.squared_l2(queries.Row(q), base_.Row(current), d);
       ++evals;
       for (int l = max_level_; l >= 1; --l) {
         bool improved = true;
@@ -252,7 +268,7 @@ BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
           improved = false;
           for (uint32_t nb : LinksAt(current, l)) {
             const float dist =
-                kd.squared_l2(queries.Row(q), base_->Row(nb), d);
+                kd.squared_l2(queries.Row(q), base_.Row(nb), d);
             ++evals;
             if (dist < current_dist) {
               current_dist = dist;
@@ -263,7 +279,7 @@ BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
         }
       }
       const auto nearest = SearchLayer(queries.Row(q), current,
-                                       std::max(k, ef_search), 0, &evals);
+                                       std::max(k, budget), 0, &evals);
       for (size_t i = 0; i < nearest.size() && i < k; ++i) {
         result.ids[q * k + i] = nearest[i].id;
       }

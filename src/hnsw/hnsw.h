@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/partition_index.h"
+#include "index/index.h"
 #include "tensor/matrix.h"
 
 namespace usp {
@@ -20,25 +21,46 @@ struct HnswConfig {
 };
 
 /// In-memory HNSW index over a base matrix (which must outlive the index).
-class HnswIndex {
+class HnswIndex : public Index {
  public:
   explicit HnswIndex(HnswConfig config);
+
+  /// Rehydrates a built graph from deserialized state over external (possibly
+  /// mmap'd) base storage; the graph must come from an index built with the
+  /// same config.
+  HnswIndex(HnswConfig config, MatrixView base,
+            std::vector<std::vector<std::vector<uint32_t>>> links,
+            std::vector<int> node_levels, int max_level, uint32_t entry_point);
 
   /// Inserts all base points (sequentially; deterministic given the seed).
   void Build(const Matrix& base);
 
-  /// Single-query search with beam width `ef_search` (>= k).
+  /// Single-query search with beam width `budget` (= ef_search, >= k).
   std::vector<uint32_t> Search(const float* query, size_t k,
-                               size_t ef_search) const;
+                               size_t budget) const override;
 
-  /// Batch search. `candidate_counts` reports the number of distance
-  /// evaluations per query, the analogue of the candidate-set size |C| used
-  /// to compare against partition-based methods.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t ef_search) const;
+  /// Batch search with beam width `budget` (= ef_search). `candidate_counts`
+  /// reports the number of distance evaluations per query, the analogue of
+  /// the candidate-set size |C| used to compare against partition-based
+  /// methods. `num_threads` caps the per-query sharding (0 = pool default,
+  /// 1 = serial); results are identical at every setting.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const override;
 
-  size_t size() const { return node_levels_.size(); }
+  size_t dim() const override { return base_.cols(); }
+  size_t size() const override { return node_levels_.size(); }
+  Metric metric() const override { return Metric::kSquaredL2; }
+  IndexType type() const override { return IndexType::kHnsw; }
   int max_level() const { return max_level_; }
+
+  // Graph state accessors (serialization + diagnostics).
+  const HnswConfig& config() const { return config_; }
+  MatrixView base() const { return base_; }
+  const std::vector<std::vector<std::vector<uint32_t>>>& links() const {
+    return links_;
+  }
+  const std::vector<int>& node_levels() const { return node_levels_; }
+  uint32_t entry_point() const { return entry_point_; }
 
  private:
   // Best-first search on one layer from `entry`; returns up to `ef` closest
@@ -59,7 +81,7 @@ class HnswIndex {
   }
 
   HnswConfig config_;
-  const Matrix* base_ = nullptr;
+  MatrixView base_;
   std::vector<std::vector<std::vector<uint32_t>>> links_;  // [node][level]
   std::vector<int> node_levels_;
   int max_level_ = -1;

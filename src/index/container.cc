@@ -1,0 +1,255 @@
+#include "index/container.h"
+
+#include <cstring>
+
+namespace usp {
+
+namespace {
+
+uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+std::string SectionName(SectionTag tag, uint32_t ordinal) {
+  return "section " + std::to_string(static_cast<uint32_t>(tag)) + "/" +
+         std::to_string(ordinal);
+}
+
+}  // namespace
+
+ContainerWriter::ContainerWriter(IndexType type, Metric metric, uint64_t dim,
+                                 uint64_t num_points) {
+  std::memset(&header_, 0, sizeof(header_));
+  std::memcpy(header_.magic, kContainerMagic, sizeof(kContainerMagic));
+  header_.version = kContainerVersion;
+  header_.index_type = static_cast<uint32_t>(type);
+  header_.metric = static_cast<uint32_t>(metric);
+  header_.dim = dim;
+  header_.num_points = num_points;
+}
+
+void ContainerWriter::AddSection(SectionTag tag, uint32_t ordinal,
+                                 const void* data, uint64_t size) {
+  PendingSection section;
+  section.entry = {static_cast<uint32_t>(tag), ordinal, 0, size};
+  section.data = data;
+  sections_.push_back(std::move(section));
+}
+
+void ContainerWriter::AddOwnedSection(SectionTag tag, uint32_t ordinal,
+                                      std::string bytes) {
+  PendingSection section;
+  section.entry = {static_cast<uint32_t>(tag), ordinal, 0, bytes.size()};
+  section.data = nullptr;
+  section.owned = std::move(bytes);
+  sections_.push_back(std::move(section));
+}
+
+Status ContainerWriter::WriteTo(const std::string& path) {
+  header_.section_count = static_cast<uint32_t>(sections_.size());
+  uint64_t cursor =
+      sizeof(ContainerHeader) + sections_.size() * sizeof(SectionEntry);
+  for (PendingSection& section : sections_) {
+    cursor = AlignUp(cursor, kSectionAlignment);
+    section.entry.offset = cursor;
+    cursor += section.entry.size;
+  }
+  header_.file_size = cursor;
+
+  FileWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  bool ok = writer.WritePod(header_);
+  for (const PendingSection& section : sections_) {
+    ok = ok && writer.WritePod(section.entry);
+  }
+  static constexpr char kPadding[kSectionAlignment] = {};
+  uint64_t written =
+      sizeof(ContainerHeader) + sections_.size() * sizeof(SectionEntry);
+  for (const PendingSection& section : sections_) {
+    ok = ok && writer.Write(kPadding, section.entry.offset - written);
+    const void* data =
+        section.data != nullptr ? section.data : section.owned.data();
+    ok = ok && writer.Write(data, section.entry.size);
+    written = section.entry.offset + section.entry.size;
+  }
+  if (!writer.Close()) ok = false;
+  if (!ok) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Status ContainerReader::ValidateTable() {
+  if (std::memcmp(header_.magic, kContainerMagic, sizeof(kContainerMagic)) !=
+      0) {
+    return Status::InvalidArgument(path_ + " is not a USP index container");
+  }
+  if (header_.version != kContainerVersion) {
+    return Status::InvalidArgument(
+        "unsupported container format version " +
+        std::to_string(header_.version) + " in " + path_ + " (this build reads " +
+        std::to_string(kContainerVersion) + ")");
+  }
+  if (header_.file_size != actual_file_size_) {
+    return Status::IoError("truncated container " + path_ + ": header says " +
+                           std::to_string(header_.file_size) + " bytes, file has " +
+                           std::to_string(actual_file_size_));
+  }
+  const uint64_t table_end =
+      sizeof(ContainerHeader) + header_.section_count * sizeof(SectionEntry);
+  if (table_end > actual_file_size_) {
+    return Status::InvalidArgument("section table overruns " + path_);
+  }
+  for (const SectionEntry& entry : table_) {
+    if (entry.offset % kSectionAlignment != 0) {
+      return Status::InvalidArgument("misaligned section offset in " + path_);
+    }
+    if (entry.offset < table_end || entry.offset > actual_file_size_ ||
+        entry.size > actual_file_size_ - entry.offset) {
+      return Status::InvalidArgument("section out of bounds in " + path_);
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<ContainerReader>> ContainerReader::OpenFile(
+    const std::string& path) {
+  auto reader = std::unique_ptr<ContainerReader>(new ContainerReader());
+  reader->path_ = path;
+  reader->file_ = std::make_unique<FileReader>(path);
+  if (!reader->file_->ok()) return Status::IoError("cannot open " + path);
+  StatusOr<uint64_t> size = reader->file_->Size();
+  if (!size.ok()) return size.status();
+  reader->actual_file_size_ = size.value();
+  if (!reader->file_->ReadPod(&reader->header_)) {
+    return Status::IoError("truncated container header in " + path);
+  }
+  // Bound the table read before trusting section_count.
+  if (reader->actual_file_size_ <
+      sizeof(ContainerHeader) +
+          static_cast<uint64_t>(reader->header_.section_count) *
+              sizeof(SectionEntry)) {
+    // Magic/version errors should win over the size complaint.
+    if (std::memcmp(reader->header_.magic, kContainerMagic,
+                    sizeof(kContainerMagic)) != 0) {
+      return Status::InvalidArgument(path + " is not a USP index container");
+    }
+    return Status::IoError("truncated container " + path);
+  }
+  reader->table_.resize(reader->header_.section_count);
+  if (!reader->table_.empty() &&
+      !reader->file_->Read(reader->table_.data(),
+                           reader->table_.size() * sizeof(SectionEntry))) {
+    return Status::IoError("truncated section table in " + path);
+  }
+  Status status = reader->ValidateTable();
+  if (!status.ok()) return status;
+  return reader;
+}
+
+StatusOr<std::unique_ptr<ContainerReader>> ContainerReader::OpenMmap(
+    const std::string& path) {
+  StatusOr<MmapFile> map = MmapFile::Open(path);
+  if (!map.ok()) return map.status();
+  auto reader = std::unique_ptr<ContainerReader>(new ContainerReader());
+  reader->path_ = path;
+  reader->map_ = std::move(map).value();
+  reader->actual_file_size_ = reader->map_.size();
+  if (reader->map_.size() < sizeof(ContainerHeader)) {
+    return Status::IoError("truncated container header in " + path);
+  }
+  std::memcpy(&reader->header_, reader->map_.data(), sizeof(ContainerHeader));
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(reader->header_.section_count) *
+      sizeof(SectionEntry);
+  if (reader->map_.size() < sizeof(ContainerHeader) + table_bytes) {
+    if (std::memcmp(reader->header_.magic, kContainerMagic,
+                    sizeof(kContainerMagic)) != 0) {
+      return Status::InvalidArgument(path + " is not a USP index container");
+    }
+    return Status::IoError("truncated container " + path);
+  }
+  reader->table_.resize(reader->header_.section_count);
+  if (!reader->table_.empty()) {
+    std::memcpy(reader->table_.data(),
+                reader->map_.data() + sizeof(ContainerHeader), table_bytes);
+  }
+  Status status = reader->ValidateTable();
+  if (!status.ok()) return status;
+  return reader;
+}
+
+const SectionEntry* ContainerReader::FindEntry(SectionTag tag,
+                                               uint32_t ordinal) const {
+  for (const SectionEntry& entry : table_) {
+    if (entry.tag == static_cast<uint32_t>(tag) && entry.ordinal == ordinal) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+bool ContainerReader::Has(SectionTag tag, uint32_t ordinal) const {
+  return FindEntry(tag, ordinal) != nullptr;
+}
+
+StatusOr<SectionEntry> ContainerReader::Find(SectionTag tag,
+                                             uint32_t ordinal) const {
+  const SectionEntry* entry = FindEntry(tag, ordinal);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("missing " + SectionName(tag, ordinal) +
+                                   " in " + path_);
+  }
+  return *entry;
+}
+
+Status ContainerReader::ReadSection(SectionTag tag, uint32_t ordinal,
+                                    void* out, uint64_t expected_size) {
+  const SectionEntry* entry = FindEntry(tag, ordinal);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("missing " + SectionName(tag, ordinal) +
+                                   " in " + path_);
+  }
+  if (entry->size != expected_size) {
+    return Status::InvalidArgument(
+        SectionName(tag, ordinal) + " in " + path_ + " has " +
+        std::to_string(entry->size) + " bytes, expected " +
+        std::to_string(expected_size));
+  }
+  if (entry->size == 0) return Status::Ok();
+  if (map_.valid()) {
+    std::memcpy(out, map_.data() + entry->offset, entry->size);
+    return Status::Ok();
+  }
+  if (!file_->Seek(entry->offset) || !file_->Read(out, entry->size)) {
+    return Status::IoError("short read of " + SectionName(tag, ordinal) +
+                           " in " + path_);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ContainerReader::ReadSectionBytes(
+    SectionTag tag, uint32_t ordinal) {
+  StatusOr<SectionEntry> entry = Find(tag, ordinal);
+  if (!entry.ok()) return entry.status();
+  std::vector<uint8_t> bytes(entry.value().size);
+  Status status = ReadSection(tag, ordinal, bytes.data(), bytes.size());
+  if (!status.ok()) return status;
+  return bytes;
+}
+
+StatusOr<const uint8_t*> ContainerReader::SectionData(SectionTag tag,
+                                                      uint32_t ordinal) const {
+  if (!map_.valid()) {
+    return Status::FailedPrecondition(
+        "zero-copy section views need an mmap-opened container");
+  }
+  const SectionEntry* entry = FindEntry(tag, ordinal);
+  if (entry == nullptr) {
+    return Status::InvalidArgument("missing " + SectionName(tag, ordinal) +
+                                   " in " + path_);
+  }
+  return map_.data() + entry->offset;
+}
+
+}  // namespace usp

@@ -1,0 +1,156 @@
+// The versioned on-disk container every index serializes into. One file =
+// one header + a section table + 64-byte-aligned section payloads; the byte
+// layout is a documented contract (docs/FORMAT.md), little-endian throughout.
+// ContainerWriter assembles and writes a file; ContainerReader opens one
+// either streaming (stdio, payloads copied to the heap) or zero-copy (mmap,
+// payload views served straight from the page cache).
+#ifndef USP_INDEX_CONTAINER_H_
+#define USP_INDEX_CONTAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "util/io.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace usp {
+
+/// First 8 bytes of every index container.
+inline constexpr char kContainerMagic[8] = {'U', 'S', 'P', 'I',
+                                            'N', 'D', 'X', '1'};
+
+/// Bumped on any incompatible layout change; readers reject other versions.
+inline constexpr uint32_t kContainerVersion = 1;
+
+/// Every section payload starts on a multiple of this (so mmap'd float/int
+/// payloads are aligned far beyond what any SIMD load needs).
+inline constexpr uint64_t kSectionAlignment = 64;
+
+/// Section payload kinds. Values are a persistence contract — never reuse or
+/// renumber. `ordinal` distinguishes repeated tags (ensemble member j).
+enum class SectionTag : uint32_t {
+  kConfig = 1,       ///< per-index-type POD config record
+  kBaseVectors = 2,  ///< (num_points x dim) float32 base matrix
+  kAssignments = 3,  ///< num_points uint32 residency bins
+  kCentroids = 4,    ///< (nlist x dim) float32 coarse centroids
+  kUspModel = 5,     ///< embedded UspPartitioner record (core/partitioner.h)
+  kPqMeta = 6,       ///< PqMetaRecord
+  kPqOffsets = 7,    ///< (num_subspaces + 1) uint64 subspace boundaries
+  kPqCodebooks = 8,  ///< concatenated per-subspace codeword matrices, float32
+  kPqCodes = 9,      ///< (num_points x num_subspaces) uint8 PQ codes
+  kHnswLevels = 10,  ///< num_points int32 node levels
+  kHnswLinks = 11,   ///< per node, per level: uint32 count + count uint32 ids
+  kWeights = 12,     ///< num_points float32 ensemble training weights
+};
+
+/// Fixed 64-byte file header.
+struct ContainerHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t index_type;  ///< IndexType value
+  uint32_t metric;      ///< Metric value of the exact-rerank stage
+  uint32_t section_count;
+  uint64_t dim;
+  uint64_t num_points;
+  uint64_t file_size;  ///< total container bytes; cheap truncation check
+  uint8_t reserved[16];
+};
+static_assert(sizeof(ContainerHeader) == 64, "header layout is a contract");
+
+/// One section-table row (the table immediately follows the header).
+struct SectionEntry {
+  uint32_t tag;      ///< SectionTag value
+  uint32_t ordinal;  ///< repeated-tag discriminator (0 when unique)
+  uint64_t offset;   ///< absolute byte offset, kSectionAlignment-aligned
+  uint64_t size;     ///< payload bytes (padding excluded)
+};
+static_assert(sizeof(SectionEntry) == 24, "table layout is a contract");
+
+/// Assembles a container in memory (cheap: unowned payloads are referenced,
+/// not copied) and writes it in one pass. Payload pointers passed to
+/// AddSection must stay valid until WriteTo returns.
+class ContainerWriter {
+ public:
+  ContainerWriter(IndexType type, Metric metric, uint64_t dim,
+                  uint64_t num_points);
+
+  /// References `size` bytes at `data` as section (tag, ordinal).
+  void AddSection(SectionTag tag, uint32_t ordinal, const void* data,
+                  uint64_t size);
+
+  /// Takes ownership of `bytes` (used for records assembled on the fly, e.g.
+  /// embedded model blobs and flattened graphs).
+  void AddOwnedSection(SectionTag tag, uint32_t ordinal, std::string bytes);
+
+  /// Lays out offsets and writes header + table + aligned payloads.
+  Status WriteTo(const std::string& path);
+
+ private:
+  struct PendingSection {
+    SectionEntry entry;
+    const void* data;  ///< nullptr when `owned` holds the payload
+    std::string owned;
+  };
+
+  ContainerHeader header_;
+  std::vector<PendingSection> sections_;
+};
+
+/// A validated, opened container. In mmap mode (zero_copy() == true) section
+/// payloads can be viewed in place and stay valid for the reader's lifetime;
+/// in file mode they are copied out on request. All offsets/sizes are
+/// bounds-checked at open, so malformed files fail with Status errors before
+/// any payload is interpreted.
+class ContainerReader {
+ public:
+  /// Streaming open: reads and validates header + table, leaves payloads on
+  /// disk until ReadSection.
+  static StatusOr<std::unique_ptr<ContainerReader>> OpenFile(
+      const std::string& path);
+
+  /// Zero-copy open: maps the whole file read-only and validates in place.
+  static StatusOr<std::unique_ptr<ContainerReader>> OpenMmap(
+      const std::string& path);
+
+  const ContainerHeader& header() const { return header_; }
+  const std::string& path() const { return path_; }
+  bool zero_copy() const { return map_.valid(); }
+
+  bool Has(SectionTag tag, uint32_t ordinal) const;
+
+  /// Table entry for (tag, ordinal); kInvalidArgument when absent.
+  StatusOr<SectionEntry> Find(SectionTag tag, uint32_t ordinal) const;
+
+  /// Copies the payload of (tag, ordinal) into `out`. The stored size must
+  /// equal `expected_size` exactly. Works in both modes.
+  Status ReadSection(SectionTag tag, uint32_t ordinal, void* out,
+                     uint64_t expected_size);
+
+  /// Owning read of a variable-size payload.
+  StatusOr<std::vector<uint8_t>> ReadSectionBytes(SectionTag tag,
+                                                  uint32_t ordinal);
+
+  /// Zero-copy payload view (mmap mode only; kFailedPrecondition otherwise).
+  StatusOr<const uint8_t*> SectionData(SectionTag tag, uint32_t ordinal) const;
+
+ private:
+  ContainerReader() = default;
+
+  Status ValidateTable();
+  const SectionEntry* FindEntry(SectionTag tag, uint32_t ordinal) const;
+
+  std::string path_;
+  ContainerHeader header_;
+  std::vector<SectionEntry> table_;
+  MmapFile map_;                       ///< mmap mode
+  std::unique_ptr<FileReader> file_;   ///< streaming mode
+  uint64_t actual_file_size_ = 0;
+};
+
+}  // namespace usp
+
+#endif  // USP_INDEX_CONTAINER_H_

@@ -1,0 +1,50 @@
+#include "index/index.h"
+
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+namespace usp {
+
+double BatchSearchResult::MeanCandidates() const {
+  if (candidate_counts.empty()) return 0.0;
+  const double sum =
+      std::accumulate(candidate_counts.begin(), candidate_counts.end(), 0.0);
+  return sum / static_cast<double>(candidate_counts.size());
+}
+
+const char* IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kPartition:
+      return "partition";
+    case IndexType::kIvfFlat:
+      return "ivf_flat";
+    case IndexType::kIvfPq:
+      return "ivf_pq";
+    case IndexType::kScann:
+      return "scann";
+    case IndexType::kHnsw:
+      return "hnsw";
+    case IndexType::kUspEnsemble:
+      return "usp_ensemble";
+  }
+  return "unknown";
+}
+
+std::vector<uint32_t> Index::Search(const float* query, size_t k,
+                                    size_t budget) const {
+  Matrix one(1, dim());
+  std::memcpy(one.Row(0), query, dim() * sizeof(float));
+  const BatchSearchResult result =
+      SearchBatch(one, k, budget, /*num_threads=*/1);
+  std::vector<uint32_t> ids;
+  ids.reserve(k);
+  for (size_t j = 0; j < result.k; ++j) {
+    const uint32_t id = result.Row(0)[j];
+    if (id == std::numeric_limits<uint32_t>::max()) break;  // padding
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace usp

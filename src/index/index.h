@@ -1,0 +1,77 @@
+// The unified ANN-index interface. Every index type in the repository —
+// PartitionIndex, IvfFlatIndex, IvfPqIndex, ScannIndex, HnswIndex,
+// UspEnsemble — implements Index, so benches, examples, and the serving layer
+// program against one vtable and the serialization layer (index/serialize.h)
+// can persist and reopen any of them behind a single OpenIndex() call.
+#ifndef USP_INDEX_INDEX_H_
+#define USP_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/metric.h"
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Search output for a batch of queries.
+struct BatchSearchResult {
+  size_t k = 0;
+  std::vector<uint32_t> ids;               ///< (num_queries x k), row-major
+  std::vector<uint32_t> candidate_counts;  ///< |C(q)| per query
+
+  const uint32_t* Row(size_t q) const { return ids.data() + q * k; }
+
+  /// Mean candidate-set size S(R) over the batch (Eq. 4).
+  double MeanCandidates() const;
+};
+
+/// On-disk type tag of each index implementation. Stored in the container
+/// header (docs/FORMAT.md); values are a persistence contract — never reuse
+/// or renumber them.
+enum class IndexType : uint32_t {
+  kPartition = 1,    ///< PartitionIndex (any BinScorer + exact rerank)
+  kIvfFlat = 2,      ///< IvfFlatIndex
+  kIvfPq = 3,        ///< IvfPqIndex
+  kScann = 4,        ///< ScannIndex
+  kHnsw = 5,         ///< HnswIndex
+  kUspEnsemble = 6,  ///< UspEnsemble
+};
+
+/// Human-readable name of a type tag ("partition", "ivf_flat", ...);
+/// "unknown" for unregistered values.
+const char* IndexTypeName(IndexType type);
+
+/// Abstract, immutable (Add-free) ANN index: train or load offline, serve
+/// queries online. `budget` is the per-query search effort knob — the number
+/// of probed bins for partition-based indexes, ef_search for HNSW.
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Batched k-NN search. `num_threads` caps the per-query sharding over the
+  /// global thread pool (0 = pool default, 1 = serial); results are
+  /// bit-identical at every setting.
+  virtual BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+                                        size_t budget,
+                                        size_t num_threads = 0) const = 0;
+
+  /// Single-query convenience: returns up to k neighbor ids, ascending by
+  /// distance. The default routes through SearchBatch on the calling thread.
+  virtual std::vector<uint32_t> Search(const float* query, size_t k,
+                                       size_t budget) const;
+
+  virtual size_t dim() const = 0;     ///< base vector dimensionality
+  virtual size_t size() const = 0;    ///< number of indexed base vectors
+  virtual Metric metric() const = 0;  ///< exact-rerank metric
+  virtual IndexType type() const = 0;
+
+  /// The concrete index this object answers queries with. Loaded indexes
+  /// (index/serialize.h) are wrappers owning their storage; underlying()
+  /// unwraps them so SaveIndex and type introspection see the real object.
+  virtual const Index& underlying() const { return *this; }
+};
+
+}  // namespace usp
+
+#endif  // USP_INDEX_INDEX_H_

@@ -1,0 +1,963 @@
+#include "index/serialize.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "baselines/kmeans.h"
+#include "core/ensemble.h"
+#include "core/partition_index.h"
+#include "core/partitioner.h"
+#include "hnsw/hnsw.h"
+#include "ivf/ivf.h"
+#include "quant/scann_index.h"
+#include "util/io.h"
+
+namespace usp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// POD config records (kConfig / kPqMeta section payloads). Layouts are part
+// of the on-disk contract (docs/FORMAT.md): fixed-width little-endian fields,
+// no implicit padding — never reorder or resize, only append on a version
+// bump.
+// ---------------------------------------------------------------------------
+
+enum ScorerKind : uint32_t {
+  kScorerNone = 0,
+  kScorerKMeans = 1,
+  kScorerUsp = 2,
+};
+
+struct PartitionConfigRecord {
+  uint32_t scorer_kind;
+  uint32_t scorer_metric;
+};
+static_assert(sizeof(PartitionConfigRecord) == 8, "on-disk contract");
+
+struct IvfFlatConfigRecord {
+  uint64_t nlist;
+  uint64_t kmeans_iterations;
+  uint64_t seed;
+};
+static_assert(sizeof(IvfFlatConfigRecord) == 24, "on-disk contract");
+
+struct IvfPqConfigRecord {
+  uint64_t nlist;
+  uint64_t kmeans_iterations;
+  uint64_t seed;
+  uint64_t rerank_budget;
+};
+static_assert(sizeof(IvfPqConfigRecord) == 32, "on-disk contract");
+
+struct ScannConfigRecord {
+  uint64_t rerank_budget;
+  uint32_t scorer_kind;
+  uint32_t scorer_metric;
+};
+static_assert(sizeof(ScannConfigRecord) == 16, "on-disk contract");
+
+struct HnswConfigRecord {
+  uint64_t max_neighbors;
+  uint64_t ef_construction;
+  uint64_t seed;
+  int32_t max_level;
+  uint32_t entry_point;
+};
+static_assert(sizeof(HnswConfigRecord) == 32, "on-disk contract");
+
+struct PqMetaRecord {
+  uint64_t num_subspaces;
+  uint64_t codebook_size;
+  uint64_t kmeans_iterations;
+  uint64_t seed;
+  uint64_t codebook_rows;  ///< trained rows per codebook (<= codebook_size)
+  uint64_t dims;
+  float anisotropic_eta;
+  uint32_t reserved;
+};
+static_assert(sizeof(PqMetaRecord) == 56, "on-disk contract");
+
+struct UspTrainRecord {
+  uint64_t num_bins;
+  uint64_t hidden_dim;
+  uint64_t epochs;
+  uint64_t batch_size;
+  uint64_t seed;
+  float eta;
+  float dropout;
+  float learning_rate;
+  uint32_t model_kind;
+  uint32_t use_batchnorm;
+  uint32_t soft_targets;
+};
+static_assert(sizeof(UspTrainRecord) == 64, "on-disk contract");
+
+struct EnsembleConfigRecord {
+  UspTrainRecord model;
+  uint64_t num_models;
+  float weight_floor;
+  uint32_t combine;
+};
+static_assert(sizeof(EnsembleConfigRecord) == 80, "on-disk contract");
+
+UspTrainRecord PackTrainConfig(const UspTrainConfig& c) {
+  UspTrainRecord r{};
+  r.num_bins = c.num_bins;
+  r.hidden_dim = c.hidden_dim;
+  r.epochs = c.epochs;
+  r.batch_size = c.batch_size;
+  r.seed = c.seed;
+  r.eta = c.eta;
+  r.dropout = c.dropout;
+  r.learning_rate = c.learning_rate;
+  r.model_kind = c.model == UspModelKind::kMlp ? 0 : 1;
+  r.use_batchnorm = c.use_batchnorm ? 1 : 0;
+  r.soft_targets = c.soft_targets ? 1 : 0;
+  return r;
+}
+
+UspTrainConfig UnpackTrainConfig(const UspTrainRecord& r) {
+  UspTrainConfig c;
+  c.num_bins = static_cast<size_t>(r.num_bins);
+  c.hidden_dim = static_cast<size_t>(r.hidden_dim);
+  c.epochs = static_cast<size_t>(r.epochs);
+  c.batch_size = static_cast<size_t>(r.batch_size);
+  c.seed = r.seed;
+  c.eta = r.eta;
+  c.dropout = r.dropout;
+  c.learning_rate = r.learning_rate;
+  c.model = r.model_kind == 0 ? UspModelKind::kMlp
+                              : UspModelKind::kLogisticRegression;
+  c.use_batchnorm = r.use_batchnorm != 0;
+  c.soft_targets = r.soft_targets != 0;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Shared save helpers.
+// ---------------------------------------------------------------------------
+
+Status CheckMetricValue(uint32_t metric, const std::string& path) {
+  if (metric > static_cast<uint32_t>(Metric::kCosine)) {
+    return Status::InvalidArgument("unknown metric tag " +
+                                   std::to_string(metric) + " in " + path);
+  }
+  return Status::Ok();
+}
+
+/// Classifies a scorer for serialization and appends its payload section.
+/// Returns kInvalidArgument for scorer types with no on-disk representation.
+Status AppendScorerSections(const BinScorer* scorer, uint32_t ordinal,
+                            ContainerWriter* writer, uint32_t* kind,
+                            uint32_t* scorer_metric) {
+  if (const auto* kmeans = dynamic_cast<const KMeansPartitioner*>(scorer)) {
+    *kind = kScorerKMeans;
+    *scorer_metric = static_cast<uint32_t>(kmeans->metric());
+    const Matrix& centroids = kmeans->centroids();
+    writer->AddSection(SectionTag::kCentroids, ordinal, centroids.data(),
+                       centroids.size() * sizeof(float));
+    return Status::Ok();
+  }
+  if (const auto* usp = dynamic_cast<const UspPartitioner*>(scorer)) {
+    *kind = kScorerUsp;
+    *scorer_metric = 0;
+    StringWriter blob;
+    Status status = usp->SaveTo(&blob, "embedded model");
+    if (!status.ok()) return status;
+    writer->AddOwnedSection(SectionTag::kUspModel, ordinal, blob.TakeBytes());
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(
+      "cannot serialize this BinScorer type: only KMeansPartitioner and "
+      "UspPartitioner have an on-disk representation");
+}
+
+void AppendBaseSection(MatrixView base, ContainerWriter* writer) {
+  writer->AddSection(SectionTag::kBaseVectors, 0, base.data(),
+                     base.size() * sizeof(float));
+}
+
+void AppendAssignments(const std::vector<uint32_t>& assignments,
+                       uint32_t ordinal, ContainerWriter* writer) {
+  writer->AddSection(SectionTag::kAssignments, ordinal, assignments.data(),
+                     assignments.size() * sizeof(uint32_t));
+}
+
+/// Adds kPqMeta / kPqOffsets / kPqCodebooks. The returned buffers back the
+/// referenced sections and must stay alive until WriteTo.
+struct PqSections {
+  PqMetaRecord meta;
+  std::vector<uint64_t> offsets;
+  std::vector<float> codebooks;
+};
+
+PqSections AppendPqSections(const ProductQuantizer& pq,
+                            ContainerWriter* writer) {
+  PqSections out;
+  out.meta = PqMetaRecord{};
+  out.meta.num_subspaces = pq.num_subspaces();
+  out.meta.codebook_size = pq.codebook_size();
+  out.meta.kmeans_iterations = pq.config().kmeans_iterations;
+  out.meta.seed = pq.config().seed;
+  out.meta.codebook_rows = pq.codebook(0).rows();
+  out.meta.dims = pq.dims();
+  out.meta.anisotropic_eta = pq.config().anisotropic_eta;
+
+  out.offsets.assign(pq.subspace_offsets().begin(),
+                     pq.subspace_offsets().end());
+  for (size_t s = 0; s < pq.num_subspaces(); ++s) {
+    const Matrix& codebook = pq.codebook(s);
+    out.codebooks.insert(out.codebooks.end(), codebook.data(),
+                         codebook.data() + codebook.size());
+  }
+  writer->AddSection(SectionTag::kPqMeta, 0, &out.meta, sizeof(out.meta));
+  writer->AddSection(SectionTag::kPqOffsets, 0, out.offsets.data(),
+                     out.offsets.size() * sizeof(uint64_t));
+  writer->AddSection(SectionTag::kPqCodebooks, 0, out.codebooks.data(),
+                     out.codebooks.size() * sizeof(float));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-type savers. Locals referenced by AddSection live until WriteTo.
+// ---------------------------------------------------------------------------
+
+Status SavePartition(const PartitionIndex& index, const std::string& path) {
+  ContainerWriter writer(IndexType::kPartition, index.metric(), index.dim(),
+                         index.size());
+  PartitionConfigRecord config{};
+  Status status = AppendScorerSections(index.scorer(), 0, &writer,
+                                       &config.scorer_kind,
+                                       &config.scorer_metric);
+  if (!status.ok()) return status;
+  writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  AppendBaseSection(index.base(), &writer);
+  AppendAssignments(index.assignments(), 0, &writer);
+  return writer.WriteTo(path);
+}
+
+Status SaveIvfFlat(const IvfFlatIndex& index, const std::string& path) {
+  ContainerWriter writer(IndexType::kIvfFlat, index.metric(), index.dim(),
+                         index.size());
+  IvfFlatConfigRecord config{};
+  config.nlist = index.config().nlist;
+  config.kmeans_iterations = index.config().kmeans_iterations;
+  config.seed = index.config().seed;
+  writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  const Matrix& centroids = index.coarse_quantizer().centroids();
+  writer.AddSection(SectionTag::kCentroids, 0, centroids.data(),
+                    centroids.size() * sizeof(float));
+  AppendBaseSection(index.partition().base(), &writer);
+  AppendAssignments(index.partition().assignments(), 0, &writer);
+  return writer.WriteTo(path);
+}
+
+Status SaveIvfPq(const IvfPqIndex& index, const std::string& path) {
+  ContainerWriter writer(IndexType::kIvfPq, Metric::kSquaredL2, index.dim(),
+                         index.size());
+  IvfPqConfigRecord config{};
+  config.nlist = index.config().nlist;
+  config.kmeans_iterations = index.config().kmeans_iterations;
+  config.seed = index.config().seed;
+  config.rerank_budget = index.config().rerank_budget;
+  writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  const Matrix& centroids = index.coarse_quantizer().centroids();
+  writer.AddSection(SectionTag::kCentroids, 0, centroids.data(),
+                    centroids.size() * sizeof(float));
+  AppendBaseSection(index.scann().base(), &writer);
+  const std::vector<uint32_t> assignments = index.scann().Assignments();
+  AppendAssignments(assignments, 0, &writer);
+  const PqSections pq = AppendPqSections(index.scann().quantizer(), &writer);
+  writer.AddSection(SectionTag::kPqCodes, 0, index.scann().codes(),
+                    index.size() * index.scann().quantizer().num_subspaces());
+  return writer.WriteTo(path);
+}
+
+Status SaveScann(const ScannIndex& index, const std::string& path) {
+  ContainerWriter writer(IndexType::kScann, Metric::kSquaredL2, index.dim(),
+                         index.size());
+  ScannConfigRecord config{};
+  config.rerank_budget = index.config().rerank_budget;
+  config.scorer_kind = kScorerNone;
+  std::vector<uint32_t> assignments;
+  if (index.has_partition()) {
+    Status status = AppendScorerSections(index.partitioner(), 0, &writer,
+                                         &config.scorer_kind,
+                                         &config.scorer_metric);
+    if (!status.ok()) return status;
+    assignments = index.Assignments();
+    AppendAssignments(assignments, 0, &writer);
+  }
+  writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  AppendBaseSection(index.base(), &writer);
+  const PqSections pq = AppendPqSections(index.quantizer(), &writer);
+  writer.AddSection(SectionTag::kPqCodes, 0, index.codes(),
+                    index.size() * index.quantizer().num_subspaces());
+  return writer.WriteTo(path);
+}
+
+Status SaveHnsw(const HnswIndex& index, const std::string& path) {
+  if (index.max_level() < 0) {
+    return Status::FailedPrecondition("HNSW index not built");
+  }
+  ContainerWriter writer(IndexType::kHnsw, Metric::kSquaredL2, index.dim(),
+                         index.size());
+  HnswConfigRecord config{};
+  config.max_neighbors = index.config().max_neighbors;
+  config.ef_construction = index.config().ef_construction;
+  config.seed = index.config().seed;
+  config.max_level = index.max_level();
+  config.entry_point = index.entry_point();
+  writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  AppendBaseSection(index.base(), &writer);
+
+  std::vector<int32_t> levels(index.node_levels().begin(),
+                              index.node_levels().end());
+  writer.AddSection(SectionTag::kHnswLevels, 0, levels.data(),
+                    levels.size() * sizeof(int32_t));
+  StringWriter links;
+  for (const auto& node_links : index.links()) {
+    for (const auto& level_links : node_links) {
+      const uint32_t count = static_cast<uint32_t>(level_links.size());
+      links.WritePod(count);
+      links.Write(level_links.data(), level_links.size() * sizeof(uint32_t));
+    }
+  }
+  writer.AddOwnedSection(SectionTag::kHnswLinks, 0, links.TakeBytes());
+  return writer.WriteTo(path);
+}
+
+Status SaveEnsemble(const UspEnsemble& index, const std::string& path) {
+  ContainerWriter writer(IndexType::kUspEnsemble, Metric::kSquaredL2,
+                         index.dim(), index.size());
+  EnsembleConfigRecord config{};
+  config.model = PackTrainConfig(index.config().model);
+  config.num_models = index.num_models();
+  config.weight_floor = index.config().weight_floor;
+  config.combine = static_cast<uint32_t>(index.config().combine);
+  writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  AppendBaseSection(index.index(0).base(), &writer);
+  for (size_t j = 0; j < index.num_models(); ++j) {
+    StringWriter blob;
+    Status status = index.model(j).SaveTo(&blob, "embedded ensemble model");
+    if (!status.ok()) return status;
+    writer.AddOwnedSection(SectionTag::kUspModel, static_cast<uint32_t>(j),
+                           blob.TakeBytes());
+    AppendAssignments(index.index(j).assignments(), static_cast<uint32_t>(j),
+                      &writer);
+  }
+  writer.AddSection(SectionTag::kWeights, 0, index.final_weights().data(),
+                    index.final_weights().size() * sizeof(float));
+  return writer.WriteTo(path);
+}
+
+// ---------------------------------------------------------------------------
+// Load side: bundle (owned storage) + typed section helpers.
+// ---------------------------------------------------------------------------
+
+/// Everything a loaded index needs to stay alive: the container (holding the
+/// mmap in zero-copy mode), heap copies of payloads in streaming mode, and
+/// the ownership of scorers the concrete index only points at.
+struct IndexBundle {
+  std::unique_ptr<ContainerReader> container;
+  Matrix base_owned;
+  MatrixView base;
+  std::vector<uint8_t> codes_owned;
+  const uint8_t* codes = nullptr;
+  std::unique_ptr<BinScorer> scorer;
+  std::unique_ptr<Index> index;
+};
+
+/// The self-contained object OpenIndex returns: delegates every query to the
+/// concrete index while owning all backing storage.
+class LoadedIndex : public Index {
+ public:
+  explicit LoadedIndex(std::unique_ptr<IndexBundle> bundle)
+      : bundle_(std::move(bundle)) {}
+
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const override {
+    return bundle_->index->SearchBatch(queries, k, budget, num_threads);
+  }
+  std::vector<uint32_t> Search(const float* query, size_t k,
+                               size_t budget) const override {
+    return bundle_->index->Search(query, k, budget);
+  }
+  size_t dim() const override { return bundle_->index->dim(); }
+  size_t size() const override { return bundle_->index->size(); }
+  Metric metric() const override { return bundle_->index->metric(); }
+  IndexType type() const override { return bundle_->index->type(); }
+  const Index& underlying() const override { return *bundle_->index; }
+
+ private:
+  std::unique_ptr<IndexBundle> bundle_;
+};
+
+StatusOr<std::unique_ptr<Index>> FinishBundle(
+    std::unique_ptr<IndexBundle> bundle) {
+  return std::unique_ptr<Index>(new LoadedIndex(std::move(bundle)));
+}
+
+/// Multiplies size components with overflow detection.
+bool ByteCount(uint64_t count, uint64_t elem_size, uint64_t* out) {
+  if (elem_size != 0 && count > UINT64_MAX / elem_size) return false;
+  *out = count * elem_size;
+  return true;
+}
+
+/// Reads a float-matrix section into owned heap memory (small payloads:
+/// centroids, codebooks, weights).
+StatusOr<Matrix> ReadMatrixSection(ContainerReader* container, SectionTag tag,
+                                   uint32_t ordinal, uint64_t rows,
+                                   uint64_t cols) {
+  uint64_t bytes = 0;
+  if (cols == 0 || rows > UINT64_MAX / cols ||
+      !ByteCount(rows * cols, sizeof(float), &bytes)) {
+    return Status::InvalidArgument("implausible matrix shape in " +
+                                   container->path());
+  }
+  // Check the stored size BEFORE allocating: a corrupt shape field (e.g. a
+  // patched nlist) must fail with a Status, not a bad_alloc. Sizes in the
+  // table are bounded by file_size, so a matching size bounds the allocation.
+  StatusOr<SectionEntry> entry = container->Find(tag, ordinal);
+  if (!entry.ok()) return entry.status();
+  if (entry.value().size != bytes) {
+    return Status::InvalidArgument("matrix section size mismatch in " +
+                                   container->path());
+  }
+  std::vector<float> data(rows * cols);
+  Status status = container->ReadSection(tag, ordinal, data.data(), bytes);
+  if (!status.ok()) return status;
+  return Matrix(rows, cols, std::move(data));
+}
+
+StatusOr<std::vector<uint32_t>> ReadU32Section(ContainerReader* container,
+                                               SectionTag tag,
+                                               uint32_t ordinal,
+                                               uint64_t count) {
+  std::vector<uint32_t> values(count);
+  Status status = container->ReadSection(tag, ordinal, values.data(),
+                                         count * sizeof(uint32_t));
+  if (!status.ok()) return status;
+  return values;
+}
+
+/// Materializes the base-vector payload: a zero-copy view in mmap mode, an
+/// owned heap Matrix in streaming mode. Fills bundle->base either way.
+Status LoadBase(IndexBundle* bundle) {
+  ContainerReader* container = bundle->container.get();
+  const uint64_t rows = container->header().num_points;
+  const uint64_t cols = container->header().dim;
+  if (rows == 0 || cols == 0 || cols > (1ULL << 24) || rows > (1ULL << 40)) {
+    return Status::InvalidArgument("implausible index shape in " +
+                                   container->path());
+  }
+  uint64_t bytes = 0;
+  if (rows > UINT64_MAX / cols ||
+      !ByteCount(rows * cols, sizeof(float), &bytes)) {
+    return Status::InvalidArgument("implausible index shape in " +
+                                   container->path());
+  }
+  StatusOr<SectionEntry> entry = container->Find(SectionTag::kBaseVectors, 0);
+  if (!entry.ok()) return entry.status();
+  if (entry.value().size != bytes) {
+    return Status::InvalidArgument("base-vector section size mismatch in " +
+                                   container->path());
+  }
+  if (container->zero_copy()) {
+    StatusOr<const uint8_t*> data =
+        container->SectionData(SectionTag::kBaseVectors, 0);
+    if (!data.ok()) return data.status();
+    bundle->base = MatrixView(reinterpret_cast<const float*>(data.value()),
+                              rows, cols);
+    return Status::Ok();
+  }
+  StatusOr<Matrix> owned =
+      ReadMatrixSection(container, SectionTag::kBaseVectors, 0, rows, cols);
+  if (!owned.ok()) return owned.status();
+  bundle->base_owned = std::move(owned).value();
+  bundle->base = MatrixView(bundle->base_owned);
+  return Status::Ok();
+}
+
+/// Loads residency assignments and checks every bin id against `num_bins`
+/// (the index constructors USP_CHECK this; a corrupt file must fail with a
+/// Status instead).
+StatusOr<std::vector<uint32_t>> LoadAssignments(ContainerReader* container,
+                                                uint32_t ordinal,
+                                                uint64_t num_points,
+                                                uint64_t num_bins) {
+  StatusOr<std::vector<uint32_t>> assignments = ReadU32Section(
+      container, SectionTag::kAssignments, ordinal, num_points);
+  if (!assignments.ok()) return assignments.status();
+  for (uint32_t bin : assignments.value()) {
+    if (bin >= num_bins) {
+      return Status::InvalidArgument("assignment bin out of range in " +
+                                     container->path());
+    }
+  }
+  return assignments;
+}
+
+/// Rebuilds a serialized scorer. `dim` is the expected input dimensionality.
+StatusOr<std::unique_ptr<BinScorer>> LoadScorer(ContainerReader* container,
+                                                uint32_t kind,
+                                                uint32_t scorer_metric,
+                                                uint32_t ordinal,
+                                                uint64_t dim) {
+  if (kind == kScorerKMeans) {
+    Status status = CheckMetricValue(scorer_metric, container->path());
+    if (!status.ok()) return status;
+    StatusOr<SectionEntry> entry =
+        container->Find(SectionTag::kCentroids, ordinal);
+    if (!entry.ok()) return entry.status();
+    const uint64_t row_bytes = dim * sizeof(float);
+    if (row_bytes == 0 || entry.value().size == 0 ||
+        entry.value().size % row_bytes != 0) {
+      return Status::InvalidArgument("centroid section size mismatch in " +
+                                     container->path());
+    }
+    const uint64_t nlist = entry.value().size / row_bytes;
+    StatusOr<Matrix> centroids = ReadMatrixSection(
+        container, SectionTag::kCentroids, ordinal, nlist, dim);
+    if (!centroids.ok()) return centroids.status();
+    return std::unique_ptr<BinScorer>(
+        new KMeansPartitioner(KMeansPartitioner::FromTrainedCentroids(
+            std::move(centroids).value(),
+            static_cast<Metric>(scorer_metric))));
+  }
+  if (kind == kScorerUsp) {
+    StatusOr<std::vector<uint8_t>> blob =
+        container->ReadSectionBytes(SectionTag::kUspModel, ordinal);
+    if (!blob.ok()) return blob.status();
+    MemReader reader(blob.value().data(), blob.value().size());
+    StatusOr<UspPartitioner> model =
+        UspPartitioner::LoadFrom(&reader, container->path());
+    if (!model.ok()) return model.status();
+    return std::unique_ptr<BinScorer>(
+        new UspPartitioner(std::move(model).value()));
+  }
+  return Status::InvalidArgument("unknown scorer kind " +
+                                 std::to_string(kind) + " in " +
+                                 container->path());
+}
+
+/// Loads PQ metadata + codebooks into a rehydrated quantizer, and the code
+/// bytes into bundle->codes (zero-copy when mapped).
+StatusOr<ProductQuantizer> LoadPq(IndexBundle* bundle) {
+  ContainerReader* container = bundle->container.get();
+  const std::string& path = container->path();
+  PqMetaRecord meta{};
+  Status status =
+      container->ReadSection(SectionTag::kPqMeta, 0, &meta, sizeof(meta));
+  if (!status.ok()) return status;
+  const uint64_t dim = container->header().dim;
+  const uint64_t n = container->header().num_points;
+  if (meta.dims != dim || meta.num_subspaces == 0 || meta.num_subspaces > dim ||
+      meta.codebook_size == 0 || meta.codebook_size > 256 ||
+      meta.codebook_rows == 0 || meta.codebook_rows > meta.codebook_size) {
+    return Status::InvalidArgument("corrupt PQ metadata in " + path);
+  }
+
+  std::vector<uint64_t> offsets(meta.num_subspaces + 1);
+  status = container->ReadSection(SectionTag::kPqOffsets, 0, offsets.data(),
+                                  offsets.size() * sizeof(uint64_t));
+  if (!status.ok()) return status;
+  if (offsets.front() != 0 || offsets.back() != dim) {
+    return Status::InvalidArgument("corrupt PQ subspace offsets in " + path);
+  }
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    if (offsets[s] >= offsets[s + 1]) {
+      return Status::InvalidArgument("corrupt PQ subspace offsets in " + path);
+    }
+  }
+
+  StatusOr<Matrix> concat =
+      ReadMatrixSection(container, SectionTag::kPqCodebooks, 0,
+                        meta.codebook_rows, dim);
+  if (!concat.ok()) return concat.status();
+  // The concatenated payload stores subspace blocks back to back (each
+  // codebook_rows x subspace_dim), not an interleaved (rows x dim) matrix, so
+  // split by walking the flat buffer.
+  std::vector<Matrix> codebooks;
+  codebooks.reserve(meta.num_subspaces);
+  const float* cursor = concat.value().data();
+  for (size_t s = 0; s < meta.num_subspaces; ++s) {
+    const size_t sd = offsets[s + 1] - offsets[s];
+    const size_t count = meta.codebook_rows * sd;
+    codebooks.push_back(Matrix(meta.codebook_rows, sd,
+                               std::vector<float>(cursor, cursor + count)));
+    cursor += count;
+  }
+
+  PqConfig config;
+  config.num_subspaces = static_cast<size_t>(meta.num_subspaces);
+  config.codebook_size = static_cast<size_t>(meta.codebook_size);
+  config.kmeans_iterations = static_cast<size_t>(meta.kmeans_iterations);
+  config.anisotropic_eta = meta.anisotropic_eta;
+  config.seed = meta.seed;
+
+  // Code bytes: (n x M) uint8 — the other zero-copy payload.
+  uint64_t code_bytes = 0;
+  if (!ByteCount(n, meta.num_subspaces, &code_bytes)) {
+    return Status::InvalidArgument("implausible code shape in " + path);
+  }
+  StatusOr<SectionEntry> codes_entry = container->Find(SectionTag::kPqCodes, 0);
+  if (!codes_entry.ok()) return codes_entry.status();
+  if (codes_entry.value().size != code_bytes) {
+    return Status::InvalidArgument("PQ code section size mismatch in " + path);
+  }
+  if (container->zero_copy()) {
+    StatusOr<const uint8_t*> data =
+        container->SectionData(SectionTag::kPqCodes, 0);
+    if (!data.ok()) return data.status();
+    bundle->codes = data.value();
+  } else {
+    StatusOr<std::vector<uint8_t>> owned =
+        container->ReadSectionBytes(SectionTag::kPqCodes, 0);
+    if (!owned.ok()) return owned.status();
+    bundle->codes_owned = std::move(owned).value();
+    bundle->codes = bundle->codes_owned.data();
+  }
+
+  return ProductQuantizer(config, static_cast<size_t>(dim),
+                          std::vector<size_t>(offsets.begin(), offsets.end()),
+                          std::move(codebooks));
+}
+
+// ---------------------------------------------------------------------------
+// Per-type loaders (registry targets).
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<Index>> LoadPartition(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  Status status = CheckMetricValue(c->header().metric, c->path());
+  if (!status.ok()) return status;
+  status = LoadBase(bundle.get());
+  if (!status.ok()) return status;
+
+  PartitionConfigRecord config{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  if (!status.ok()) return status;
+  StatusOr<std::unique_ptr<BinScorer>> scorer =
+      LoadScorer(c, config.scorer_kind, config.scorer_metric, 0,
+                 c->header().dim);
+  if (!scorer.ok()) return scorer.status();
+  bundle->scorer = std::move(scorer).value();
+
+  StatusOr<std::vector<uint32_t>> assignments = LoadAssignments(
+      c, 0, c->header().num_points, bundle->scorer->num_bins());
+  if (!assignments.ok()) return assignments.status();
+
+  bundle->index = std::make_unique<PartitionIndex>(
+      bundle->base, bundle->scorer.get(), std::move(assignments).value(),
+      static_cast<Metric>(c->header().metric));
+  return FinishBundle(std::move(bundle));
+}
+
+StatusOr<std::unique_ptr<Index>> LoadIvfFlat(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  Status status = CheckMetricValue(c->header().metric, c->path());
+  if (!status.ok()) return status;
+  status = LoadBase(bundle.get());
+  if (!status.ok()) return status;
+
+  IvfFlatConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+  if (record.nlist == 0) {
+    return Status::InvalidArgument("corrupt IVF config in " + c->path());
+  }
+  StatusOr<Matrix> centroids = ReadMatrixSection(
+      c, SectionTag::kCentroids, 0, record.nlist, c->header().dim);
+  if (!centroids.ok()) return centroids.status();
+  StatusOr<std::vector<uint32_t>> assignments =
+      LoadAssignments(c, 0, c->header().num_points, record.nlist);
+  if (!assignments.ok()) return assignments.status();
+
+  IvfConfig config;
+  config.nlist = static_cast<size_t>(record.nlist);
+  config.kmeans_iterations = static_cast<size_t>(record.kmeans_iterations);
+  config.seed = record.seed;
+  config.metric = static_cast<Metric>(c->header().metric);
+  bundle->index = std::make_unique<IvfFlatIndex>(
+      bundle->base, config, std::move(centroids).value(),
+      std::move(assignments).value());
+  return FinishBundle(std::move(bundle));
+}
+
+StatusOr<std::unique_ptr<Index>> LoadIvfPq(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  Status status = LoadBase(bundle.get());
+  if (!status.ok()) return status;
+
+  IvfPqConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+  StatusOr<ProductQuantizer> pq = LoadPq(bundle.get());
+  if (!pq.ok()) return pq.status();
+
+  IvfConfig config;
+  config.nlist = static_cast<size_t>(record.nlist);
+  config.kmeans_iterations = static_cast<size_t>(record.kmeans_iterations);
+  config.seed = record.seed;
+  config.metric = static_cast<Metric>(c->header().metric);
+  config.rerank_budget = static_cast<size_t>(record.rerank_budget);
+  config.pq = pq.value().config();
+  status = IvfPqIndex::ValidateConfig(config);
+  if (!status.ok()) return status;
+
+  StatusOr<Matrix> centroids = ReadMatrixSection(
+      c, SectionTag::kCentroids, 0, record.nlist, c->header().dim);
+  if (!centroids.ok()) return centroids.status();
+  StatusOr<std::vector<uint32_t>> assignments =
+      LoadAssignments(c, 0, c->header().num_points, record.nlist);
+  if (!assignments.ok()) return assignments.status();
+
+  bundle->index = std::make_unique<IvfPqIndex>(
+      bundle->base, config, std::move(centroids).value(),
+      std::move(pq).value(), bundle->codes, assignments.value());
+  return FinishBundle(std::move(bundle));
+}
+
+StatusOr<std::unique_ptr<Index>> LoadScann(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  Status status = LoadBase(bundle.get());
+  if (!status.ok()) return status;
+
+  ScannConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+  StatusOr<ProductQuantizer> pq = LoadPq(bundle.get());
+  if (!pq.ok()) return pq.status();
+
+  std::vector<uint32_t> assignments;
+  if (record.scorer_kind != kScorerNone) {
+    StatusOr<std::unique_ptr<BinScorer>> scorer =
+        LoadScorer(c, record.scorer_kind, record.scorer_metric, 0,
+                   c->header().dim);
+    if (!scorer.ok()) return scorer.status();
+    bundle->scorer = std::move(scorer).value();
+    StatusOr<std::vector<uint32_t>> loaded = LoadAssignments(
+        c, 0, c->header().num_points, bundle->scorer->num_bins());
+    if (!loaded.ok()) return loaded.status();
+    assignments = std::move(loaded).value();
+  }
+
+  ScannIndexConfig config;
+  config.rerank_budget = static_cast<size_t>(record.rerank_budget);
+  bundle->index = std::make_unique<ScannIndex>(
+      bundle->base, bundle->scorer.get(), std::move(pq).value(), config,
+      bundle->codes, assignments);
+  return FinishBundle(std::move(bundle));
+}
+
+StatusOr<std::unique_ptr<Index>> LoadHnsw(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  const std::string& path = c->path();
+  Status status = LoadBase(bundle.get());
+  if (!status.ok()) return status;
+  const uint64_t n = c->header().num_points;
+
+  HnswConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+  if (record.max_neighbors < 2 || record.max_level < 0 ||
+      record.max_level > 63 || record.entry_point >= n) {
+    return Status::InvalidArgument("corrupt HNSW config in " + path);
+  }
+
+  std::vector<int32_t> levels(n);
+  status = c->ReadSection(SectionTag::kHnswLevels, 0, levels.data(),
+                          n * sizeof(int32_t));
+  if (!status.ok()) return status;
+  int32_t observed_max = -1;
+  for (int32_t level : levels) {
+    if (level < 0 || level > record.max_level) {
+      return Status::InvalidArgument("corrupt HNSW levels in " + path);
+    }
+    observed_max = std::max(observed_max, level);
+  }
+  if (observed_max != record.max_level ||
+      levels[record.entry_point] != record.max_level) {
+    return Status::InvalidArgument("corrupt HNSW levels in " + path);
+  }
+
+  StatusOr<std::vector<uint8_t>> link_bytes =
+      c->ReadSectionBytes(SectionTag::kHnswLinks, 0);
+  if (!link_bytes.ok()) return link_bytes.status();
+  MemReader reader(link_bytes.value().data(), link_bytes.value().size());
+  std::vector<std::vector<std::vector<uint32_t>>> links(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    links[i].resize(levels[i] + 1);
+    for (int32_t l = 0; l <= levels[i]; ++l) {
+      uint32_t count = 0;
+      if (!reader.ReadPod(&count) || count >= n) {
+        return Status::InvalidArgument("corrupt HNSW links in " + path);
+      }
+      std::vector<uint32_t>& ids = links[i][l];
+      ids.resize(count);
+      if (count > 0 && !reader.Read(ids.data(), count * sizeof(uint32_t))) {
+        return Status::InvalidArgument("corrupt HNSW links in " + path);
+      }
+      for (uint32_t id : ids) {
+        // Every link target must exist on this layer, otherwise search would
+        // index past a node's level vector.
+        if (id >= n || levels[id] < l) {
+          return Status::InvalidArgument("corrupt HNSW links in " + path);
+        }
+      }
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing HNSW link bytes in " + path);
+  }
+
+  HnswConfig config;
+  config.max_neighbors = static_cast<size_t>(record.max_neighbors);
+  config.ef_construction = static_cast<size_t>(record.ef_construction);
+  config.seed = record.seed;
+  bundle->index = std::make_unique<HnswIndex>(
+      config, bundle->base, std::move(links),
+      std::vector<int>(levels.begin(), levels.end()), record.max_level,
+      record.entry_point);
+  return FinishBundle(std::move(bundle));
+}
+
+StatusOr<std::unique_ptr<Index>> LoadEnsemble(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  const std::string& path = c->path();
+  Status status = LoadBase(bundle.get());
+  if (!status.ok()) return status;
+  const uint64_t n = c->header().num_points;
+
+  EnsembleConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+  if (record.num_models == 0 || record.num_models > 1024 ||
+      record.combine > 1) {
+    return Status::InvalidArgument("corrupt ensemble config in " + path);
+  }
+
+  std::vector<std::unique_ptr<UspPartitioner>> models;
+  std::vector<std::unique_ptr<PartitionIndex>> indexes;
+  for (uint32_t j = 0; j < record.num_models; ++j) {
+    StatusOr<std::unique_ptr<BinScorer>> scorer =
+        LoadScorer(c, kScorerUsp, 0, j, c->header().dim);
+    if (!scorer.ok()) return scorer.status();
+    auto model = std::unique_ptr<UspPartitioner>(
+        static_cast<UspPartitioner*>(scorer.value().release()));
+    StatusOr<std::vector<uint32_t>> assignments =
+        LoadAssignments(c, j, n, model->num_bins());
+    if (!assignments.ok()) return assignments.status();
+    indexes.push_back(std::make_unique<PartitionIndex>(
+        bundle->base, model.get(), std::move(assignments).value(),
+        Metric::kSquaredL2));
+    models.push_back(std::move(model));
+  }
+
+  std::vector<float> weights(n);
+  status = c->ReadSection(SectionTag::kWeights, 0, weights.data(),
+                          n * sizeof(float));
+  if (!status.ok()) return status;
+
+  UspEnsembleConfig config;
+  config.model = UnpackTrainConfig(record.model);
+  config.num_models = static_cast<size_t>(record.num_models);
+  config.weight_floor = record.weight_floor;
+  config.combine = static_cast<EnsembleCombine>(record.combine);
+  bundle->index = std::make_unique<UspEnsemble>(
+      config, bundle->base, std::move(models), std::move(indexes),
+      std::move(weights));
+  return FinishBundle(std::move(bundle));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
+
+const std::vector<IndexLoaderEntry>& IndexLoaderRegistry() {
+  static const std::vector<IndexLoaderEntry>* registry =
+      new std::vector<IndexLoaderEntry>{
+          {IndexType::kPartition, "partition", &LoadPartition},
+          {IndexType::kIvfFlat, "ivf_flat", &LoadIvfFlat},
+          {IndexType::kIvfPq, "ivf_pq", &LoadIvfPq},
+          {IndexType::kScann, "scann", &LoadScann},
+          {IndexType::kHnsw, "hnsw", &LoadHnsw},
+          {IndexType::kUspEnsemble, "usp_ensemble", &LoadEnsemble},
+      };
+  return *registry;
+}
+
+const IndexLoaderEntry* FindIndexLoader(uint32_t type_tag) {
+  for (const IndexLoaderEntry& entry : IndexLoaderRegistry()) {
+    if (static_cast<uint32_t>(entry.type) == type_tag) return &entry;
+  }
+  return nullptr;
+}
+
+Status SaveIndex(const Index& index, const std::string& path) {
+  const Index& concrete = index.underlying();
+  switch (concrete.type()) {
+    case IndexType::kPartition:
+      return SavePartition(static_cast<const PartitionIndex&>(concrete), path);
+    case IndexType::kIvfFlat:
+      return SaveIvfFlat(static_cast<const IvfFlatIndex&>(concrete), path);
+    case IndexType::kIvfPq:
+      return SaveIvfPq(static_cast<const IvfPqIndex&>(concrete), path);
+    case IndexType::kScann:
+      return SaveScann(static_cast<const ScannIndex&>(concrete), path);
+    case IndexType::kHnsw:
+      return SaveHnsw(static_cast<const HnswIndex&>(concrete), path);
+    case IndexType::kUspEnsemble:
+      return SaveEnsemble(static_cast<const UspEnsemble&>(concrete), path);
+  }
+  return Status::InvalidArgument("unknown index type");
+}
+
+StatusOr<std::unique_ptr<Index>> OpenIndex(const std::string& path,
+                                           LoadMode mode) {
+  StatusOr<std::unique_ptr<ContainerReader>> container =
+      mode == LoadMode::kMmap ? ContainerReader::OpenMmap(path)
+                              : ContainerReader::OpenFile(path);
+  if (!container.ok()) return container.status();
+  const uint32_t type_tag = container.value()->header().index_type;
+  const IndexLoaderEntry* loader = FindIndexLoader(type_tag);
+  if (loader == nullptr) {
+    return Status::InvalidArgument("unknown index type tag " +
+                                   std::to_string(type_tag) + " in " + path);
+  }
+  return loader->load(std::move(container).value());
+}
+
+StatusOr<std::unique_ptr<Index>> LoadIndex(const std::string& path) {
+  return OpenIndex(path, LoadMode::kHeap);
+}
+
+StatusOr<std::unique_ptr<Index>> MmapIndex(const std::string& path) {
+  return OpenIndex(path, LoadMode::kMmap);
+}
+
+}  // namespace usp

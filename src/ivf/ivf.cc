@@ -6,7 +6,8 @@
 
 namespace usp {
 
-IvfFlatIndex::IvfFlatIndex(const Matrix* base, const IvfConfig& config) {
+IvfFlatIndex::IvfFlatIndex(const Matrix* base, const IvfConfig& config)
+    : config_(config) {
   KMeansConfig kc;
   kc.num_clusters = config.nlist;
   kc.max_iterations = config.kmeans_iterations;
@@ -46,16 +47,47 @@ IvfFlatIndex::IvfFlatIndex(const Matrix* base, const IvfConfig& config) {
   }
 }
 
-BatchSearchResult IvfFlatIndex::SearchBatch(const Matrix& queries, size_t k,
-                                            size_t nprobe,
-                                            size_t num_threads) const {
-  return index_->SearchBatch(queries, k, nprobe, num_threads);
+IvfFlatIndex::IvfFlatIndex(MatrixView base, const IvfConfig& config,
+                           Matrix centroids, std::vector<uint32_t> assignments)
+    : config_(config) {
+  coarse_ = std::make_unique<KMeansPartitioner>(
+      KMeansPartitioner::FromTrainedCentroids(std::move(centroids),
+                                              config.metric));
+  index_ = std::make_unique<PartitionIndex>(base, coarse_.get(),
+                                            std::move(assignments),
+                                            config.metric);
 }
 
-IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config) {
-  // The ADC pipeline is squared-L2 only for now; fail loudly rather than
-  // silently serving wrong-metric neighbors.
-  USP_CHECK(config.metric == Metric::kSquaredL2);
+BatchSearchResult IvfFlatIndex::SearchBatch(const Matrix& queries, size_t k,
+                                            size_t budget,
+                                            size_t num_threads) const {
+  return index_->SearchBatch(queries, k, budget, num_threads);
+}
+
+Status IvfPqIndex::ValidateConfig(const IvfConfig& config) {
+  if (config.metric != Metric::kSquaredL2) {
+    return Status::InvalidArgument(
+        "IvfPqIndex supports kSquaredL2 only: the ADC pipeline has no "
+        "inner-product/cosine tables (see docs/ARCHITECTURE.md)");
+  }
+  if (config.nlist == 0) {
+    return Status::InvalidArgument("IvfConfig::nlist must be >= 1");
+  }
+  if (config.pq.num_subspaces == 0) {
+    return Status::InvalidArgument("PqConfig::num_subspaces must be >= 1");
+  }
+  if (config.pq.codebook_size == 0 || config.pq.codebook_size > 256) {
+    return Status::InvalidArgument(
+        "PqConfig::codebook_size must be in [1, 256] (codes are one byte)");
+  }
+  return Status::Ok();
+}
+
+IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config)
+    : config_(config) {
+  // Fail loudly rather than silently serving wrong-metric neighbors; fallible
+  // callers (config files, loaders) should run ValidateConfig first.
+  USP_CHECK(ValidateConfig(config).ok());
   KMeansConfig kc;
   kc.num_clusters = config.nlist;
   kc.max_iterations = config.kmeans_iterations;
@@ -69,10 +101,26 @@ IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config) {
   index_ = std::make_unique<ScannIndex>(base, coarse_.get(), std::move(pq), sc);
 }
 
+IvfPqIndex::IvfPqIndex(MatrixView base, const IvfConfig& config,
+                       Matrix centroids, ProductQuantizer quantizer,
+                       const uint8_t* codes,
+                       const std::vector<uint32_t>& assignments)
+    : config_(config) {
+  USP_CHECK(ValidateConfig(config).ok());
+  coarse_ = std::make_unique<KMeansPartitioner>(
+      KMeansPartitioner::FromTrainedCentroids(std::move(centroids),
+                                              Metric::kSquaredL2));
+  ScannIndexConfig sc;
+  sc.rerank_budget = config.rerank_budget;
+  index_ = std::make_unique<ScannIndex>(base, coarse_.get(),
+                                        std::move(quantizer), sc, codes,
+                                        assignments);
+}
+
 BatchSearchResult IvfPqIndex::SearchBatch(const Matrix& queries, size_t k,
-                                          size_t nprobe,
+                                          size_t budget,
                                           size_t num_threads) const {
-  return index_->SearchBatch(queries, k, nprobe, num_threads);
+  return index_->SearchBatch(queries, k, budget, num_threads);
 }
 
 }  // namespace usp

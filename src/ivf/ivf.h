@@ -6,10 +6,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "baselines/kmeans.h"
 #include "core/partition_index.h"
 #include "dist/metric.h"
+#include "index/index.h"
 #include "quant/pq.h"
 #include "quant/scann_index.h"
 
@@ -25,6 +27,8 @@ struct IvfConfig {
   /// IVF-IP) but probes lists by centroid dot product and reranks by negated
   /// inner product. kCosine trains the coarse quantizer on unit-normalized
   /// data (spherical k-means) and probes/reranks by cosine distance.
+  /// IVF-PQ supports kSquaredL2 only — see IvfPqIndex::ValidateConfig and the
+  /// metric x index table in docs/ARCHITECTURE.md.
   Metric metric = Metric::kSquaredL2;
   // IVF-PQ only:
   PqConfig pq;
@@ -32,37 +36,74 @@ struct IvfConfig {
 };
 
 /// IVF-Flat: probe nprobe nearest centroids, scan their lists exactly.
-class IvfFlatIndex {
+class IvfFlatIndex : public Index {
  public:
   IvfFlatIndex(const Matrix* base, const IvfConfig& config);
 
-  Metric metric() const { return index_->metric(); }
+  /// Rehydrates from deserialized state: `centroids` and `assignments` must
+  /// be exactly what a previous index exposed through coarse_quantizer() and
+  /// partition().assignments().
+  IvfFlatIndex(MatrixView base, const IvfConfig& config, Matrix centroids,
+               std::vector<uint32_t> assignments);
 
-  /// `num_threads` caps the per-query search sharding (0 = pool default,
-  /// 1 = serial; coarse scoring still uses the pool's GEMM); results are
-  /// identical at every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t nprobe,
-                                size_t num_threads = 0) const;
+  size_t dim() const override { return index_->dim(); }
+  size_t size() const override { return index_->size(); }
+  Metric metric() const override { return index_->metric(); }
+  IndexType type() const override { return IndexType::kIvfFlat; }
+
+  /// k-NN search probing the `budget` (= nprobe) best lists. `num_threads`
+  /// caps the per-query search sharding (0 = pool default, 1 = serial;
+  /// coarse scoring still uses the pool's GEMM); results are identical at
+  /// every setting.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const override;
 
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
+  const PartitionIndex& partition() const { return *index_; }
+  const IvfConfig& config() const { return config_; }
 
  private:
+  IvfConfig config_;
   std::unique_ptr<KMeansPartitioner> coarse_;
   std::unique_ptr<PartitionIndex> index_;
 };
 
 /// IVF-PQ: probe nprobe lists, score with ADC, exact re-rank of the best.
-class IvfPqIndex {
+class IvfPqIndex : public Index {
  public:
+  /// Constructing with an invalid config (see ValidateConfig) aborts; call
+  /// ValidateConfig first when the config comes from user input or a file.
   IvfPqIndex(const Matrix* base, const IvfConfig& config);
 
-  /// `num_threads` caps the per-query search sharding (0 = pool default,
-  /// 1 = serial; coarse scoring still uses the pool's GEMM); results are
-  /// identical at every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t nprobe,
-                                size_t num_threads = 0) const;
+  /// Rehydrates from deserialized state; `codes` points at external (possibly
+  /// mmap'd) storage that must outlive the index.
+  IvfPqIndex(MatrixView base, const IvfConfig& config, Matrix centroids,
+             ProductQuantizer quantizer, const uint8_t* codes,
+             const std::vector<uint32_t>& assignments);
+
+  /// The ADC pipeline is squared-L2 only: any other metric (and malformed PQ
+  /// shape parameters) is rejected here, so misconfiguration surfaces as a
+  /// Status at config/load time instead of an abort deep in construction.
+  static Status ValidateConfig(const IvfConfig& config);
+
+  size_t dim() const override { return index_->dim(); }
+  size_t size() const override { return index_->size(); }
+  Metric metric() const override { return Metric::kSquaredL2; }
+  IndexType type() const override { return IndexType::kIvfPq; }
+
+  /// k-NN search probing the `budget` (= nprobe) best lists. `num_threads`
+  /// caps the per-query search sharding (0 = pool default, 1 = serial;
+  /// coarse scoring still uses the pool's GEMM); results are identical at
+  /// every setting.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const override;
+
+  const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
+  const ScannIndex& scann() const { return *index_; }
+  const IvfConfig& config() const { return config_; }
 
  private:
+  IvfConfig config_;
   std::unique_ptr<KMeansPartitioner> coarse_;
   std::unique_ptr<ScannIndex> index_;
 };

@@ -19,6 +19,22 @@ ProductQuantizer::ProductQuantizer(PqConfig config)
   USP_CHECK(config_.codebook_size >= 1 && config_.codebook_size <= 256);
 }
 
+ProductQuantizer::ProductQuantizer(PqConfig config, size_t dims,
+                                   std::vector<size_t> offsets,
+                                   std::vector<Matrix> codebooks)
+    : ProductQuantizer(std::move(config)) {
+  dims_ = dims;
+  subspace_offsets_ = std::move(offsets);
+  codebooks_ = std::move(codebooks);
+  USP_CHECK(subspace_offsets_.size() == config_.num_subspaces + 1);
+  USP_CHECK(codebooks_.size() == config_.num_subspaces);
+  USP_CHECK(subspace_offsets_.front() == 0 &&
+            subspace_offsets_.back() == dims_);
+  for (size_t s = 0; s < codebooks_.size(); ++s) {
+    USP_CHECK(codebooks_[s].cols() == SubspaceDim(s));
+  }
+}
+
 void ProductQuantizer::Train(const Matrix& data) {
   dims_ = data.cols();
   const size_t m = config_.num_subspaces;

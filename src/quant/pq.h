@@ -32,6 +32,13 @@ class ProductQuantizer {
  public:
   explicit ProductQuantizer(PqConfig config);
 
+  /// Rehydrates a trained quantizer from deserialized state: `offsets` is the
+  /// (M+1)-entry subspace boundary table and `codebooks` the per-subspace
+  /// (K x subspace_dim) codeword matrices, exactly as a previous quantizer
+  /// exposed them. Encoding/ADC behavior is bit-identical to the original.
+  ProductQuantizer(PqConfig config, size_t dims, std::vector<size_t> offsets,
+                   std::vector<Matrix> codebooks);
+
   /// Learns per-subspace codebooks from `data`.
   void Train(const Matrix& data);
 
@@ -56,6 +63,13 @@ class ProductQuantizer {
   size_t num_subspaces() const { return config_.num_subspaces; }
   size_t codebook_size() const { return config_.codebook_size; }
   size_t dims() const { return dims_; }
+  const PqConfig& config() const { return config_; }
+  const std::vector<size_t>& subspace_offsets() const {
+    return subspace_offsets_;
+  }
+  /// Trained codeword matrix of subspace `s`: (K x subspace_dim), where K may
+  /// be below codebook_size for tiny training sets.
+  const Matrix& codebook(size_t s) const { return codebooks_[s]; }
 
  private:
   size_t SubspaceBegin(size_t s) const { return subspace_offsets_[s]; }

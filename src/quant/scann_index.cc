@@ -12,24 +12,59 @@ namespace usp {
 
 ScannIndex::ScannIndex(const Matrix* base, const BinScorer* partitioner,
                        ProductQuantizer quantizer, ScannIndexConfig config)
+    : base_(*base),
+      partitioner_(partitioner),
+      dist_(MatrixView(*base), Metric::kSquaredL2),
+      quantizer_(std::move(quantizer)),
+      config_(config) {
+  owned_codes_ = quantizer_.Encode(*base);
+  codes_ = owned_codes_.data();
+  if (partitioner_ != nullptr) {
+    BuildBuckets(partitioner_->AssignBins(*base));
+  }
+}
+
+ScannIndex::ScannIndex(MatrixView base, const BinScorer* partitioner,
+                       ProductQuantizer quantizer, ScannIndexConfig config,
+                       const uint8_t* codes,
+                       const std::vector<uint32_t>& assignments)
     : base_(base),
       partitioner_(partitioner),
       dist_(base, Metric::kSquaredL2),
       quantizer_(std::move(quantizer)),
-      config_(config) {
-  codes_ = quantizer_.Encode(*base_);
+      config_(config),
+      codes_(codes) {
+  USP_CHECK(codes_ != nullptr);
   if (partitioner_ != nullptr) {
-    const std::vector<uint32_t> assignments = partitioner_->AssignBins(*base_);
-    buckets_.resize(partitioner_->num_bins());
-    for (size_t i = 0; i < assignments.size(); ++i) {
-      buckets_[assignments[i]].push_back(static_cast<uint32_t>(i));
-    }
+    USP_CHECK(assignments.size() == base_.rows());
+    BuildBuckets(assignments);
   }
 }
 
+void ScannIndex::BuildBuckets(const std::vector<uint32_t>& assignments) {
+  buckets_.resize(partitioner_->num_bins());
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    USP_CHECK(assignments[i] < buckets_.size());
+    buckets_[assignments[i]].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+std::vector<uint32_t> ScannIndex::Assignments() const {
+  std::vector<uint32_t> assignments;
+  if (buckets_.empty()) return assignments;
+  assignments.resize(base_.rows());
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (uint32_t id : buckets_[b]) {
+      assignments[id] = static_cast<uint32_t>(b);
+    }
+  }
+  return assignments;
+}
+
 BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
-                                          size_t num_probes,
+                                          size_t budget,
                                           size_t num_threads) const {
+  const size_t num_probes = budget;
   const size_t nq = queries.rows();
   const size_t m_sub = quantizer_.num_subspaces();
   BatchSearchResult result;
@@ -50,7 +85,7 @@ BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
       // Stage 1: candidate generation.
       candidates.clear();
       if (partitioner_ == nullptr) {
-        candidates.resize(base_->rows());
+        candidates.resize(base_.rows());
         std::iota(candidates.begin(), candidates.end(), 0u);
       } else {
         const size_t probes = std::min(num_probes, buckets_.size());
@@ -73,8 +108,7 @@ BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
       const std::vector<float> table = quantizer_.BuildAdcTable(query);
       TopK approx(std::max(k, config_.rerank_budget));
       for (uint32_t id : candidates) {
-        approx.Push(quantizer_.AdcDistance(table, codes_.data() + id * m_sub),
-                    id);
+        approx.Push(quantizer_.AdcDistance(table, codes_ + id * m_sub), id);
       }
       auto top_approx = approx.TakeSorted();
       shortlist.clear();

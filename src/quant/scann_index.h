@@ -12,6 +12,7 @@
 #include "core/bin_scorer.h"
 #include "core/partition_index.h"
 #include "dist/distance_computer.h"
+#include "index/index.h"
 #include "quant/pq.h"
 
 namespace usp {
@@ -22,30 +23,58 @@ struct ScannIndexConfig {
 };
 
 /// Immutable index. Base matrix and partitioner must outlive the index.
-class ScannIndex {
+class ScannIndex : public Index {
  public:
   /// `partitioner == nullptr` means exhaustive ADC scan (vanilla ScaNN).
+  /// Encodes the base with `quantizer` and assigns residency bins.
   ScannIndex(const Matrix* base, const BinScorer* partitioner,
              ProductQuantizer quantizer, ScannIndexConfig config);
 
-  /// k-NN search: probe -> ADC score -> exact rerank of the best
-  /// `rerank_budget` candidates. `num_threads` caps the per-query search
-  /// sharding (0 = thread-pool default, 1 = serial; partition scoring still
-  /// uses the pool's GEMM); results are identical at every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
-                                size_t num_probes,
-                                size_t num_threads = 0) const;
+  /// Rehydrates from deserialized state: `codes` points at the (n x M) PQ
+  /// code bytes (external storage, e.g. an mmap'd container section, which
+  /// must outlive the index) and `assignments` are the saved residency bins
+  /// (empty when the index has no partition).
+  ScannIndex(MatrixView base, const BinScorer* partitioner,
+             ProductQuantizer quantizer, ScannIndexConfig config,
+             const uint8_t* codes, const std::vector<uint32_t>& assignments);
+
+  /// k-NN search: probe the `budget` best bins, ADC-score their points, then
+  /// exact-rerank the best `rerank_budget` candidates. `num_threads` caps the
+  /// per-query search sharding (0 = thread-pool default, 1 = serial;
+  /// partition scoring still uses the pool's GEMM); results are identical at
+  /// every setting.
+  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const override;
+
+  size_t dim() const override { return base_.cols(); }
+  size_t size() const override { return base_.rows(); }
+  Metric metric() const override { return Metric::kSquaredL2; }
+  IndexType type() const override { return IndexType::kScann; }
 
   const ProductQuantizer& quantizer() const { return quantizer_; }
   bool has_partition() const { return partitioner_ != nullptr; }
 
+  // Serialization accessors.
+  const ScannIndexConfig& config() const { return config_; }
+  MatrixView base() const { return base_; }
+  const BinScorer* partitioner() const { return partitioner_; }
+  const uint8_t* codes() const { return codes_; }
+  const std::vector<std::vector<uint32_t>>& buckets() const { return buckets_; }
+
+  /// Flattened residency assignments (inverse of `buckets`); empty when the
+  /// index has no partition.
+  std::vector<uint32_t> Assignments() const;
+
  private:
-  const Matrix* base_;
+  void BuildBuckets(const std::vector<uint32_t>& assignments);
+
+  MatrixView base_;
   const BinScorer* partitioner_;
   DistanceComputer dist_;  ///< exact rerank (squared L2)
   ProductQuantizer quantizer_;
   ScannIndexConfig config_;
-  std::vector<uint8_t> codes_;                  ///< (n x M) PQ codes
+  std::vector<uint8_t> owned_codes_;  ///< empty when codes are external
+  const uint8_t* codes_ = nullptr;    ///< (n x M) PQ codes
   std::vector<std::vector<uint32_t>> buckets_;  ///< empty when no partition
 };
 

@@ -70,6 +70,42 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// Non-owning read-only view of a row-major float matrix. Implicitly
+/// constructible from Matrix, and constructible over external storage — in
+/// particular an mmap'd index-container section — so the search paths can run
+/// zero-copy over data the process never loaded onto the heap. The viewed
+/// storage must outlive the view and stay 4-byte aligned (container sections
+/// are 64-byte aligned, see docs/FORMAT.md).
+class MatrixView {
+ public:
+  MatrixView() : data_(nullptr), rows_(0), cols_(0) {}
+  MatrixView(const float* data, size_t rows, size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {
+    USP_CHECK(data != nullptr || rows * cols == 0);
+  }
+  MatrixView(const Matrix& m)  // NOLINT: implicit, like std::string_view
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ * cols_ == 0; }
+
+  const float* data() const { return data_; }
+  const float* Row(size_t i) const { return data_ + i * cols_; }
+  float operator()(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Deep copy into an owning Matrix (the streaming-load path).
+  Matrix Clone() const {
+    return Matrix(rows_, cols_, std::vector<float>(data_, data_ + size()));
+  }
+
+ private:
+  const float* data_;
+  size_t rows_;
+  size_t cols_;
+};
+
 }  // namespace usp
 
 #endif  // USP_TENSOR_MATRIX_H_

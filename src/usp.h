@@ -9,6 +9,11 @@
 #include "dist/distance_kernels.h"
 #include "dist/metric.h"
 
+// Unified index interface + versioned serialization (train once, serve many).
+#include "index/container.h"
+#include "index/index.h"
+#include "index/serialize.h"
+
 // Core contribution (EDBT 2023 paper).
 #include "core/bin_scorer.h"
 #include "core/ensemble.h"

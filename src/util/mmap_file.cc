@@ -1,0 +1,50 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace usp {
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+StatusOr<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::IoError("empty file " + path);
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (data == MAP_FAILED) {
+    return Status::IoError("mmap failed for " + path);
+  }
+  return MmapFile(data, size);
+}
+
+}  // namespace usp

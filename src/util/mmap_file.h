@@ -1,0 +1,44 @@
+// Read-only memory-mapped file (RAII). The zero-copy substrate of
+// index/serialize.h: a mapped index container serves searches directly from
+// the page cache, so a multi-GB index is query-ready in milliseconds and the
+// mapping is shared across processes opening the same file.
+#ifndef USP_UTIL_MMAP_FILE_H_
+#define USP_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace usp {
+
+/// Move-only owner of one PROT_READ/MAP_SHARED mapping. The mapping lives
+/// until destruction; views into data() must not outlive the object.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Fails with kIoError for missing/empty/unmappable
+  /// files; never aborts.
+  static StatusOr<MmapFile> Open(const std::string& path);
+
+  bool valid() const { return data_ != nullptr; }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace usp
+
+#endif  // USP_UTIL_MMAP_FILE_H_

@@ -161,6 +161,87 @@ TEST(IoTest, IvecsRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(IoTest, IvecsMissingFileFails) {
+  auto result = ReadIvecs(TempPath("does_not_exist.ivecs"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, EmptyFvecsFileFails) {
+  const std::string path = TempPath("empty.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  auto result = ReadFvecs(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ShortFvecsRecordFails) {
+  // A record header promising 7 floats followed by only 3: the short read
+  // must surface as kIoError, not as a silently truncated matrix.
+  const std::string path = TempPath("short_record.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 7;
+  const float partial[3] = {1.0f, 2.0f, 3.0f};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(partial, sizeof(float), 3, f);
+  std::fclose(f);
+  auto result = ReadFvecs(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, NegativeFvecsDimensionFails) {
+  const std::string path = TempPath("bad_dim.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = -4;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fclose(f);
+  auto result = ReadFvecs(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RaggedFvecsRecordsFail) {
+  // Two records with different dims: fvecs files must be rectangular.
+  const std::string path = TempPath("ragged.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const float values[3] = {1.0f, 2.0f, 3.0f};
+  int32_t dim = 3;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 3, f);
+  dim = 2;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 2, f);
+  std::fclose(f);
+  auto result = ReadFvecs(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ShortIvecsRecordFails) {
+  const std::string path = TempPath("short_record.ivecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 5;
+  const int32_t partial[2] = {1, 2};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(partial, sizeof(int32_t), 2, f);
+  std::fclose(f);
+  auto result = ReadIvecs(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
 TEST(WorkloadTest, SplitsBaseAndQueries) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kGaussian;

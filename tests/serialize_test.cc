@@ -1,16 +1,26 @@
-// Tests for model persistence: a saved-and-reloaded partitioner must behave
-// identically to the original (including batch-norm running statistics), and
-// malformed inputs must fail with clear Status codes, never crash.
+// Tests for persistence: a saved-and-reloaded partitioner must behave
+// identically to the original (including batch-norm running statistics); every
+// index type must round-trip through the container format (docs/FORMAT.md)
+// with bit-identical search results under both the streaming and the
+// zero-copy mmap loader; and malformed inputs must fail with clear Status
+// codes, never crash.
 #include <cstdint>
 #include <cstdio>
 #include <unistd.h>
+#include <memory>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "baselines/kmeans.h"
+#include "core/ensemble.h"
 #include "core/partition_index.h"
 #include "core/partitioner.h"
 #include "dataset/workload.h"
+#include "hnsw/hnsw.h"
+#include "index/serialize.h"
+#include "ivf/ivf.h"
+#include "quant/scann_index.h"
 
 namespace usp {
 namespace {
@@ -191,6 +201,414 @@ TEST(SerializeTest, LoadWrongMagicIsInvalidArgument) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
       << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Container format: save -> LoadIndex / MmapIndex round trips for every index
+// type, with bit-identical search results, plus corruption rejection.
+// ---------------------------------------------------------------------------
+
+// Compares SearchBatch outputs element-wise (ids and candidate counts).
+void ExpectSameResults(const Index& original, const Index& reopened,
+                       const Matrix& queries, size_t k, size_t budget,
+                       const std::string& label) {
+  const BatchSearchResult a = original.SearchBatch(queries, k, budget);
+  const BatchSearchResult b = reopened.SearchBatch(queries, k, budget);
+  ASSERT_EQ(a.ids.size(), b.ids.size()) << label;
+  EXPECT_EQ(a.ids, b.ids) << label;
+  EXPECT_EQ(a.candidate_counts, b.candidate_counts) << label;
+}
+
+// Saves `index`, reopens it through both loaders, and checks searches are
+// bit-identical to the in-memory original in both modes, and that interface
+// metadata survives.
+void ExpectRoundTrip(const Index& index, const Matrix& queries, size_t k,
+                     size_t budget, const std::string& name) {
+  const std::string path = TempPath(name + ".uspidx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+
+  auto heap = LoadIndex(path);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  auto mapped = MmapIndex(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  for (const auto* reopened : {&heap, &mapped}) {
+    const Index& loaded = *reopened->value();
+    EXPECT_EQ(loaded.type(), index.type());
+    EXPECT_EQ(loaded.dim(), index.dim());
+    EXPECT_EQ(loaded.size(), index.size());
+    EXPECT_EQ(loaded.metric(), index.metric());
+    EXPECT_EQ(loaded.underlying().type(), index.type());
+  }
+  ExpectSameResults(index, *heap.value(), queries, k, budget, name + "/heap");
+  ExpectSameResults(index, *mapped.value(), queries, k, budget,
+                    name + "/mmap");
+
+  // Single-query path agrees with the batch path on the loaded index.
+  std::vector<uint32_t> single =
+      mapped.value()->Search(queries.Row(0), k, budget);
+  const BatchSearchResult batch = index.SearchBatch(queries, k, budget);
+  ASSERT_LE(single.size(), k);
+  for (size_t j = 0; j < single.size(); ++j) {
+    EXPECT_EQ(single[j], batch.Row(0)[j]) << name;
+  }
+
+  // A loaded index can be re-saved: the save path reads through underlying().
+  const std::string resaved = TempPath(name + "_resaved.uspidx");
+  ASSERT_TRUE(SaveIndex(*mapped.value(), resaved).ok()) << name;
+  auto reopened = LoadIndex(resaved);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectSameResults(index, *reopened.value(), queries, k, budget,
+                    name + "/resaved");
+  std::remove(resaved.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, PartitionIndexWithUspScorerRoundTrips) {
+  const Workload& w = SerializeWorkload();
+  const UspPartitioner scorer = TrainSmall(UspModelKind::kMlp);
+  PartitionIndex index(&w.base, &scorer);
+  ExpectRoundTrip(index, w.queries, 10, 3, "partition_usp");
+}
+
+TEST(IndexContainerTest, PartitionIndexWithKMeansScorerRoundTrips) {
+  const Workload& w = SerializeWorkload();
+  KMeansConfig kc;
+  kc.num_clusters = 8;
+  kc.seed = 5;
+  const KMeansPartitioner scorer(w.base, kc);
+  PartitionIndex index(&w.base, &scorer);
+  ExpectRoundTrip(index, w.queries, 10, 3, "partition_kmeans");
+}
+
+TEST(IndexContainerTest, PartitionIndexCosineRoundTrips) {
+  // Cosine stresses the no-renormalization contract of
+  // KMeansPartitioner::FromTrainedCentroids: a second normalization pass on
+  // reload would drift the stored unit centroids by an ulp.
+  const Workload& w = SerializeWorkload();
+  KMeansConfig kc;
+  kc.num_clusters = 8;
+  kc.seed = 5;
+  const KMeansResult km = RunKMeans(w.base, kc);
+  const KMeansPartitioner scorer(km.centroids.Clone(), Metric::kCosine);
+  PartitionIndex index(&w.base, &scorer, Metric::kCosine);
+  ExpectRoundTrip(index, w.queries, 10, 3, "partition_cosine");
+}
+
+TEST(IndexContainerTest, IvfFlatRoundTripsUnderEveryMetric) {
+  const Workload& w = SerializeWorkload();
+  for (const Metric metric :
+       {Metric::kSquaredL2, Metric::kInnerProduct, Metric::kCosine}) {
+    IvfConfig config;
+    config.nlist = 16;
+    config.seed = 3;
+    config.metric = metric;
+    IvfFlatIndex index(&w.base, config);
+    ExpectRoundTrip(index, w.queries, 10, 4,
+                    std::string("ivf_flat_") + MetricName(metric));
+  }
+}
+
+TEST(IndexContainerTest, IvfPqRoundTrips) {
+  const Workload& w = SerializeWorkload();
+  IvfConfig config;
+  config.nlist = 16;
+  config.seed = 3;
+  config.pq.num_subspaces = 4;
+  config.pq.codebook_size = 16;
+  config.rerank_budget = 50;
+  IvfPqIndex index(&w.base, config);
+  ExpectRoundTrip(index, w.queries, 10, 4, "ivf_pq");
+}
+
+TEST(IndexContainerTest, ScannWithPartitionRoundTrips) {
+  const Workload& w = SerializeWorkload();
+  const UspPartitioner scorer = TrainSmall(UspModelKind::kLogisticRegression);
+  PqConfig pc;
+  pc.num_subspaces = 4;
+  pc.codebook_size = 16;
+  pc.anisotropic_eta = 2.0f;
+  ProductQuantizer pq(pc);
+  pq.Train(w.base);
+  ScannIndexConfig sc;
+  sc.rerank_budget = 40;
+  ScannIndex index(&w.base, &scorer, std::move(pq), sc);
+  ExpectRoundTrip(index, w.queries, 10, 3, "scann_partitioned");
+}
+
+TEST(IndexContainerTest, ScannWithoutPartitionRoundTrips) {
+  const Workload& w = SerializeWorkload();
+  PqConfig pc;
+  pc.num_subspaces = 4;
+  pc.codebook_size = 16;
+  ProductQuantizer pq(pc);
+  pq.Train(w.base);
+  ScannIndex index(&w.base, nullptr, std::move(pq), ScannIndexConfig{});
+  ExpectRoundTrip(index, w.queries, 10, 1, "scann_flat");
+}
+
+TEST(IndexContainerTest, HnswRoundTrips) {
+  const Workload& w = SerializeWorkload();
+  HnswConfig config;
+  config.max_neighbors = 8;
+  config.ef_construction = 40;
+  HnswIndex index(config);
+  index.Build(w.base);
+  ExpectRoundTrip(index, w.queries, 10, 30, "hnsw");
+}
+
+TEST(IndexContainerTest, EnsembleRoundTrips) {
+  const Workload& w = SerializeWorkload();
+  UspEnsembleConfig config;
+  config.num_models = 2;
+  config.model.num_bins = 8;
+  config.model.epochs = 6;
+  config.model.hidden_dim = 16;
+  config.model.seed = 11;
+  UspEnsemble ensemble(config);
+  ensemble.Train(w.base, w.knn_matrix);
+  ExpectRoundTrip(ensemble, w.queries, 10, 2, "ensemble");
+
+  // Union combining survives the round trip too (stored in the config
+  // record, not implied by the default).
+  config.combine = EnsembleCombine::kUnion;
+  UspEnsemble union_ensemble(config);
+  union_ensemble.Train(w.base, w.knn_matrix);
+  ExpectRoundTrip(union_ensemble, w.queries, 10, 2, "ensemble_union");
+}
+
+TEST(IndexContainerTest, RegistryCoversEveryType) {
+  EXPECT_EQ(IndexLoaderRegistry().size(), 6u);
+  for (const IndexLoaderEntry& entry : IndexLoaderRegistry()) {
+    EXPECT_EQ(FindIndexLoader(static_cast<uint32_t>(entry.type)), &entry);
+    EXPECT_STREQ(IndexTypeName(entry.type), entry.name);
+  }
+  EXPECT_EQ(FindIndexLoader(0), nullptr);
+  EXPECT_EQ(FindIndexLoader(999), nullptr);
+}
+
+TEST(IndexContainerTest, SaveRejectsUnserializableScorer) {
+  // A scorer type with no on-disk representation must be rejected with a
+  // Status, not silently written as garbage.
+  class OddEvenScorer : public BinScorer {
+   public:
+    size_t num_bins() const override { return 2; }
+    Matrix ScoreBins(const Matrix& points) const override {
+      Matrix scores(points.rows(), 2);
+      for (size_t i = 0; i < points.rows(); ++i) {
+        scores(i, i % 2) = 1.0f;
+      }
+      return scores;
+    }
+  };
+  const Workload& w = SerializeWorkload();
+  OddEvenScorer scorer;
+  PartitionIndex index(&w.base, &scorer);
+  const Status status = SaveIndex(index, TempPath("odd_even.uspidx"));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IndexContainerTest, IvfPqValidateConfigRejectsBadMetricAtConfigTime) {
+  IvfConfig config;
+  config.metric = Metric::kInnerProduct;
+  EXPECT_EQ(IvfPqIndex::ValidateConfig(config).code(),
+            StatusCode::kInvalidArgument);
+  config.metric = Metric::kCosine;
+  EXPECT_EQ(IvfPqIndex::ValidateConfig(config).code(),
+            StatusCode::kInvalidArgument);
+  config.metric = Metric::kSquaredL2;
+  EXPECT_TRUE(IvfPqIndex::ValidateConfig(config).ok());
+  config.pq.codebook_size = 300;  // does not fit a one-byte code
+  EXPECT_EQ(IvfPqIndex::ValidateConfig(config).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Writes a small valid container and returns its path.
+std::string WriteValidContainer(const std::string& name) {
+  const Workload& w = SerializeWorkload();
+  KMeansConfig kc;
+  kc.num_clusters = 8;
+  kc.seed = 5;
+  static const KMeansPartitioner* scorer =
+      new KMeansPartitioner(SerializeWorkload().base, kc);
+  PartitionIndex index(&w.base, scorer);
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(SaveIndex(index, path).ok());
+  return path;
+}
+
+void PatchFile(const std::string& path, long offset, uint32_t value) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(0, std::fseek(f, offset, SEEK_SET));
+  ASSERT_EQ(sizeof(value), std::fwrite(&value, 1, sizeof(value), f));
+  std::fclose(f);
+}
+
+TEST(IndexContainerTest, OpenMissingFileIsIoError) {
+  for (const LoadMode mode : {LoadMode::kHeap, LoadMode::kMmap}) {
+    auto result = OpenIndex(TempPath("does_not_exist.uspidx"), mode);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(IndexContainerTest, OpenGarbageIsInvalidArgument) {
+  const std::string path = TempPath("garbage.uspidx");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[256] = "not a container at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  for (const LoadMode mode : {LoadMode::kHeap, LoadMode::kMmap}) {
+    auto result = OpenIndex(path, mode);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, TruncatedContainerIsRejectedEverywhere) {
+  // Chop the file at many depths: the header file_size check must catch every
+  // one of them with a Status, never a crash or an out-of-bounds read.
+  const std::string path = WriteValidContainer("truncate_sweep.uspidx");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  for (const long cut : {4L, 32L, 63L, 64L, 200L, full / 2, full - 1}) {
+    ASSERT_LT(cut, full);
+    const std::string copy = TempPath("truncated_cut.uspidx");
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    std::FILE* out = std::fopen(copy.c_str(), "wb");
+    ASSERT_NE(in, nullptr);
+    ASSERT_NE(out, nullptr);
+    std::vector<char> buffer(cut);
+    ASSERT_EQ(static_cast<size_t>(cut),
+              std::fread(buffer.data(), 1, cut, in));
+    ASSERT_EQ(static_cast<size_t>(cut),
+              std::fwrite(buffer.data(), 1, cut, out));
+    std::fclose(in);
+    std::fclose(out);
+    for (const LoadMode mode : {LoadMode::kHeap, LoadMode::kMmap}) {
+      auto result = OpenIndex(copy, mode);
+      ASSERT_FALSE(result.ok()) << "cut at " << cut;
+      EXPECT_TRUE(result.status().code() == StatusCode::kIoError ||
+                  result.status().code() == StatusCode::kInvalidArgument)
+          << "cut at " << cut << ": " << result.status().ToString();
+    }
+    std::remove(copy.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, TrailingGarbageIsRejected) {
+  const std::string path = WriteValidContainer("padded.uspidx");
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char extra[16] = {};
+  std::fwrite(extra, 1, sizeof(extra), f);
+  std::fclose(f);
+  auto result = LoadIndex(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, WrongVersionIsInvalidArgument) {
+  const std::string path = WriteValidContainer("skewed_version.uspidx");
+  PatchFile(path, 8, 999);  // header.version
+  for (const LoadMode mode : {LoadMode::kHeap, LoadMode::kMmap}) {
+    auto result = OpenIndex(path, mode);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("version"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, UnknownTypeTagIsInvalidArgument) {
+  const std::string path = WriteValidContainer("unknown_type.uspidx");
+  PatchFile(path, 12, 77);  // header.index_type
+  auto result = LoadIndex(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("type tag"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, UnknownMetricIsInvalidArgument) {
+  const std::string path = WriteValidContainer("bad_metric.uspidx");
+  PatchFile(path, 16, 9);  // header.metric
+  auto result = LoadIndex(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+void PatchFile64(const std::string& path, long offset, uint64_t value) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(0, std::fseek(f, offset, SEEK_SET));
+  ASSERT_EQ(sizeof(value), std::fwrite(&value, 1, sizeof(value), f));
+  std::fclose(f);
+}
+
+// Locates a section's payload offset through the public reader API so the
+// corruption tests don't hard-code the save-side section order.
+long SectionOffset(const std::string& path, SectionTag tag) {
+  auto reader = ContainerReader::OpenFile(path);
+  EXPECT_TRUE(reader.ok());
+  auto entry = reader.value()->Find(tag, 0);
+  EXPECT_TRUE(entry.ok());
+  return static_cast<long>(entry.value().offset);
+}
+
+TEST(IndexContainerTest, CorruptNlistIsStatusNotBadAlloc) {
+  // A patched shape field must never drive an allocation: the loader checks
+  // the stored section size against the shape before allocating.
+  const Workload& w = SerializeWorkload();
+  IvfConfig config;
+  config.nlist = 16;
+  IvfFlatIndex index(&w.base, config);
+  const std::string path = TempPath("huge_nlist.uspidx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  // IvfFlatConfigRecord.nlist is the first field of the config payload.
+  PatchFile64(path, SectionOffset(path, SectionTag::kConfig), 1ULL << 40);
+  for (const LoadMode mode : {LoadMode::kHeap, LoadMode::kMmap}) {
+    auto result = OpenIndex(path, mode);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, CorruptEmbeddedModelHeaderIsStatusNotBadAlloc) {
+  const Workload& w = SerializeWorkload();
+  const UspPartitioner scorer = TrainSmall(UspModelKind::kMlp);
+  PartitionIndex index(&w.base, &scorer);
+  const std::string path = TempPath("huge_hidden.uspidx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  // The embedded model record stores hidden_dim as header word 4 (byte 32).
+  PatchFile64(path, SectionOffset(path, SectionTag::kUspModel) + 32,
+              1ULL << 40);
+  for (const LoadMode mode : {LoadMode::kHeap, LoadMode::kMmap}) {
+    auto result = OpenIndex(path, mode);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexContainerTest, MisalignedSectionOffsetIsInvalidArgument) {
+  const std::string path = WriteValidContainer("misaligned.uspidx");
+  // First section-table entry: tag(4) + ordinal(4), then offset at 64 + 8.
+  PatchFile(path, 64 + 8, 65);
+  auto result = LoadIndex(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

@@ -196,5 +196,35 @@ TEST(EnvTest, StringDefaults) {
   EXPECT_EQ(EnvString("USP_TEST_MISSING_STR", "fallback"), "fallback");
 }
 
+TEST(EnvTest, EmptyValueFallsBackToDefault) {
+  // Empty strings are treated as unset across all three parsers (common with
+  // `VAR= ./binary` launcher lines).
+  ::setenv("USP_TEST_EMPTY", "", 1);
+  EXPECT_EQ(EnvInt("USP_TEST_EMPTY", 42), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("USP_TEST_EMPTY", 2.5), 2.5);
+  EXPECT_EQ(EnvString("USP_TEST_EMPTY", "dflt"), "dflt");
+}
+
+TEST(EnvTest, UnparsableDoubleFallsBackToDefault) {
+  ::setenv("USP_TEST_BAD_DOUBLE", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("USP_TEST_BAD_DOUBLE", 3.25), 3.25);
+}
+
+TEST(EnvTest, PartialParseTakesLeadingNumber) {
+  // strtoll/strtod semantics: the numeric prefix wins. This is the behavior
+  // benchmark launch scripts rely on for values like "8 # nprobe".
+  ::setenv("USP_TEST_PARTIAL_INT", "8 # comment", 1);
+  EXPECT_EQ(EnvInt("USP_TEST_PARTIAL_INT", 0), 8);
+  ::setenv("USP_TEST_PARTIAL_DOUBLE", "1.5x", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("USP_TEST_PARTIAL_DOUBLE", 0.0), 1.5);
+}
+
+TEST(EnvTest, NegativeValuesParse) {
+  ::setenv("USP_TEST_NEG_INT", "-17", 1);
+  EXPECT_EQ(EnvInt("USP_TEST_NEG_INT", 0), -17);
+  ::setenv("USP_TEST_NEG_DOUBLE", "-0.125", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("USP_TEST_NEG_DOUBLE", 0.0), -0.125);
+}
+
 }  // namespace
 }  // namespace usp
