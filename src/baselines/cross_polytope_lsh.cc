@@ -15,7 +15,7 @@ CrossPolytopeLsh::CrossPolytopeLsh(size_t dim, size_t num_bins, uint64_t seed) {
                                        1.0f / std::sqrt(float(dim)));
 }
 
-Matrix CrossPolytopeLsh::ScoreBins(const Matrix& points) const {
+Matrix CrossPolytopeLsh::ScoreBins(MatrixView points) const {
   USP_CHECK(points.cols() == projection_.rows());
   const size_t half = projection_.cols();
   Matrix rotated(points.rows(), half);

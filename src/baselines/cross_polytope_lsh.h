@@ -22,7 +22,7 @@ class CrossPolytopeLsh : public BinScorer {
 
   /// Scores: concatenation of (rotated coords, negated rotated coords) of the
   /// L2-normalized point. Argmax = cross-polytope hash bucket.
-  Matrix ScoreBins(const Matrix& points) const override;
+  Matrix ScoreBins(MatrixView points) const override;
 
  private:
   Matrix projection_;  // (dim x num_bins/2) iid Gaussian rotation

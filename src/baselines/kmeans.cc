@@ -146,7 +146,7 @@ KMeansPartitioner KMeansPartitioner::FromTrainedCentroids(Matrix centroids,
   return partitioner;
 }
 
-Matrix KMeansPartitioner::ScoreBins(const Matrix& points) const {
+Matrix KMeansPartitioner::ScoreBins(MatrixView points) const {
   Matrix scores(points.rows(), centroids_.rows());
   switch (metric_) {
     case Metric::kSquaredL2: {

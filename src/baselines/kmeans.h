@@ -57,7 +57,7 @@ class KMeansPartitioner : public BinScorer {
                                                 Metric metric);
 
   size_t num_bins() const override { return centroids_.rows(); }
-  Matrix ScoreBins(const Matrix& points) const override;
+  Matrix ScoreBins(MatrixView points) const override;
 
   const Matrix& centroids() const { return centroids_; }
   Metric metric() const { return metric_; }

@@ -105,14 +105,14 @@ int32_t PartitionTree::Build(const Matrix& data, std::vector<uint32_t> ids,
   return index;
 }
 
-Matrix PartitionTree::ScoreBins(const Matrix& points) const {
+Matrix PartitionTree::ScoreBins(MatrixView points) const {
   Matrix out(points.rows(), num_leaves_);
   std::vector<float> ones(points.rows(), 1.0f);
   Score(points, 0, ones, &out);
   return out;
 }
 
-void PartitionTree::Score(const Matrix& points, size_t node_index,
+void PartitionTree::Score(MatrixView points, size_t node_index,
                           const std::vector<float>& scale, Matrix* out) const {
   const Node& node = nodes_[node_index];
   if (node.leaf_id >= 0) {

@@ -48,7 +48,7 @@ class PartitionTree : public BinScorer {
                 const KnnResult* knn_matrix = nullptr);
 
   size_t num_bins() const override { return num_leaves_; }
-  Matrix ScoreBins(const Matrix& points) const override;
+  Matrix ScoreBins(MatrixView points) const override;
 
   size_t depth() const { return config_.depth; }
 
@@ -68,7 +68,7 @@ class PartitionTree : public BinScorer {
   int32_t Build(const Matrix& data, std::vector<uint32_t> ids, size_t depth,
                 const HyperplaneSplitFn& split, const KnnResult* knn_matrix,
                 Rng* rng);
-  void Score(const Matrix& points, size_t node_index,
+  void Score(MatrixView points, size_t node_index,
              const std::vector<float>& scale, Matrix* out) const;
 
   PartitionTreeConfig config_;

@@ -6,7 +6,7 @@
 
 namespace usp {
 
-std::vector<uint32_t> BinScorer::AssignBins(const Matrix& points) const {
+std::vector<uint32_t> BinScorer::AssignBins(MatrixView points) const {
   return ArgmaxRows(ScoreBins(points));
 }
 

@@ -21,11 +21,14 @@ class BinScorer {
   /// Number of bins m in the partition.
   virtual size_t num_bins() const = 0;
 
-  /// Returns a (num_points x num_bins) score matrix.
-  virtual Matrix ScoreBins(const Matrix& points) const = 0;
+  /// Returns a (num_points x num_bins) score matrix. `points` is a
+  /// non-owning view (a Matrix converts implicitly), so the serving layer can
+  /// score query batches — including zero-copy single-query wraps — without
+  /// copying them into an owned Matrix first.
+  virtual Matrix ScoreBins(MatrixView points) const = 0;
 
   /// Hard assignment: argmax score per point. R(p) in the paper.
-  std::vector<uint32_t> AssignBins(const Matrix& points) const;
+  std::vector<uint32_t> AssignBins(MatrixView points) const;
 };
 
 /// Histogram of assignments over `num_bins` bins (balance diagnostics).

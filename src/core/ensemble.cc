@@ -70,7 +70,7 @@ void UspEnsemble::Train(const Matrix& data, const KnnResult& knn_matrix) {
   }
 }
 
-BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
+BatchSearchResult UspEnsemble::SearchBatch(MatrixView queries, size_t k,
                                            size_t num_probes,
                                            size_t num_threads) const {
   USP_CHECK(!base_.empty() && !models_.empty());
@@ -86,8 +86,7 @@ BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
 
   BatchSearchResult result;
   result.k = k;
-  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
-  result.candidate_counts.assign(nq, 0);
+  result.AllocatePadded(nq);
 
   ParallelFor(nq, 8, num_threads, [&](size_t begin, size_t end, size_t) {
     std::vector<uint32_t> candidates, merged;
@@ -119,8 +118,8 @@ BatchSearchResult UspEnsemble::SearchBatch(const Matrix& queries, size_t k,
         }
       }
       result.candidate_counts[q] = static_cast<uint32_t>(merged.size());
-      const auto top = RerankCandidates(*dist_, queries.Row(q), merged, k);
-      std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
+      result.SetRow(q,
+                    RerankCandidatesScored(*dist_, queries.Row(q), merged, k));
     }
   });
   return result;

@@ -55,13 +55,14 @@ class UspEnsemble : public Index {
   /// exact distance. `num_threads` caps the per-query search sharding
   /// (0 = pool default, 1 = serial; model scoring still uses the pool's
   /// GEMM); results are identical at every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
                                 size_t num_threads = 0) const override;
 
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return base_.rows(); }
   Metric metric() const override { return Metric::kSquaredL2; }
   IndexType type() const override { return IndexType::kUspEnsemble; }
+  MatrixView base_view() const override { return base_; }
 
   size_t num_models() const { return models_.size(); }
   const UspPartitioner& model(size_t i) const { return *models_[i]; }

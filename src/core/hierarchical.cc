@@ -73,7 +73,7 @@ void HierarchicalUspPartitioner::TrainNode(
   }
 }
 
-Matrix HierarchicalUspPartitioner::ScoreBins(const Matrix& points) const {
+Matrix HierarchicalUspPartitioner::ScoreBins(MatrixView points) const {
   USP_CHECK(root_.model != nullptr);
   Matrix out(points.rows(), total_bins_);
   std::vector<float> ones(points.rows(), 1.0f);
@@ -82,7 +82,7 @@ Matrix HierarchicalUspPartitioner::ScoreBins(const Matrix& points) const {
 }
 
 void HierarchicalUspPartitioner::ScoreNode(
-    const Node& node, const Matrix& points,
+    const Node& node, MatrixView points,
     const std::vector<float>& parent_scale, size_t level, size_t col_offset,
     Matrix* out) const {
   const size_t subtree = SubtreeBins(level);

@@ -38,7 +38,7 @@ class HierarchicalUspPartitioner : public BinScorer {
   void Train(const Matrix& data, const KnnResult& knn_matrix);
 
   size_t num_bins() const override { return total_bins_; }
-  Matrix ScoreBins(const Matrix& points) const override;
+  Matrix ScoreBins(MatrixView points) const override;
 
   /// Total learnable parameters across all node models (Table 2/3 context).
   size_t ParameterCount() const;
@@ -57,7 +57,7 @@ class HierarchicalUspPartitioner : public BinScorer {
                  const KnnResult& global_knn, size_t level);
   // Writes the (points x bins_at_subtree) score block for `node` into `out`
   // starting at column `col_offset`, scaled by `parent_scale` per point.
-  void ScoreNode(const Node& node, const Matrix& points,
+  void ScoreNode(const Node& node, MatrixView points,
                  const std::vector<float>& parent_scale, size_t level,
                  size_t col_offset, Matrix* out) const;
   size_t SubtreeBins(size_t level) const;

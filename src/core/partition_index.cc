@@ -34,7 +34,7 @@ PartitionIndex::PartitionIndex(MatrixView base, const BinScorer* scorer,
   }
 }
 
-Matrix PartitionIndex::ScoreQueries(const Matrix& queries) const {
+Matrix PartitionIndex::ScoreQueries(MatrixView queries) const {
   return scorer_->ScoreBins(queries);
 }
 
@@ -57,7 +57,7 @@ void PartitionIndex::CollectCandidates(const float* scores, size_t num_probes,
   }
 }
 
-BatchSearchResult PartitionIndex::SearchBatch(const Matrix& queries, size_t k,
+BatchSearchResult PartitionIndex::SearchBatch(MatrixView queries, size_t k,
                                               size_t budget,
                                               size_t num_threads) const {
   return SearchBatchWithScores(queries, ScoreQueries(queries), k, budget,
@@ -65,24 +65,23 @@ BatchSearchResult PartitionIndex::SearchBatch(const Matrix& queries, size_t k,
 }
 
 BatchSearchResult PartitionIndex::SearchBatchWithScores(
-    const Matrix& queries, const Matrix& scores, size_t k, size_t num_probes,
+    MatrixView queries, const Matrix& scores, size_t k, size_t num_probes,
     size_t num_threads) const {
   USP_CHECK(scores.rows() == queries.rows());
   USP_CHECK(scores.cols() == buckets_.size());
   const size_t nq = queries.rows();
   BatchSearchResult result;
   result.k = k;
-  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
-  result.candidate_counts.assign(nq, 0);
+  result.AllocatePadded(nq);
 
   ParallelFor(nq, 8, num_threads, [&](size_t begin, size_t end, size_t) {
     std::vector<uint32_t> candidates;
     for (size_t q = begin; q < end; ++q) {
       CollectCandidates(scores.Row(q), num_probes, &candidates);
       result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
-      const auto top =
-          RerankCandidates(dist_, queries.Row(q), candidates, k);
-      std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
+      result.SetRow(q,
+                    RerankCandidatesScored(dist_, queries.Row(q), candidates,
+                                           k));
     }
   });
   return result;

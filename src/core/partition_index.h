@@ -42,7 +42,7 @@ class PartitionIndex : public Index {
                  std::vector<uint32_t> assignments, Metric metric);
 
   /// Scores all queries once; reuse across different probe counts.
-  Matrix ScoreQueries(const Matrix& queries) const;
+  Matrix ScoreQueries(MatrixView queries) const;
 
   /// k-NN search probing the `budget` best bins per query. The per-query
   /// probe/rerank stage is sharded over the global thread pool; `num_threads`
@@ -51,11 +51,11 @@ class PartitionIndex : public Index {
   /// the pool's data-parallel GEMM regardless of the cap. Results are
   /// bit-identical at every thread count: each query's work is independent
   /// and writes only its own output rows.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
                                 size_t num_threads = 0) const override;
 
   /// Same but with externally computed scores (one scoring, many sweeps).
-  BatchSearchResult SearchBatchWithScores(const Matrix& queries,
+  BatchSearchResult SearchBatchWithScores(MatrixView queries,
                                           const Matrix& scores, size_t k,
                                           size_t num_probes,
                                           size_t num_threads = 0) const;
@@ -69,6 +69,7 @@ class PartitionIndex : public Index {
   size_t size() const override { return base_.rows(); }
   Metric metric() const override { return dist_.metric(); }
   IndexType type() const override { return IndexType::kPartition; }
+  MatrixView base_view() const override { return base_; }
   MatrixView base() const { return base_; }
   const BinScorer* scorer() const { return scorer_; }
   const std::vector<std::vector<uint32_t>>& buckets() const { return buckets_; }

@@ -16,7 +16,7 @@ UspPartitioner::UspPartitioner(UspTrainConfig config)
   USP_CHECK(config_.num_bins > 1);
 }
 
-Matrix UspPartitioner::ScoreBins(const Matrix& points) const {
+Matrix UspPartitioner::ScoreBins(MatrixView points) const {
   Matrix logits = model_.Forward(points, /*training=*/false);
   SoftmaxRows(&logits);
   return logits;

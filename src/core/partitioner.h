@@ -61,7 +61,7 @@ class UspPartitioner : public BinScorer {
 
   // BinScorer: scores are softmax probabilities over bins.
   size_t num_bins() const override { return config_.num_bins; }
-  Matrix ScoreBins(const Matrix& points) const override;
+  Matrix ScoreBins(MatrixView points) const override;
 
   /// Learnable parameter count (Table 2).
   size_t ParameterCount() const { return model_.ParameterCount(); }

@@ -72,7 +72,7 @@ void NeuralLsh::Train(const Matrix& data, const KnnResult& knn_matrix) {
   train_seconds_ = timer.ElapsedSeconds();
 }
 
-Matrix NeuralLsh::ScoreBins(const Matrix& points) const {
+Matrix NeuralLsh::ScoreBins(MatrixView points) const {
   Matrix logits = model_.Forward(points, /*training=*/false);
   SoftmaxRows(&logits);
   return logits;

@@ -38,7 +38,7 @@ class NeuralLsh : public BinScorer {
   void Train(const Matrix& data, const KnnResult& knn_matrix);
 
   size_t num_bins() const override { return config_.num_bins; }
-  Matrix ScoreBins(const Matrix& points) const override;
+  Matrix ScoreBins(MatrixView points) const override;
 
   /// Labels produced by the graph partitioning stage (stage 1).
   const std::vector<uint32_t>& training_labels() const { return labels_; }

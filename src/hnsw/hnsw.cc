@@ -245,14 +245,13 @@ std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
   return out;
 }
 
-BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
+BatchSearchResult HnswIndex::SearchBatch(MatrixView queries, size_t k,
                                          size_t budget,
                                          size_t num_threads) const {
   const size_t nq = queries.rows();
   BatchSearchResult result;
   result.k = k;
-  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
-  result.candidate_counts.assign(nq, 0);
+  result.AllocatePadded(nq);
   const DistanceKernels& kd = GetDistanceKernels();
   ParallelFor(nq, 4, num_threads, [&](size_t begin, size_t end, size_t) {
     for (size_t q = begin; q < end; ++q) {
@@ -282,6 +281,7 @@ BatchSearchResult HnswIndex::SearchBatch(const Matrix& queries, size_t k,
                                        std::max(k, budget), 0, &evals);
       for (size_t i = 0; i < nearest.size() && i < k; ++i) {
         result.ids[q * k + i] = nearest[i].id;
+        result.distances[q * k + i] = nearest[i].distance;
       }
       result.candidate_counts[q] = static_cast<uint32_t>(evals);
     }

@@ -44,13 +44,14 @@ class HnswIndex : public Index {
   /// the candidate-set size |C| used to compare against partition-based
   /// methods. `num_threads` caps the per-query sharding (0 = pool default,
   /// 1 = serial); results are identical at every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
                                 size_t num_threads = 0) const override;
 
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return node_levels_.size(); }
   Metric metric() const override { return Metric::kSquaredL2; }
   IndexType type() const override { return IndexType::kHnsw; }
+  MatrixView base_view() const override { return base_; }
   int max_level() const { return max_level_; }
 
   // Graph state accessors (serialization + diagnostics).

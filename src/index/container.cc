@@ -45,7 +45,7 @@ void ContainerWriter::AddOwnedSection(SectionTag tag, uint32_t ordinal,
   sections_.push_back(std::move(section));
 }
 
-Status ContainerWriter::WriteTo(const std::string& path) {
+Status ContainerWriter::WriteTo(Writer* out, const std::string& name) {
   header_.section_count = static_cast<uint32_t>(sections_.size());
   uint64_t cursor =
       sizeof(ContainerHeader) + sections_.size() * sizeof(SectionEntry);
@@ -56,28 +56,24 @@ Status ContainerWriter::WriteTo(const std::string& path) {
   }
   header_.file_size = cursor;
 
-  FileWriter writer(path);
-  if (!writer.ok()) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  bool ok = writer.WritePod(header_);
+  bool ok = out->WritePod(header_);
   for (const PendingSection& section : sections_) {
-    ok = ok && writer.WritePod(section.entry);
+    ok = ok && out->WritePod(section.entry);
   }
   static constexpr char kPadding[kSectionAlignment] = {};
   uint64_t written =
       sizeof(ContainerHeader) + sections_.size() * sizeof(SectionEntry);
   for (const PendingSection& section : sections_) {
-    ok = ok && writer.Write(kPadding, section.entry.offset - written);
+    ok = ok && out->Write(kPadding, section.entry.offset - written);
     const void* data =
         section.data != nullptr ? section.data : section.owned.data();
-    ok = ok && writer.Write(data, section.entry.size);
+    ok = ok && out->Write(data, section.entry.size);
     written = section.entry.offset + section.entry.size;
   }
-  if (!writer.Close()) ok = false;
-  if (!ok) return Status::IoError("short write to " + path);
+  if (!ok) return Status::IoError("short write to " + name);
   return Status::Ok();
 }
+
 
 Status ContainerReader::ValidateTable() {
   if (std::memcmp(header_.magic, kContainerMagic, sizeof(kContainerMagic)) !=
@@ -147,6 +143,27 @@ StatusOr<std::unique_ptr<ContainerReader>> ContainerReader::OpenFile(
   return reader;
 }
 
+Status ContainerReader::ParseView() {
+  if (actual_file_size_ < sizeof(ContainerHeader)) {
+    return Status::IoError("truncated container header in " + path_);
+  }
+  std::memcpy(&header_, view_, sizeof(ContainerHeader));
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(header_.section_count) * sizeof(SectionEntry);
+  if (actual_file_size_ < sizeof(ContainerHeader) + table_bytes) {
+    if (std::memcmp(header_.magic, kContainerMagic,
+                    sizeof(kContainerMagic)) != 0) {
+      return Status::InvalidArgument(path_ + " is not a USP index container");
+    }
+    return Status::IoError("truncated container " + path_);
+  }
+  table_.resize(header_.section_count);
+  if (!table_.empty()) {
+    std::memcpy(table_.data(), view_ + sizeof(ContainerHeader), table_bytes);
+  }
+  return ValidateTable();
+}
+
 StatusOr<std::unique_ptr<ContainerReader>> ContainerReader::OpenMmap(
     const std::string& path) {
   StatusOr<MmapFile> map = MmapFile::Open(path);
@@ -154,27 +171,21 @@ StatusOr<std::unique_ptr<ContainerReader>> ContainerReader::OpenMmap(
   auto reader = std::unique_ptr<ContainerReader>(new ContainerReader());
   reader->path_ = path;
   reader->map_ = std::move(map).value();
+  reader->view_ = reader->map_.data();
   reader->actual_file_size_ = reader->map_.size();
-  if (reader->map_.size() < sizeof(ContainerHeader)) {
-    return Status::IoError("truncated container header in " + path);
-  }
-  std::memcpy(&reader->header_, reader->map_.data(), sizeof(ContainerHeader));
-  const uint64_t table_bytes =
-      static_cast<uint64_t>(reader->header_.section_count) *
-      sizeof(SectionEntry);
-  if (reader->map_.size() < sizeof(ContainerHeader) + table_bytes) {
-    if (std::memcmp(reader->header_.magic, kContainerMagic,
-                    sizeof(kContainerMagic)) != 0) {
-      return Status::InvalidArgument(path + " is not a USP index container");
-    }
-    return Status::IoError("truncated container " + path);
-  }
-  reader->table_.resize(reader->header_.section_count);
-  if (!reader->table_.empty()) {
-    std::memcpy(reader->table_.data(),
-                reader->map_.data() + sizeof(ContainerHeader), table_bytes);
-  }
-  Status status = reader->ValidateTable();
+  Status status = reader->ParseView();
+  if (!status.ok()) return status;
+  return reader;
+}
+
+StatusOr<std::unique_ptr<ContainerReader>> ContainerReader::OpenMem(
+    std::vector<uint8_t> bytes, const std::string& name) {
+  auto reader = std::unique_ptr<ContainerReader>(new ContainerReader());
+  reader->path_ = name;
+  reader->mem_ = std::move(bytes);
+  reader->view_ = reader->mem_.data();
+  reader->actual_file_size_ = reader->mem_.size();
+  Status status = reader->ParseView();
   if (!status.ok()) return status;
   return reader;
 }
@@ -217,8 +228,8 @@ Status ContainerReader::ReadSection(SectionTag tag, uint32_t ordinal,
         std::to_string(expected_size));
   }
   if (entry->size == 0) return Status::Ok();
-  if (map_.valid()) {
-    std::memcpy(out, map_.data() + entry->offset, entry->size);
+  if (view_ != nullptr) {
+    std::memcpy(out, view_ + entry->offset, entry->size);
     return Status::Ok();
   }
   if (!file_->Seek(entry->offset) || !file_->Read(out, entry->size)) {
@@ -240,16 +251,16 @@ StatusOr<std::vector<uint8_t>> ContainerReader::ReadSectionBytes(
 
 StatusOr<const uint8_t*> ContainerReader::SectionData(SectionTag tag,
                                                       uint32_t ordinal) const {
-  if (!map_.valid()) {
+  if (view_ == nullptr) {
     return Status::FailedPrecondition(
-        "zero-copy section views need an mmap-opened container");
+        "zero-copy section views need an mmap- or memory-opened container");
   }
   const SectionEntry* entry = FindEntry(tag, ordinal);
   if (entry == nullptr) {
     return Status::InvalidArgument("missing " + SectionName(tag, ordinal) +
                                    " in " + path_);
   }
-  return map_.data() + entry->offset;
+  return view_ + entry->offset;
 }
 
 }  // namespace usp

@@ -24,7 +24,12 @@ inline constexpr char kContainerMagic[8] = {'U', 'S', 'P', 'I',
                                             'N', 'D', 'X', '1'};
 
 /// Bumped on any incompatible layout change; readers reject other versions.
-inline constexpr uint32_t kContainerVersion = 1;
+/// Version 2 added the dynamic-index manifest sections (kManifest,
+/// kSegmentBlob, kIdMap, kTombstones); the bump is deliberate even though
+/// static-type layouts are unchanged, because a version-1 reader that
+/// tolerated unknown sections could open a dynamic container and serve
+/// deleted points (it would not know to honor the tombstone bitmap).
+inline constexpr uint32_t kContainerVersion = 2;
 
 /// Every section payload starts on a multiple of this (so mmap'd float/int
 /// payloads are aligned far beyond what any SIMD load needs).
@@ -45,6 +50,12 @@ enum class SectionTag : uint32_t {
   kHnswLevels = 10,  ///< num_points int32 node levels
   kHnswLinks = 11,   ///< per node, per level: uint32 count + count uint32 ids
   kWeights = 12,     ///< num_points float32 ensemble training weights
+  // Dynamic-index (serve/dynamic_index.h) sections, container version 2:
+  kManifest = 13,     ///< per-sealed-segment table (DynamicSegmentEntry)
+  kSegmentBlob = 14,  ///< ordinal j: embedded full container of segment j
+  kIdMap = 15,        ///< ordinal j: segment-local row -> global id (uint32);
+                      ///< ordinal num_sealed is the write segment's map
+  kTombstones = 16,   ///< deleted-id bitmap, ceil(next_id/64) uint64 words
 };
 
 /// Fixed 64-byte file header.
@@ -86,8 +97,11 @@ class ContainerWriter {
   /// embedded model blobs and flattened graphs).
   void AddOwnedSection(SectionTag tag, uint32_t ordinal, std::string bytes);
 
-  /// Lays out offsets and writes header + table + aligned payloads.
-  Status WriteTo(const std::string& path);
+  /// Lays out offsets and writes header + table + aligned payloads to any
+  /// byte sink (`name` labels errors). A StringWriter sink produces an
+  /// in-memory container — how sealed segments embed inside a dynamic-index
+  /// container (SerializeIndex in index/serialize.h).
+  Status WriteTo(Writer* out, const std::string& name);
 
  private:
   struct PendingSection {
@@ -116,9 +130,16 @@ class ContainerReader {
   static StatusOr<std::unique_ptr<ContainerReader>> OpenMmap(
       const std::string& path);
 
+  /// Opens a container already resident in memory, taking ownership of the
+  /// bytes; section views are served zero-copy from them. This is how the
+  /// embedded kSegmentBlob payloads of a dynamic-index container are opened.
+  /// `name` labels error messages (there is no backing file).
+  static StatusOr<std::unique_ptr<ContainerReader>> OpenMem(
+      std::vector<uint8_t> bytes, const std::string& name);
+
   const ContainerHeader& header() const { return header_; }
   const std::string& path() const { return path_; }
-  bool zero_copy() const { return map_.valid(); }
+  bool zero_copy() const { return view_ != nullptr; }
 
   bool Has(SectionTag tag, uint32_t ordinal) const;
 
@@ -141,12 +162,15 @@ class ContainerReader {
   ContainerReader() = default;
 
   Status ValidateTable();
+  Status ParseView();  ///< header + table from view_ (mmap and mem modes)
   const SectionEntry* FindEntry(SectionTag tag, uint32_t ordinal) const;
 
   std::string path_;
   ContainerHeader header_;
   std::vector<SectionEntry> table_;
   MmapFile map_;                       ///< mmap mode
+  std::vector<uint8_t> mem_;           ///< in-memory mode (owned bytes)
+  const uint8_t* view_ = nullptr;      ///< whole-container view (mmap or mem)
   std::unique_ptr<FileReader> file_;   ///< streaming mode
   uint64_t actual_file_size_ = 0;
 };

@@ -1,10 +1,25 @@
 #include "index/index.h"
 
-#include <cstring>
+#include <algorithm>
 #include <limits>
 #include <numeric>
 
 namespace usp {
+
+void BatchSearchResult::AllocatePadded(size_t num_queries) {
+  ids.assign(num_queries * k, kInvalidId);
+  distances.assign(num_queries * k,
+                   std::numeric_limits<float>::infinity());
+  candidate_counts.assign(num_queries, 0);
+}
+
+void BatchSearchResult::SetRow(size_t q, const std::vector<Neighbor>& sorted) {
+  const size_t count = std::min(k, sorted.size());
+  for (size_t j = 0; j < count; ++j) {
+    ids[q * k + j] = sorted[j].id;
+    distances[q * k + j] = sorted[j].distance;
+  }
+}
 
 double BatchSearchResult::MeanCandidates() const {
   if (candidate_counts.empty()) return 0.0;
@@ -27,21 +42,23 @@ const char* IndexTypeName(IndexType type) {
       return "hnsw";
     case IndexType::kUspEnsemble:
       return "usp_ensemble";
+    case IndexType::kDynamic:
+      return "dynamic";
   }
   return "unknown";
 }
 
 std::vector<uint32_t> Index::Search(const float* query, size_t k,
                                     size_t budget) const {
-  Matrix one(1, dim());
-  std::memcpy(one.Row(0), query, dim() * sizeof(float));
-  const BatchSearchResult result =
-      SearchBatch(one, k, budget, /*num_threads=*/1);
+  // Zero-copy: the caller's buffer is viewed in place, never staged through a
+  // heap Matrix.
+  const BatchSearchResult result = SearchBatch(
+      MatrixView(query, 1, dim()), k, budget, /*num_threads=*/1);
   std::vector<uint32_t> ids;
   ids.reserve(k);
   for (size_t j = 0; j < result.k; ++j) {
     const uint32_t id = result.Row(0)[j];
-    if (id == std::numeric_limits<uint32_t>::max()) break;  // padding
+    if (id == kInvalidId) break;  // padding
     ids.push_back(id);
   }
   return ids;

@@ -10,17 +10,36 @@
 #include <vector>
 
 #include "dist/metric.h"
+#include "knn/top_k.h"
 #include "tensor/matrix.h"
 
 namespace usp {
+
+/// Sentinel id marking a padded result slot. Rows of BatchSearchResult are
+/// always exactly k wide; when a query yields fewer than k neighbors (k >
+/// size(), tiny probe budgets, heavy deletes) the trailing slots hold
+/// kInvalidId with +inf distance. Every Index implementation pads this way —
+/// real neighbors first (ascending by distance), then an uninterrupted run of
+/// kInvalidId slots. Pinned by tests/index_padding_test.cc.
+inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
 
 /// Search output for a batch of queries.
 struct BatchSearchResult {
   size_t k = 0;
   std::vector<uint32_t> ids;               ///< (num_queries x k), row-major
+  std::vector<float> distances;            ///< parallel to ids; minimized form
   std::vector<uint32_t> candidate_counts;  ///< |C(q)| per query
 
   const uint32_t* Row(size_t q) const { return ids.data() + q * k; }
+  const float* DistanceRow(size_t q) const { return distances.data() + q * k; }
+
+  /// Sizes ids/distances/candidate_counts for `num_queries` rows, every slot
+  /// pre-padded (kInvalidId / +inf / 0).
+  void AllocatePadded(size_t num_queries);
+
+  /// Writes the first min(k, sorted.size()) neighbors into row q (ids and
+  /// distances); trailing slots keep their padding.
+  void SetRow(size_t q, const std::vector<Neighbor>& sorted);
 
   /// Mean candidate-set size S(R) over the batch (Eq. 4).
   double MeanCandidates() const;
@@ -36,6 +55,7 @@ enum class IndexType : uint32_t {
   kScann = 4,        ///< ScannIndex
   kHnsw = 5,         ///< HnswIndex
   kUspEnsemble = 6,  ///< UspEnsemble
+  kDynamic = 7,      ///< DynamicIndex (serve/dynamic_index.h)
 };
 
 /// Human-readable name of a type tag ("partition", "ivf_flat", ...);
@@ -49,15 +69,20 @@ class Index {
  public:
   virtual ~Index() = default;
 
-  /// Batched k-NN search. `num_threads` caps the per-query sharding over the
-  /// global thread pool (0 = pool default, 1 = serial); results are
-  /// bit-identical at every setting.
-  virtual BatchSearchResult SearchBatch(const Matrix& queries, size_t k,
+  /// Batched k-NN search. `queries` is a non-owning view (a Matrix converts
+  /// implicitly; external storage — an mmap'd section, a caller-owned buffer —
+  /// is searched zero-copy). `num_threads` caps the per-query sharding over
+  /// the global thread pool (0 = pool default, 1 = serial); results are
+  /// bit-identical at every setting. Result rows hold real neighbors first
+  /// (ascending by distance, with matching `distances`), then kInvalidId
+  /// padding.
+  virtual BatchSearchResult SearchBatch(MatrixView queries, size_t k,
                                         size_t budget,
                                         size_t num_threads = 0) const = 0;
 
   /// Single-query convenience: returns up to k neighbor ids, ascending by
-  /// distance. The default routes through SearchBatch on the calling thread.
+  /// distance. The default wraps `query` in a 1-row MatrixView (zero-copy)
+  /// and routes through SearchBatch on the calling thread.
   virtual std::vector<uint32_t> Search(const float* query, size_t k,
                                        size_t budget) const;
 
@@ -65,6 +90,12 @@ class Index {
   virtual size_t size() const = 0;    ///< number of indexed base vectors
   virtual Metric metric() const = 0;  ///< exact-rerank metric
   virtual IndexType type() const = 0;
+
+  /// Read-only view of the indexed base vectors (row i = base point i) when
+  /// the implementation stores them contiguously; an empty view otherwise.
+  /// The serving layer's compaction (serve/dynamic_index.h) uses this to
+  /// gather live rows out of sealed segments without knowing their type.
+  virtual MatrixView base_view() const { return MatrixView(); }
 
   /// The concrete index this object answers queries with. Loaded indexes
   /// (index/serialize.h) are wrappers owning their storage; underlying()

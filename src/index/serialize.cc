@@ -11,6 +11,7 @@
 #include "hnsw/hnsw.h"
 #include "ivf/ivf.h"
 #include "quant/scann_index.h"
+#include "serve/dynamic_index.h"
 #include "util/io.h"
 
 namespace usp {
@@ -101,6 +102,25 @@ struct EnsembleConfigRecord {
   uint32_t combine;
 };
 static_assert(sizeof(EnsembleConfigRecord) == 80, "on-disk contract");
+
+struct DynamicConfigRecord {
+  uint64_t next_global_id;
+  uint64_t num_sealed;
+  uint64_t write_rows;
+  uint64_t tombstone_count;
+  uint64_t seal_threshold;
+  uint64_t max_sealed_segments;
+};
+static_assert(sizeof(DynamicConfigRecord) == 48, "on-disk contract");
+
+/// One kManifest row describing a sealed segment (its payload lives in the
+/// kSegmentBlob section of the same ordinal).
+struct DynamicSegmentEntry {
+  uint64_t rows;
+  uint32_t index_type;  ///< IndexType tag of the embedded container
+  uint32_t reserved;
+};
+static_assert(sizeof(DynamicSegmentEntry) == 16, "on-disk contract");
 
 UspTrainRecord PackTrainConfig(const UspTrainConfig& c) {
   UspTrainRecord r{};
@@ -224,7 +244,8 @@ PqSections AppendPqSections(const ProductQuantizer& pq,
 // Per-type savers. Locals referenced by AddSection live until WriteTo.
 // ---------------------------------------------------------------------------
 
-Status SavePartition(const PartitionIndex& index, const std::string& path) {
+Status SavePartition(const PartitionIndex& index, Writer* out,
+            const std::string& name) {
   ContainerWriter writer(IndexType::kPartition, index.metric(), index.dim(),
                          index.size());
   PartitionConfigRecord config{};
@@ -235,10 +256,11 @@ Status SavePartition(const PartitionIndex& index, const std::string& path) {
   writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
   AppendBaseSection(index.base(), &writer);
   AppendAssignments(index.assignments(), 0, &writer);
-  return writer.WriteTo(path);
+  return writer.WriteTo(out, name);
 }
 
-Status SaveIvfFlat(const IvfFlatIndex& index, const std::string& path) {
+Status SaveIvfFlat(const IvfFlatIndex& index, Writer* out,
+            const std::string& name) {
   ContainerWriter writer(IndexType::kIvfFlat, index.metric(), index.dim(),
                          index.size());
   IvfFlatConfigRecord config{};
@@ -251,10 +273,11 @@ Status SaveIvfFlat(const IvfFlatIndex& index, const std::string& path) {
                     centroids.size() * sizeof(float));
   AppendBaseSection(index.partition().base(), &writer);
   AppendAssignments(index.partition().assignments(), 0, &writer);
-  return writer.WriteTo(path);
+  return writer.WriteTo(out, name);
 }
 
-Status SaveIvfPq(const IvfPqIndex& index, const std::string& path) {
+Status SaveIvfPq(const IvfPqIndex& index, Writer* out,
+            const std::string& name) {
   ContainerWriter writer(IndexType::kIvfPq, Metric::kSquaredL2, index.dim(),
                          index.size());
   IvfPqConfigRecord config{};
@@ -272,10 +295,11 @@ Status SaveIvfPq(const IvfPqIndex& index, const std::string& path) {
   const PqSections pq = AppendPqSections(index.scann().quantizer(), &writer);
   writer.AddSection(SectionTag::kPqCodes, 0, index.scann().codes(),
                     index.size() * index.scann().quantizer().num_subspaces());
-  return writer.WriteTo(path);
+  return writer.WriteTo(out, name);
 }
 
-Status SaveScann(const ScannIndex& index, const std::string& path) {
+Status SaveScann(const ScannIndex& index, Writer* out,
+            const std::string& name) {
   ContainerWriter writer(IndexType::kScann, Metric::kSquaredL2, index.dim(),
                          index.size());
   ScannConfigRecord config{};
@@ -295,10 +319,11 @@ Status SaveScann(const ScannIndex& index, const std::string& path) {
   const PqSections pq = AppendPqSections(index.quantizer(), &writer);
   writer.AddSection(SectionTag::kPqCodes, 0, index.codes(),
                     index.size() * index.quantizer().num_subspaces());
-  return writer.WriteTo(path);
+  return writer.WriteTo(out, name);
 }
 
-Status SaveHnsw(const HnswIndex& index, const std::string& path) {
+Status SaveHnsw(const HnswIndex& index, Writer* out,
+            const std::string& name) {
   if (index.max_level() < 0) {
     return Status::FailedPrecondition("HNSW index not built");
   }
@@ -326,10 +351,11 @@ Status SaveHnsw(const HnswIndex& index, const std::string& path) {
     }
   }
   writer.AddOwnedSection(SectionTag::kHnswLinks, 0, links.TakeBytes());
-  return writer.WriteTo(path);
+  return writer.WriteTo(out, name);
 }
 
-Status SaveEnsemble(const UspEnsemble& index, const std::string& path) {
+Status SaveEnsemble(const UspEnsemble& index, Writer* out,
+            const std::string& name) {
   ContainerWriter writer(IndexType::kUspEnsemble, Metric::kSquaredL2,
                          index.dim(), index.size());
   EnsembleConfigRecord config{};
@@ -350,7 +376,68 @@ Status SaveEnsemble(const UspEnsemble& index, const std::string& path) {
   }
   writer.AddSection(SectionTag::kWeights, 0, index.final_weights().data(),
                     index.final_weights().size() * sizeof(float));
-  return writer.WriteTo(path);
+  return writer.WriteTo(out, name);
+}
+
+Status SaveDynamic(const DynamicIndex& index, Writer* out,
+                   const std::string& name) {
+  // WithFrozenState holds the index's reader lock for the whole save, so the
+  // container is one consistent snapshot even while writers run.
+  return index.WithFrozenState([&](const DynamicIndex::FrozenState& state)
+                                   -> Status {
+    uint64_t total_rows = state.write_rows;
+    for (const auto& segment : state.sealed) {
+      total_rows += segment->index->size();
+    }
+    ContainerWriter writer(IndexType::kDynamic, index.metric(), index.dim(),
+                           total_rows);
+
+    DynamicConfigRecord config{};
+    config.next_global_id = state.next_global_id;
+    config.num_sealed = state.sealed.size();
+    config.write_rows = state.write_rows;
+    config.tombstone_count = state.tombstones.size();
+    config.seal_threshold = index.config().seal_threshold;
+    config.max_sealed_segments = index.config().max_sealed_segments;
+    writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+
+    std::vector<DynamicSegmentEntry> manifest;
+    manifest.reserve(state.sealed.size());
+    for (const auto& segment : state.sealed) {
+      DynamicSegmentEntry entry{};
+      entry.rows = segment->index->size();
+      entry.index_type = static_cast<uint32_t>(segment->index->type());
+      manifest.push_back(entry);
+    }
+    writer.AddSection(SectionTag::kManifest, 0, manifest.data(),
+                      manifest.size() * sizeof(DynamicSegmentEntry));
+
+    for (size_t j = 0; j < state.sealed.size(); ++j) {
+      const DynamicIndex::SealedSegment& segment = *state.sealed[j];
+      StatusOr<std::string> blob = SerializeIndex(*segment.index);
+      if (!blob.ok()) return blob.status();
+      writer.AddOwnedSection(SectionTag::kSegmentBlob,
+                             static_cast<uint32_t>(j),
+                             std::move(blob).value());
+      writer.AddSection(SectionTag::kIdMap, static_cast<uint32_t>(j),
+                        segment.global_ids.data(),
+                        segment.global_ids.size() * sizeof(uint32_t));
+    }
+    writer.AddSection(SectionTag::kIdMap,
+                      static_cast<uint32_t>(state.sealed.size()),
+                      state.write_ids.data(),
+                      state.write_ids.size() * sizeof(uint32_t));
+    writer.AddSection(SectionTag::kBaseVectors, 0, state.write_data,
+                      state.write_rows * index.dim() * sizeof(float));
+
+    std::vector<uint64_t> bitmap((state.next_global_id + 63) / 64, 0);
+    for (uint32_t id : state.tombstones) {
+      bitmap[id / 64] |= uint64_t{1} << (id % 64);
+    }
+    writer.AddSection(SectionTag::kTombstones, 0, bitmap.data(),
+                      bitmap.size() * sizeof(uint64_t));
+    return writer.WriteTo(out, name);
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -377,7 +464,7 @@ class LoadedIndex : public Index {
   explicit LoadedIndex(std::unique_ptr<IndexBundle> bundle)
       : bundle_(std::move(bundle)) {}
 
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
                                 size_t num_threads = 0) const override {
     return bundle_->index->SearchBatch(queries, k, budget, num_threads);
   }
@@ -389,6 +476,7 @@ class LoadedIndex : public Index {
   size_t size() const override { return bundle_->index->size(); }
   Metric metric() const override { return bundle_->index->metric(); }
   IndexType type() const override { return bundle_->index->type(); }
+  MatrixView base_view() const override { return bundle_->index->base_view(); }
   const Index& underlying() const override { return *bundle_->index; }
 
  private:
@@ -892,6 +980,138 @@ StatusOr<std::unique_ptr<Index>> LoadEnsemble(
   return FinishBundle(std::move(bundle));
 }
 
+StatusOr<std::unique_ptr<Index>> LoadDynamic(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  const std::string& path = c->path();
+  Status status = CheckMetricValue(c->header().metric, path);
+  if (!status.ok()) return status;
+  const Metric metric = static_cast<Metric>(c->header().metric);
+  const uint64_t dim = c->header().dim;
+  if (dim == 0 || dim > (1ULL << 24)) {
+    return Status::InvalidArgument("implausible index shape in " + path);
+  }
+
+  DynamicConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+  if (record.num_sealed > 4096 || record.next_global_id > 0xFFFFFFFFull ||
+      record.write_rows > record.next_global_id ||
+      record.tombstone_count > record.next_global_id) {
+    return Status::InvalidArgument("corrupt dynamic config in " + path);
+  }
+
+  std::vector<DynamicSegmentEntry> manifest(record.num_sealed);
+  status = c->ReadSection(SectionTag::kManifest, 0, manifest.data(),
+                          record.num_sealed * sizeof(DynamicSegmentEntry));
+  if (!status.ok()) return status;
+
+  // Bound the id space by the tombstone bitmap the file actually carries
+  // before allocating anything sized by next_global_id: section sizes are
+  // bounded by file_size at open, so a corrupt record cannot force huge
+  // allocations (the failure contract is Status, never bad_alloc).
+  const uint64_t tombstone_words = (record.next_global_id + 63) / 64;
+  StatusOr<SectionEntry> tombstone_entry =
+      c->Find(SectionTag::kTombstones, 0);
+  if (!tombstone_entry.ok()) return tombstone_entry.status();
+  if (tombstone_entry.value().size != tombstone_words * sizeof(uint64_t)) {
+    return Status::InvalidArgument("tombstone bitmap size mismatch in " +
+                                   path);
+  }
+
+  // `seen` tracks which global ids physically exist (for uniqueness and for
+  // validating the tombstone bitmap against real rows).
+  std::vector<bool> seen(record.next_global_id, false);
+  auto claim_ids = [&](const std::vector<uint32_t>& ids) -> bool {
+    for (uint32_t id : ids) {
+      if (id >= record.next_global_id || seen[id]) return false;
+      seen[id] = true;
+    }
+    return true;
+  };
+
+  std::vector<std::unique_ptr<DynamicIndex::SealedSegment>> sealed;
+  sealed.reserve(record.num_sealed);
+  uint64_t total_rows = record.write_rows;
+  for (uint32_t j = 0; j < record.num_sealed; ++j) {
+    StatusOr<std::vector<uint8_t>> blob =
+        c->ReadSectionBytes(SectionTag::kSegmentBlob, j);
+    if (!blob.ok()) return blob.status();
+    StatusOr<std::unique_ptr<ContainerReader>> sub = ContainerReader::OpenMem(
+        std::move(blob).value(),
+        path + " [segment " + std::to_string(j) + "]");
+    if (!sub.ok()) return sub.status();
+    if (sub.value()->header().index_type != manifest[j].index_type ||
+        manifest[j].index_type ==
+            static_cast<uint32_t>(IndexType::kDynamic)) {
+      return Status::InvalidArgument("corrupt dynamic manifest in " + path);
+    }
+    StatusOr<std::unique_ptr<Index>> segment_index =
+        OpenIndexFromContainer(std::move(sub).value());
+    if (!segment_index.ok()) return segment_index.status();
+    auto segment = std::make_unique<DynamicIndex::SealedSegment>();
+    segment->index = std::move(segment_index).value();
+    if (segment->index->dim() != dim || segment->index->metric() != metric ||
+        segment->index->size() != manifest[j].rows) {
+      return Status::InvalidArgument("corrupt dynamic manifest in " + path);
+    }
+    StatusOr<std::vector<uint32_t>> ids =
+        ReadU32Section(c, SectionTag::kIdMap, j, manifest[j].rows);
+    if (!ids.ok()) return ids.status();
+    segment->global_ids = std::move(ids).value();
+    if (!claim_ids(segment->global_ids)) {
+      return Status::InvalidArgument("corrupt dynamic id map in " + path);
+    }
+    total_rows += manifest[j].rows;
+    sealed.push_back(std::move(segment));
+  }
+  if (c->header().num_points != total_rows) {
+    return Status::InvalidArgument("corrupt dynamic manifest in " + path);
+  }
+
+  StatusOr<Matrix> write_rows = ReadMatrixSection(
+      c, SectionTag::kBaseVectors, 0, record.write_rows, dim);
+  if (!write_rows.ok()) return write_rows.status();
+  StatusOr<std::vector<uint32_t>> write_ids =
+      ReadU32Section(c, SectionTag::kIdMap,
+                     static_cast<uint32_t>(record.num_sealed),
+                     record.write_rows);
+  if (!write_ids.ok()) return write_ids.status();
+  if (!claim_ids(write_ids.value())) {
+    return Status::InvalidArgument("corrupt dynamic id map in " + path);
+  }
+
+  std::vector<uint64_t> bitmap(tombstone_words);
+  status = c->ReadSection(SectionTag::kTombstones, 0, bitmap.data(),
+                          tombstone_words * sizeof(uint64_t));
+  if (!status.ok()) return status;
+  std::vector<uint32_t> tombstones;
+  for (uint64_t id = 0; id < record.next_global_id; ++id) {
+    if ((bitmap[id / 64] >> (id % 64)) & 1) {
+      if (!seen[id]) {
+        return Status::InvalidArgument("tombstone for unknown id in " + path);
+      }
+      tombstones.push_back(static_cast<uint32_t>(id));
+    }
+  }
+  if (tombstones.size() != record.tombstone_count) {
+    return Status::InvalidArgument("tombstone count mismatch in " + path);
+  }
+
+  DynamicIndexConfig config;
+  config.metric = metric;
+  config.seal_threshold = static_cast<size_t>(record.seal_threshold);
+  config.max_sealed_segments =
+      static_cast<size_t>(record.max_sealed_segments);
+  bundle->index = std::make_unique<DynamicIndex>(
+      static_cast<size_t>(dim), std::move(config), std::move(sealed),
+      std::move(write_rows).value(), std::move(write_ids).value(),
+      std::move(tombstones), static_cast<uint32_t>(record.next_global_id));
+  return FinishBundle(std::move(bundle));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -907,6 +1127,7 @@ const std::vector<IndexLoaderEntry>& IndexLoaderRegistry() {
           {IndexType::kScann, "scann", &LoadScann},
           {IndexType::kHnsw, "hnsw", &LoadHnsw},
           {IndexType::kUspEnsemble, "usp_ensemble", &LoadEnsemble},
+          {IndexType::kDynamic, "dynamic", &LoadDynamic},
       };
   return *registry;
 }
@@ -918,23 +1139,60 @@ const IndexLoaderEntry* FindIndexLoader(uint32_t type_tag) {
   return nullptr;
 }
 
-Status SaveIndex(const Index& index, const std::string& path) {
+Status SaveIndexTo(const Index& index, Writer* out,
+                   const std::string& name) {
   const Index& concrete = index.underlying();
   switch (concrete.type()) {
     case IndexType::kPartition:
-      return SavePartition(static_cast<const PartitionIndex&>(concrete), path);
+      return SavePartition(static_cast<const PartitionIndex&>(concrete), out,
+                           name);
     case IndexType::kIvfFlat:
-      return SaveIvfFlat(static_cast<const IvfFlatIndex&>(concrete), path);
+      return SaveIvfFlat(static_cast<const IvfFlatIndex&>(concrete), out,
+                         name);
     case IndexType::kIvfPq:
-      return SaveIvfPq(static_cast<const IvfPqIndex&>(concrete), path);
+      return SaveIvfPq(static_cast<const IvfPqIndex&>(concrete), out, name);
     case IndexType::kScann:
-      return SaveScann(static_cast<const ScannIndex&>(concrete), path);
+      return SaveScann(static_cast<const ScannIndex&>(concrete), out, name);
     case IndexType::kHnsw:
-      return SaveHnsw(static_cast<const HnswIndex&>(concrete), path);
+      return SaveHnsw(static_cast<const HnswIndex&>(concrete), out, name);
     case IndexType::kUspEnsemble:
-      return SaveEnsemble(static_cast<const UspEnsemble&>(concrete), path);
+      return SaveEnsemble(static_cast<const UspEnsemble&>(concrete), out,
+                          name);
+    case IndexType::kDynamic:
+      return SaveDynamic(static_cast<const DynamicIndex&>(concrete), out,
+                         name);
   }
   return Status::InvalidArgument("unknown index type");
+}
+
+Status SaveIndex(const Index& index, const std::string& path) {
+  FileWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  Status status = SaveIndexTo(index, &writer, path);
+  if (!status.ok()) return status;
+  if (!writer.Close()) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::string> SerializeIndex(const Index& index) {
+  StringWriter writer;
+  Status status = SaveIndexTo(index, &writer, "<in-memory container>");
+  if (!status.ok()) return status;
+  return writer.TakeBytes();
+}
+
+StatusOr<std::unique_ptr<Index>> OpenIndexFromContainer(
+    std::unique_ptr<ContainerReader> container) {
+  const uint32_t type_tag = container->header().index_type;
+  const std::string& path = container->path();
+  const IndexLoaderEntry* loader = FindIndexLoader(type_tag);
+  if (loader == nullptr) {
+    return Status::InvalidArgument("unknown index type tag " +
+                                   std::to_string(type_tag) + " in " + path);
+  }
+  return loader->load(std::move(container));
 }
 
 StatusOr<std::unique_ptr<Index>> OpenIndex(const std::string& path,
@@ -943,13 +1201,7 @@ StatusOr<std::unique_ptr<Index>> OpenIndex(const std::string& path,
       mode == LoadMode::kMmap ? ContainerReader::OpenMmap(path)
                               : ContainerReader::OpenFile(path);
   if (!container.ok()) return container.status();
-  const uint32_t type_tag = container.value()->header().index_type;
-  const IndexLoaderEntry* loader = FindIndexLoader(type_tag);
-  if (loader == nullptr) {
-    return Status::InvalidArgument("unknown index type tag " +
-                                   std::to_string(type_tag) + " in " + path);
-  }
-  return loader->load(std::move(container).value());
+  return OpenIndexFromContainer(std::move(container).value());
 }
 
 StatusOr<std::unique_ptr<Index>> LoadIndex(const std::string& path) {

@@ -35,8 +35,17 @@ enum class LoadMode {
 /// unwrapped) into the container format at `path`. PartitionIndex/ScannIndex
 /// scorers must be KMeansPartitioner or UspPartitioner — other BinScorer
 /// implementations have no on-disk representation yet and are rejected with
-/// kInvalidArgument.
+/// kInvalidArgument. A DynamicIndex (serve/dynamic_index.h) serializes as a
+/// manifest plus one embedded sub-container per sealed segment; saving takes
+/// a consistent snapshot, so it is safe while writers run.
 Status SaveIndex(const Index& index, const std::string& path);
+
+/// Same, into any byte sink (`name` labels errors).
+Status SaveIndexTo(const Index& index, Writer* out, const std::string& name);
+
+/// Serializes into an in-memory container blob — how sealed segments embed
+/// inside a dynamic-index container (SectionTag::kSegmentBlob).
+StatusOr<std::string> SerializeIndex(const Index& index);
 
 /// Opens a container, dispatches on its stored index-type tag, and returns a
 /// self-contained index (the wrapper owns all storage: heap buffers or the
@@ -51,6 +60,12 @@ StatusOr<std::unique_ptr<Index>> LoadIndex(const std::string& path);
 /// Zero-copy load: base vectors and PQ codes are served directly from the
 /// read-only mapping (small metadata is still heap-materialized).
 StatusOr<std::unique_ptr<Index>> MmapIndex(const std::string& path);
+
+/// Dispatches an already-opened container through the loader registry (the
+/// shared tail of OpenIndex; also how embedded segment blobs of a dynamic
+/// container are materialized via ContainerReader::OpenMem).
+StatusOr<std::unique_ptr<Index>> OpenIndexFromContainer(
+    std::unique_ptr<ContainerReader> container);
 
 /// One registered index type: its tag, name, and container loader.
 struct IndexLoaderEntry {

@@ -58,7 +58,7 @@ IvfFlatIndex::IvfFlatIndex(MatrixView base, const IvfConfig& config,
                                             config.metric);
 }
 
-BatchSearchResult IvfFlatIndex::SearchBatch(const Matrix& queries, size_t k,
+BatchSearchResult IvfFlatIndex::SearchBatch(MatrixView queries, size_t k,
                                             size_t budget,
                                             size_t num_threads) const {
   return index_->SearchBatch(queries, k, budget, num_threads);
@@ -117,7 +117,7 @@ IvfPqIndex::IvfPqIndex(MatrixView base, const IvfConfig& config,
                                         assignments);
 }
 
-BatchSearchResult IvfPqIndex::SearchBatch(const Matrix& queries, size_t k,
+BatchSearchResult IvfPqIndex::SearchBatch(MatrixView queries, size_t k,
                                           size_t budget,
                                           size_t num_threads) const {
   return index_->SearchBatch(queries, k, budget, num_threads);

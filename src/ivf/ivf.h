@@ -50,12 +50,13 @@ class IvfFlatIndex : public Index {
   size_t size() const override { return index_->size(); }
   Metric metric() const override { return index_->metric(); }
   IndexType type() const override { return IndexType::kIvfFlat; }
+  MatrixView base_view() const override { return index_->base(); }
 
   /// k-NN search probing the `budget` (= nprobe) best lists. `num_threads`
   /// caps the per-query search sharding (0 = pool default, 1 = serial;
   /// coarse scoring still uses the pool's GEMM); results are identical at
   /// every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
                                 size_t num_threads = 0) const override;
 
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
@@ -90,12 +91,13 @@ class IvfPqIndex : public Index {
   size_t size() const override { return index_->size(); }
   Metric metric() const override { return Metric::kSquaredL2; }
   IndexType type() const override { return IndexType::kIvfPq; }
+  MatrixView base_view() const override { return index_->base(); }
 
   /// k-NN search probing the `budget` (= nprobe) best lists. `num_threads`
   /// caps the per-query search sharding (0 = pool default, 1 = serial;
   /// coarse scoring still uses the pool's GEMM); results are identical at
   /// every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
                                 size_t num_threads = 0) const override;
 
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }

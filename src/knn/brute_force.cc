@@ -13,8 +13,8 @@ namespace usp {
 namespace {
 constexpr size_t kBaseBlock = 2048;  // base points per distance tile
 
-KnnResult KnnImpl(const Matrix& base, const Matrix& queries, size_t k,
-                  bool exclude_identity) {
+KnnResult KnnImpl(MatrixView base, MatrixView queries, size_t k,
+                  bool exclude_identity, size_t num_threads = 0) {
   USP_CHECK(base.cols() == queries.cols());
   USP_CHECK(k > 0 && k <= base.rows());
   const size_t nq = queries.rows(), nb = base.rows(), d = base.cols();
@@ -29,7 +29,7 @@ KnnResult KnnImpl(const Matrix& base, const Matrix& queries, size_t k,
   RowSquaredNorms(queries, &query_norms);
   const DistanceKernels& kd = GetDistanceKernels();
 
-  ParallelFor(nq, 8, [&](size_t q_begin, size_t q_end, size_t) {
+  ParallelFor(nq, 8, num_threads, [&](size_t q_begin, size_t q_end, size_t) {
     std::vector<TopK> heaps;
     heaps.reserve(q_end - q_begin);
     for (size_t q = q_begin; q < q_end; ++q) heaps.emplace_back(k);
@@ -63,8 +63,8 @@ KnnResult KnnImpl(const Matrix& base, const Matrix& queries, size_t k,
 
 // Generic-metric brute force: per query, score contiguous base blocks through
 // the DistanceComputer (already in minimized form) and keep the top k.
-KnnResult KnnImplMetric(const Matrix& base, const Matrix& queries, size_t k,
-                        Metric metric) {
+KnnResult KnnImplMetric(MatrixView base, MatrixView queries, size_t k,
+                        Metric metric, size_t num_threads) {
   USP_CHECK(base.cols() == queries.cols());
   USP_CHECK(k > 0 && k <= base.rows());
   const size_t nq = queries.rows(), nb = base.rows();
@@ -74,8 +74,8 @@ KnnResult KnnImplMetric(const Matrix& base, const Matrix& queries, size_t k,
   result.indices.resize(nq * k);
   result.distances.resize(nq * k);
 
-  const DistanceComputer dist(&base, metric);
-  ParallelFor(nq, 8, [&](size_t q_begin, size_t q_end, size_t) {
+  const DistanceComputer dist(base, metric);
+  ParallelFor(nq, 8, num_threads, [&](size_t q_begin, size_t q_end, size_t) {
     std::vector<float> scores(kBaseBlock);
     std::vector<float> scratch;
     for (size_t q = q_begin; q < q_end; ++q) {
@@ -100,16 +100,17 @@ KnnResult KnnImplMetric(const Matrix& base, const Matrix& queries, size_t k,
 }
 }  // namespace
 
-KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k) {
-  return KnnImpl(base, queries, k, /*exclude_identity=*/false);
+KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
+                        size_t num_threads) {
+  return KnnImpl(base, queries, k, /*exclude_identity=*/false, num_threads);
 }
 
-KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k,
-                        Metric metric) {
+KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
+                        Metric metric, size_t num_threads) {
   if (metric == Metric::kSquaredL2) {
-    return KnnImpl(base, queries, k, /*exclude_identity=*/false);
+    return KnnImpl(base, queries, k, /*exclude_identity=*/false, num_threads);
   }
-  return KnnImplMetric(base, queries, k, metric);
+  return KnnImplMetric(base, queries, k, metric, num_threads);
 }
 
 KnnResult BuildKnnMatrix(const Matrix& data, size_t k) {
@@ -146,10 +147,9 @@ KnnResult FilterKnnToSubset(const KnnResult& global,
   return out;
 }
 
-std::vector<uint32_t> RerankCandidates(const DistanceComputer& dist,
-                                       const float* query,
-                                       const std::vector<uint32_t>& candidates,
-                                       size_t k) {
+std::vector<Neighbor> RerankCandidatesScored(
+    const DistanceComputer& dist, const float* query,
+    const std::vector<uint32_t>& candidates, size_t k) {
   // Ensembles and multi-probe sweeps can feed overlapping candidate lists;
   // dedupe so duplicates never occupy several top-k slots.
   std::vector<uint32_t> ids(candidates);
@@ -163,17 +163,24 @@ std::vector<uint32_t> RerankCandidates(const DistanceComputer& dist,
 
   TopK heap(std::min(k, ids.size()));
   for (size_t i = 0; i < ids.size(); ++i) heap.Push(scores[i], ids[i]);
-  auto sorted = heap.TakeSorted();
+  return heap.TakeSorted();
+}
+
+std::vector<uint32_t> RerankCandidates(const DistanceComputer& dist,
+                                       const float* query,
+                                       const std::vector<uint32_t>& candidates,
+                                       size_t k) {
+  const auto sorted = RerankCandidatesScored(dist, query, candidates, k);
   std::vector<uint32_t> out;
   out.reserve(sorted.size());
   for (const auto& n : sorted) out.push_back(n.id);
   return out;
 }
 
-std::vector<uint32_t> RerankCandidates(const Matrix& base, const float* query,
+std::vector<uint32_t> RerankCandidates(MatrixView base, const float* query,
                                        const std::vector<uint32_t>& candidates,
                                        size_t k) {
-  return RerankCandidates(DistanceComputer(&base, Metric::kSquaredL2), query,
+  return RerankCandidates(DistanceComputer(base, Metric::kSquaredL2), query,
                           candidates, k);
 }
 

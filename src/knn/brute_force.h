@@ -9,6 +9,7 @@
 
 #include "dist/distance_computer.h"
 #include "dist/metric.h"
+#include "knn/top_k.h"
 #include "tensor/matrix.h"
 
 namespace usp {
@@ -27,32 +28,46 @@ struct KnnResult {
 
 /// Finds the exact k nearest base points (squared Euclidean) for every query.
 /// Blocked GEMM formulation: distances are computed tile-by-tile so memory
-/// stays bounded at O(block^2) regardless of dataset size.
-KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k);
+/// stays bounded at O(block^2) regardless of dataset size. Both operands are
+/// non-owning views (a Matrix converts implicitly), so the mutable write
+/// segment of the serving layer and mmap'd storage are scanned zero-copy.
+/// `num_threads` caps the per-query sharding (0 = pool default, 1 = serial;
+/// the row-norm precomputation uses the pool's data-parallel loop either
+/// way, matching the scoring-stage convention of the index types); results
+/// are identical at every setting.
+KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
+                        size_t num_threads = 0);
 
 /// Same, under an arbitrary metric. kSquaredL2 takes the blocked norm-trick
 /// path above; other metrics scan base blocks through the dispatched
 /// ScoreRange kernels.
-KnnResult BruteForceKnn(const Matrix& base, const Matrix& queries, size_t k,
-                        Metric metric);
+KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
+                        Metric metric, size_t num_threads = 0);
 
 /// k'-NN matrix of the dataset against itself with self-matches excluded
 /// (row i never contains i). This is Fig. 2 of the paper.
 KnnResult BuildKnnMatrix(const Matrix& data, size_t k);
 
 /// Re-ranks a candidate list by exact distance under `dist`'s metric and
-/// returns the top k candidate ids, ascending by distance. Duplicate ids in
-/// `candidates` (e.g. from overlapping ensemble probes) are deduplicated
-/// before scoring, so the result never repeats an id. Scoring goes through
-/// the batched gather-by-id kernels (prefetched). Used by every
-/// partition-based index for the final scan of the candidate set.
+/// returns the top k candidates as (distance, id) pairs, ascending by
+/// distance (ties by id). Duplicate ids in `candidates` (e.g. from
+/// overlapping ensemble probes) are deduplicated before scoring, so the
+/// result never repeats an id. Scoring goes through the batched gather-by-id
+/// kernels (prefetched). Used by every partition-based index for the final
+/// scan of the candidate set; the scores feed cross-segment merging in the
+/// serving layer.
+std::vector<Neighbor> RerankCandidatesScored(
+    const DistanceComputer& dist, const float* query,
+    const std::vector<uint32_t>& candidates, size_t k);
+
+/// Id-only convenience wrapper over RerankCandidatesScored.
 std::vector<uint32_t> RerankCandidates(const DistanceComputer& dist,
                                        const float* query,
                                        const std::vector<uint32_t>& candidates,
                                        size_t k);
 
 /// Squared-L2 convenience overload over a raw base matrix.
-std::vector<uint32_t> RerankCandidates(const Matrix& base, const float* query,
+std::vector<uint32_t> RerankCandidates(MatrixView base, const float* query,
                                        const std::vector<uint32_t>& candidates,
                                        size_t k);
 

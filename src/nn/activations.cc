@@ -2,15 +2,24 @@
 
 namespace usp {
 
-Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
+Matrix Relu::Forward(const Matrix& input, bool training) {
   Matrix out(input.rows(), input.cols());
-  mask_.assign(input.size(), 0);
   const float* src = input.data();
   float* dst = out.data();
-  for (size_t i = 0; i < input.size(); ++i) {
-    if (src[i] > 0.0f) {
-      dst[i] = src[i];
-      mask_[i] = 1;
+  if (training) {
+    mask_.assign(input.size(), 0);
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (src[i] > 0.0f) {
+        dst[i] = src[i];
+        mask_[i] = 1;
+      }
+    }
+  } else {
+    // Inference writes no member state: scorer layers are shared by
+    // concurrent searches (serve/dynamic_index.h), so the cache used by
+    // Backward must only be touched on training passes.
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (src[i] > 0.0f) dst[i] = src[i];
     }
   }
   return out;
@@ -32,8 +41,9 @@ Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
 }
 
 Matrix Dropout::Forward(const Matrix& input, bool training) {
-  last_was_training_ = training;
+  // Inference passes must not touch member state (see Relu::Forward).
   if (!training || rate_ == 0.0f) return input.Clone();
+  last_was_training_ = true;
   Matrix out(input.rows(), input.cols());
   mask_.assign(input.size(), 0);
   const float scale = 1.0f / (1.0f - rate_);

@@ -21,8 +21,12 @@ Matrix BatchNorm::Forward(const Matrix& input, bool training) {
   const size_t n = input.rows(), f = input.cols();
   USP_CHECK(f == gamma_.cols());
   Matrix out(n, f);
-  cached_normalized_ = Matrix(n, f);
-  cached_inv_std_.assign(f, 0.0f);
+  // The caches feed Backward; inference passes must not touch them (scorer
+  // layers are shared by concurrent searches, see serve/dynamic_index.h).
+  if (training) {
+    cached_normalized_ = Matrix(n, f);
+    cached_inv_std_.assign(f, 0.0f);
+  }
 
   if (training && n > 1) {
     for (size_t j = 0; j < f; ++j) {
@@ -50,10 +54,10 @@ Matrix BatchNorm::Forward(const Matrix& input, bool training) {
   } else {
     for (size_t j = 0; j < f; ++j) {
       const float inv_std = 1.0f / std::sqrt(running_var_(0, j) + epsilon_);
-      cached_inv_std_[j] = inv_std;
+      if (training) cached_inv_std_[j] = inv_std;
       for (size_t i = 0; i < n; ++i) {
         const float xn = (input(i, j) - running_mean_(0, j)) * inv_std;
-        cached_normalized_(i, j) = xn;
+        if (training) cached_normalized_(i, j) = xn;
         out(i, j) = gamma_(0, j) * xn + beta_(0, j);
       }
     }

@@ -25,6 +25,15 @@ class Layer {
   /// statistics vs. running statistics).
   virtual Matrix Forward(const Matrix& input, bool training) = 0;
 
+  /// View-input overload for the first layer of an inference pass: layers
+  /// that can consume external storage directly (Linear) override it; the
+  /// default stages the view into an owned batch. Lets scorer inference run
+  /// zero-copy from caller-owned or mmap'd query storage.
+  virtual Matrix Forward(MatrixView input, bool training) {
+    const Matrix staged = input.Clone();
+    return Forward(staged, training);
+  }
+
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput. Must be called after Forward on the same batch.
   virtual Matrix Backward(const Matrix& grad_output) = 0;

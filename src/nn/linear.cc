@@ -19,9 +19,15 @@ Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
   }
 }
 
-Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+Matrix Linear::Forward(const Matrix& input, bool training) {
+  return Forward(MatrixView(input), training);
+}
+
+Matrix Linear::Forward(MatrixView input, bool training) {
   USP_CHECK(input.cols() == weight_.rows());
-  cached_input_ = input.Clone();
+  // Backward needs the input; inference passes skip the copy entirely, which
+  // keeps scorer serving zero-copy end to end.
+  if (training) cached_input_ = input.Clone();
   Matrix out(input.rows(), weight_.cols());
   Gemm(input, weight_, &out);
   for (size_t i = 0; i < out.rows(); ++i) {

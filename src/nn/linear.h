@@ -17,6 +17,7 @@ class Linear : public Layer {
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
   Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Forward(MatrixView input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
   void CollectParameters(std::vector<Matrix*>* params,
                          std::vector<Matrix*>* grads) override;

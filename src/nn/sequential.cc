@@ -11,6 +11,15 @@ Matrix Sequential::Forward(const Matrix& input, bool training) {
   return current;
 }
 
+Matrix Sequential::Forward(MatrixView input, bool training) {
+  USP_CHECK(!layers_.empty());
+  Matrix current = layers_[0]->Forward(input, training);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    current = layers_[i]->Forward(current, training);
+  }
+  return current;
+}
+
 Matrix Sequential::Backward(const Matrix& grad_logits) {
   USP_CHECK(!layers_.empty());
   Matrix grad = layers_.back()->Backward(grad_logits);

@@ -24,6 +24,10 @@ class Sequential {
   /// Runs every layer in order; returns logits (batch x out_features).
   Matrix Forward(const Matrix& input, bool training);
 
+  /// View-input overload: the first layer consumes the view (zero-copy when
+  /// it supports views, staged otherwise); later layers pass owned batches.
+  Matrix Forward(MatrixView input, bool training);
+
   /// Backpropagates dLoss/dLogits through every layer (reverse order),
   /// accumulating parameter gradients. Returns dLoss/dInput.
   Matrix Backward(const Matrix& grad_logits);

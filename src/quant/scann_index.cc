@@ -61,7 +61,7 @@ std::vector<uint32_t> ScannIndex::Assignments() const {
   return assignments;
 }
 
-BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
+BatchSearchResult ScannIndex::SearchBatch(MatrixView queries, size_t k,
                                           size_t budget,
                                           size_t num_threads) const {
   const size_t num_probes = budget;
@@ -69,8 +69,7 @@ BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
   const size_t m_sub = quantizer_.num_subspaces();
   BatchSearchResult result;
   result.k = k;
-  result.ids.assign(nq * k, std::numeric_limits<uint32_t>::max());
-  result.candidate_counts.assign(nq, 0);
+  result.AllocatePadded(nq);
 
   Matrix scores;
   if (partitioner_ != nullptr) {
@@ -116,8 +115,7 @@ BatchSearchResult ScannIndex::SearchBatch(const Matrix& queries, size_t k,
 
       // Stage 3: exact re-rank of the shortlist through the batched
       // gather-by-id kernels.
-      const auto top = RerankCandidates(dist_, query, shortlist, k);
-      std::copy(top.begin(), top.end(), result.ids.begin() + q * k);
+      result.SetRow(q, RerankCandidatesScored(dist_, query, shortlist, k));
     }
   });
   return result;

@@ -43,13 +43,14 @@ class ScannIndex : public Index {
   /// per-query search sharding (0 = thread-pool default, 1 = serial;
   /// partition scoring still uses the pool's GEMM); results are identical at
   /// every setting.
-  BatchSearchResult SearchBatch(const Matrix& queries, size_t k, size_t budget,
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
                                 size_t num_threads = 0) const override;
 
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return base_.rows(); }
   Metric metric() const override { return Metric::kSquaredL2; }
   IndexType type() const override { return IndexType::kScann; }
+  MatrixView base_view() const override { return base_; }
 
   const ProductQuantizer& quantizer() const { return quantizer_; }
   bool has_partition() const { return partitioner_ != nullptr; }

@@ -15,7 +15,7 @@ namespace {
 constexpr size_t kRowGrain = 16;  // min rows per parallel chunk
 }  // namespace
 
-void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+void Gemm(MatrixView a, const Matrix& b, Matrix* c) {
   USP_CHECK(a.cols() == b.rows());
   USP_CHECK(c->rows() == a.rows() && c->cols() == b.cols());
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
@@ -30,7 +30,7 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
   });
 }
 
-void GemmTransposedB(const Matrix& a, const Matrix& b, Matrix* c) {
+void GemmTransposedB(MatrixView a, const Matrix& b, Matrix* c) {
   USP_CHECK(a.cols() == b.cols());
   USP_CHECK(c->rows() == a.rows() && c->cols() == b.rows());
   const size_t n = a.rows(), k = a.cols(), m = b.rows();
@@ -58,7 +58,7 @@ void GemmTransposedA(const Matrix& a, const Matrix& b, Matrix* c) {
   });
 }
 
-void RowSquaredNorms(const Matrix& m, std::vector<float>* out) {
+void RowSquaredNorms(MatrixView m, std::vector<float>* out) {
   out->resize(m.rows());
   const DistanceKernels& kd = GetDistanceKernels();
   ParallelFor(m.rows(), 64, [&](size_t begin, size_t end, size_t) {
@@ -83,7 +83,7 @@ void NormalizeRows(Matrix* m) {
   });
 }
 
-void PairwiseSquaredDistances(const Matrix& a, const Matrix& b, Matrix* dist) {
+void PairwiseSquaredDistances(MatrixView a, const Matrix& b, Matrix* dist) {
   USP_CHECK(a.cols() == b.cols());
   USP_CHECK(dist->rows() == a.rows() && dist->cols() == b.rows());
   std::vector<float> a_norms, b_norms;

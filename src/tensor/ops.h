@@ -11,20 +11,22 @@
 namespace usp {
 
 /// C = A * B. A is (n x k), B is (k x m), C is (n x m). Parallel over rows,
-/// blocked over k for cache friendliness.
-void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
+/// blocked over k for cache friendliness. The A operand is a view so query
+/// batches (including zero-copy single-query wraps and mmap'd storage) feed
+/// the scoring paths without staging through an owned Matrix.
+void Gemm(MatrixView a, const Matrix& b, Matrix* c);
 
 /// C = A * B^T. A is (n x k), B is (m x k), C is (n x m). This layout (both
 /// operands row-major over the shared dimension) is the fast path for distance
 /// computations and linear layers.
-void GemmTransposedB(const Matrix& a, const Matrix& b, Matrix* c);
+void GemmTransposedB(MatrixView a, const Matrix& b, Matrix* c);
 
 /// C = A^T * B. A is (k x n), B is (k x m), C is (n x m). Used by backprop for
 /// weight gradients.
 void GemmTransposedA(const Matrix& a, const Matrix& b, Matrix* c);
 
 /// out[i] = ||row i||^2.
-void RowSquaredNorms(const Matrix& m, std::vector<float>* out);
+void RowSquaredNorms(MatrixView m, std::vector<float>* out);
 
 /// Scales every row to unit L2 norm in place (zero rows stay zero). Used for
 /// cosine-metric preprocessing and spectral embeddings.
@@ -32,7 +34,7 @@ void NormalizeRows(Matrix* m);
 
 /// dist(i, j) = ||a_i - b_j||^2, computed as |a|^2 + |b|^2 - 2 a.b via GEMM.
 /// Clamped at 0 to guard against floating-point cancellation.
-void PairwiseSquaredDistances(const Matrix& a, const Matrix& b, Matrix* dist);
+void PairwiseSquaredDistances(MatrixView a, const Matrix& b, Matrix* dist);
 
 /// Exact squared Euclidean distance between two d-vectors. Thin wrapper over
 /// the dispatched kernel set (src/dist/); hot loops should hoist

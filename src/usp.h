@@ -14,6 +14,9 @@
 #include "index/index.h"
 #include "index/serialize.h"
 
+// Mutable serving layer (LSM-style segments, tombstone deletes, compaction).
+#include "serve/dynamic_index.h"
+
 // Core contribution (EDBT 2023 paper).
 #include "core/bin_scorer.h"
 #include "core/ensemble.h"

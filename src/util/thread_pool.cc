@@ -38,6 +38,7 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -85,13 +86,47 @@ void ParallelFor(size_t count, size_t grain, size_t num_threads,
   }
   const size_t chunks = std::min(workers, (count + grain - 1) / grain);
   const size_t chunk_size = (count + chunks - 1) / chunks;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t begin = c * chunk_size;
-    const size_t end = std::min(count, begin + chunk_size);
-    if (begin >= end) break;
-    pool.Submit([&body, begin, end, c] { body(begin, end, c); });
+  const size_t real_chunks = (count + chunk_size - 1) / chunk_size;
+  if (real_chunks <= 1) {
+    body(0, count, 0);
+    return;
   }
-  pool.Wait();
+
+  // Work-claiming execution with per-call completion. Chunk boundaries are
+  // fixed up front (so results stay bit-identical regardless of which thread
+  // claims which chunk); the calling thread claims chunks alongside the
+  // workers instead of blocking, which makes this safe to reach from a task
+  // already running on the pool — e.g. a background Seal/Compact of the
+  // serving layer whose training fans out — even on a one-worker pool. The
+  // caller only ever executes its *own* chunks (never arbitrary queued
+  // tasks), so a caller holding a lock cannot be re-entered by unrelated
+  // work that takes the same lock.
+  struct Call {
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t finished = 0;
+  };
+  auto call = std::make_shared<Call>();
+  auto run_chunks = [call, &body, chunk_size, count, real_chunks] {
+    for (;;) {
+      const size_t c =
+          call->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= real_chunks) return;
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(count, begin + chunk_size);
+      body(begin, end, c);
+      std::unique_lock<std::mutex> lock(call->mutex);
+      if (++call->finished == real_chunks) call->done.notify_all();
+    }
+  };
+  // The task lambdas capture `call` by shared_ptr and `body` by reference;
+  // they touch `body` only while holding an unclaimed chunk, which implies
+  // the caller is still inside the final wait below.
+  for (size_t c = 0; c + 1 < real_chunks; ++c) pool.Submit(run_chunks);
+  run_chunks();
+  std::unique_lock<std::mutex> lock(call->mutex);
+  call->done.wait(lock, [&] { return call->finished == real_chunks; });
 }
 
 }  // namespace usp

@@ -50,7 +50,13 @@ class ThreadPool {
 /// Splits [0, count) into contiguous chunks and runs
 /// `body(begin, end, worker_index)` across the global pool. Runs inline when
 /// `count` is small or the pool has one thread, so it is safe to call from
-/// anywhere (but not recursively from within another ParallelFor body).
+/// anywhere. Chunk boundaries are fixed up front and execution is
+/// work-claiming: the calling thread executes chunks of its own call
+/// alongside the workers (never unrelated queued tasks) and completion is
+/// tracked per call, so concurrent ParallelFor calls — including from tasks
+/// already running on the pool, such as the serving layer's background
+/// seal/compaction — make progress independently and cannot deadlock.
+/// Direct recursion from within a ParallelFor body is still unsupported.
 void ParallelFor(size_t count, size_t grain,
                  const std::function<void(size_t, size_t, size_t)>& body);
 

@@ -1,0 +1,154 @@
+// Pins the BatchSearchResult padding contract (index/index.h): when a query
+// yields fewer than k neighbors (here k > size()), every Index
+// implementation pads the same way — real neighbors first, ascending by
+// distance with finite reported distances, then an uninterrupted run of
+// kInvalidId slots with +inf distances.
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kmeans.h"
+#include "core/ensemble.h"
+#include "core/partition_index.h"
+#include "dataset/workload.h"
+#include "hnsw/hnsw.h"
+#include "ivf/ivf.h"
+#include "quant/pq.h"
+#include "quant/scann_index.h"
+#include "serve/dynamic_index.h"
+
+namespace usp {
+namespace {
+
+const Workload& TinyWorkload() {
+  static const Workload* w = [] {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kGaussian;
+    spec.num_base = 6;
+    spec.num_queries = 4;
+    spec.gt_k = 3;
+    spec.knn_k = 3;
+    spec.seed = 5;
+    return new Workload(MakeWorkload(spec));
+  }();
+  return *w;
+}
+
+/// Asserts the shared contract on one result: every row holds exactly
+/// `expected_hits` real neighbors (valid unique ids, finite ascending
+/// distances) followed by kInvalidId / +inf padding.
+void ExpectPaddedRows(const BatchSearchResult& result, size_t num_queries,
+                      size_t num_points, size_t expected_hits,
+                      const char* label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(result.ids.size(), num_queries * result.k);
+  ASSERT_EQ(result.distances.size(), result.ids.size());
+  for (size_t q = 0; q < num_queries; ++q) {
+    const uint32_t* ids = result.Row(q);
+    const float* dists = result.DistanceRow(q);
+    std::unordered_set<uint32_t> seen;
+    for (size_t j = 0; j < result.k; ++j) {
+      if (j < expected_hits) {
+        ASSERT_NE(ids[j], kInvalidId) << "q=" << q << " j=" << j;
+        EXPECT_LT(ids[j], num_points);
+        EXPECT_TRUE(seen.insert(ids[j]).second) << "duplicate id";
+        EXPECT_TRUE(std::isfinite(dists[j]));
+        if (j > 0) {
+          EXPECT_GE(dists[j], dists[j - 1]);
+        }
+      } else {
+        EXPECT_EQ(ids[j], kInvalidId) << "q=" << q << " j=" << j;
+        EXPECT_EQ(dists[j], std::numeric_limits<float>::infinity());
+      }
+    }
+  }
+}
+
+TEST(IndexPaddingTest, AllIndexTypesPadConsistently) {
+  const Workload& w = TinyWorkload();
+  const size_t n = w.base.rows();
+  const size_t nq = w.queries.rows();
+  const size_t k = n + 4;  // k > size(): every row must be padded
+
+  // Exhaustive settings, so every implementation returns all n points.
+  {
+    KMeansConfig kc;
+    kc.num_clusters = 2;
+    KMeansPartitioner scorer(w.base, kc);
+    PartitionIndex index(&w.base, &scorer);
+    ExpectPaddedRows(index.SearchBatch(w.queries, k, 2), nq, n, n,
+                     "partition");
+  }
+  {
+    IvfConfig config;
+    config.nlist = 2;
+    IvfFlatIndex index(&w.base, config);
+    ExpectPaddedRows(index.SearchBatch(w.queries, k, 2), nq, n, n,
+                     "ivf_flat");
+  }
+  {
+    IvfConfig config;
+    config.nlist = 2;
+    config.pq.num_subspaces = 2;
+    config.pq.codebook_size = 4;
+    config.rerank_budget = 2 * n;
+    IvfPqIndex index(&w.base, config);
+    ExpectPaddedRows(index.SearchBatch(w.queries, k, 2), nq, n, n, "ivf_pq");
+  }
+  {
+    PqConfig pq_config;
+    pq_config.num_subspaces = 2;
+    pq_config.codebook_size = 4;
+    ProductQuantizer pq(pq_config);
+    pq.Train(w.base);
+    ScannIndexConfig sc;
+    sc.rerank_budget = 2 * n;
+    ScannIndex index(&w.base, /*partitioner=*/nullptr, std::move(pq), sc);
+    ExpectPaddedRows(index.SearchBatch(w.queries, k, 1), nq, n, n, "scann");
+  }
+  {
+    HnswConfig config;
+    HnswIndex index(config);
+    index.Build(w.base);
+    ExpectPaddedRows(index.SearchBatch(w.queries, k, 4 * n), nq, n, n,
+                     "hnsw");
+  }
+  {
+    UspEnsembleConfig config;
+    config.num_models = 1;
+    config.model.num_bins = 2;
+    config.model.epochs = 2;
+    config.model.hidden_dim = 8;
+    config.model.batch_size = 4;
+    UspEnsemble ensemble(config);
+    ensemble.Train(w.base, w.knn_matrix);
+    ExpectPaddedRows(ensemble.SearchBatch(w.queries, k, 2), nq, n, n,
+                     "usp_ensemble");
+  }
+  {
+    DynamicIndex index(w.base.cols());
+    index.AddBatch(w.base);
+    ExpectPaddedRows(index.SearchBatch(w.queries, k, 1), nq, n, n,
+                     "dynamic");
+  }
+}
+
+// The single-query path stops at the first padding slot.
+TEST(IndexPaddingTest, SearchTruncatesAtPadding) {
+  const Workload& w = TinyWorkload();
+  const size_t n = w.base.rows();
+  IvfConfig config;
+  config.nlist = 2;
+  IvfFlatIndex index(&w.base, config);
+  const std::vector<uint32_t> ids =
+      index.Search(w.queries.Row(0), n + 4, /*budget=*/2);
+  EXPECT_EQ(ids.size(), n);
+  for (uint32_t id : ids) EXPECT_LT(id, n);
+}
+
+}  // namespace
+}  // namespace usp

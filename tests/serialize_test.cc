@@ -379,7 +379,7 @@ TEST(IndexContainerTest, EnsembleRoundTrips) {
 }
 
 TEST(IndexContainerTest, RegistryCoversEveryType) {
-  EXPECT_EQ(IndexLoaderRegistry().size(), 6u);
+  EXPECT_EQ(IndexLoaderRegistry().size(), 7u);
   for (const IndexLoaderEntry& entry : IndexLoaderRegistry()) {
     EXPECT_EQ(FindIndexLoader(static_cast<uint32_t>(entry.type)), &entry);
     EXPECT_STREQ(IndexTypeName(entry.type), entry.name);
@@ -394,7 +394,7 @@ TEST(IndexContainerTest, SaveRejectsUnserializableScorer) {
   class OddEvenScorer : public BinScorer {
    public:
     size_t num_bins() const override { return 2; }
-    Matrix ScoreBins(const Matrix& points) const override {
+    Matrix ScoreBins(MatrixView points) const override {
       Matrix scores(points.rows(), 2);
       for (size_t i = 0; i < points.rows(); ++i) {
         scores(i, i % 2) = 1.0f;
