@@ -37,8 +37,13 @@ void Run() {
     UspPartitioner partitioner(config);
     partitioner.Train(w.base, w.knn_matrix);
     PartitionIndex index(&w.base, &partitioner);
-    const auto at1 = index.SearchBatch(w.queries, 10, 1);
-    const auto at2 = index.SearchBatch(w.queries, 10, 2);
+    SearchRequest request;
+    request.queries = w.queries;
+    request.options.k = 10;
+    request.options.budget = 1;
+    const auto at1 = index.SearchBatch(request);
+    request.options.budget = 2;
+    const auto at2 = index.SearchBatch(request);
     std::printf("  %9.1f%% %12zu %14.2f %12.4f %12.4f\n", 100 * fraction,
                 config.batch_size,
                 BalanceRatio(index.assignments(), kBins),
@@ -59,7 +64,11 @@ void Run() {
     UspPartitioner partitioner(config);
     partitioner.Train(w.base, w.knn_matrix);
     PartitionIndex index(&w.base, &partitioner);
-    const auto result = index.SearchBatch(w.queries, 10, 1);
+    SearchRequest request;
+    request.queries = w.queries;
+    request.options.k = 10;
+    request.options.budget = 1;
+    const auto result = index.SearchBatch(request);
     std::printf("  %10s %14.2f %12.4f\n", soft ? "soft" : "hard",
                 BalanceRatio(index.assignments(), kBins),
                 KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k));

@@ -53,7 +53,11 @@ void Run() {
                                             w.base.rows(), w.knn_matrix.k);
 
     PartitionIndex index(&w.base, &partitioner, bins);
-    const auto result = index.SearchBatch(w.queries, 10, 1);
+    SearchRequest request;
+    request.queries = w.queries;
+    request.options.k = 10;
+    request.options.budget = 1;
+    const auto result = index.SearchBatch(request);
     std::printf("  %8.1f %14.2f %14zu %16.3f %12.4f %12.1f\n", eta,
                 BalanceRatio(bins, kBins), largest, quality,
                 KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),

@@ -34,6 +34,14 @@ namespace {
 constexpr size_t kTopK = 10;
 constexpr size_t kFullBudget = 1u << 20;  // probe every list in each segment
 
+SearchRequest FullBudgetRequest(const Matrix& queries) {
+  SearchRequest request;
+  request.queries = queries;
+  request.options.k = kTopK;
+  request.options.budget = kFullBudget;
+  return request;
+}
+
 double BestOfReps(size_t reps, const std::function<void()>& fn) {
   double best = 1e100;
   for (size_t r = 0; r < reps; ++r) {
@@ -108,7 +116,7 @@ int Run(const char* out_path) {
     }
     const double seconds = BestOfReps(reps, [&] {
       const BatchSearchResult result =
-          index.SearchBatch(queries, kTopK, kFullBudget);
+          index.SearchBatch(FullBudgetRequest(queries));
       (void)result;
     });
     FillPoint point;
@@ -144,7 +152,7 @@ int Run(const char* out_path) {
   const size_t segments_before = index.num_sealed_segments();
   BatchSearchResult before_result;
   const double before_seconds = BestOfReps(reps, [&] {
-    before_result = index.SearchBatch(queries, kTopK, kFullBudget);
+    before_result = index.SearchBatch(FullBudgetRequest(queries));
   });
   const double recall_before = LiveRecall(before_result, truth, deleted);
 
@@ -152,7 +160,7 @@ int Run(const char* out_path) {
   const size_t segments_after = index.num_sealed_segments();
   BatchSearchResult after_result;
   const double after_seconds = BestOfReps(reps, [&] {
-    after_result = index.SearchBatch(queries, kTopK, kFullBudget);
+    after_result = index.SearchBatch(FullBudgetRequest(queries));
   });
   const double recall_after = LiveRecall(after_result, truth, deleted);
   std::printf(

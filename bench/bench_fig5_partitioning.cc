@@ -49,7 +49,10 @@ void SixteenBins(const Workload& w, float eta) {
     PartitionIndex single(&w.base, &ensemble.model(0));
     const Matrix scores = single.ScoreQueries(w.queries);
     auto search = [&](size_t probes) {
-      return single.SearchBatchWithScores(w.queries, scores, 10, probes);
+      SearchOptions options;
+      options.k = 10;
+      options.budget = probes;
+      return single.SearchBatchWithScores(w.queries, scores, options);
     };
     PrintCurve("fig5/16bins", w, "USP (ours, e=1)",
                ProbeSweep(search, DefaultProbeCounts(kBins),
@@ -57,7 +60,11 @@ void SixteenBins(const Workload& w, float eta) {
   }
   {
     auto search = [&](size_t probes) {
-      return ensemble.SearchBatch(w.queries, 10, probes);
+      SearchRequest request;
+      request.queries = w.queries;
+      request.options.k = 10;
+      request.options.budget = probes;
+      return ensemble.SearchBatch(request);
     };
     PrintCurve("fig5/16bins", w, "USP (ours, e=3)",
                ProbeSweep(search, DefaultProbeCounts(kBins),

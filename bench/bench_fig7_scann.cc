@@ -60,6 +60,15 @@ std::vector<OperatingPoint> MeasureSweep(
   return points;
 }
 
+// 10-NN request at one effort knob (probes / ef / nprobe).
+SearchRequest KnobRequest(const Workload& w, size_t knob) {
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = 10;
+  request.options.budget = knob;
+  return request;
+}
+
 ProductQuantizer TrainPq(const Workload& w, float anisotropic_eta) {
   PqConfig config;
   config.num_subspaces = w.base.cols() >= 256 ? 16 : 8;
@@ -93,7 +102,7 @@ void RunDataset(const Workload& w, float usp_eta) {
     ScannIndex index(&w.base, &usp, TrainPq(w, 4.0f), scann_config);
     PrintThroughput(w, "USP + ScaNN (ours)",
                     MeasureSweep(w, probe_knobs, [&](size_t probes) {
-                      return index.SearchBatch(w.queries, 10, probes);
+                      return index.SearchBatch(KnobRequest(w, probes));
                     }));
   }
 
@@ -106,7 +115,7 @@ void RunDataset(const Workload& w, float usp_eta) {
     ScannIndex index(&w.base, &kmeans, TrainPq(w, 4.0f), scann_config);
     PrintThroughput(w, "K-means + ScaNN",
                     MeasureSweep(w, probe_knobs, [&](size_t probes) {
-                      return index.SearchBatch(w.queries, 10, probes);
+                      return index.SearchBatch(KnobRequest(w, probes));
                     }));
   }
 
@@ -115,7 +124,7 @@ void RunDataset(const Workload& w, float usp_eta) {
     ScannIndex index(&w.base, nullptr, TrainPq(w, 4.0f), scann_config);
     PrintThroughput(w, "ScaNN (no partition)",
                     MeasureSweep(w, {1}, [&](size_t) {
-                      return index.SearchBatch(w.queries, 10, 0);
+                      return index.SearchBatch(KnobRequest(w, 0));
                     }));
   }
 
@@ -130,7 +139,7 @@ void RunDataset(const Workload& w, float usp_eta) {
   std::printf("  [HNSW built in %.1fs]\n", timer.ElapsedSeconds());
   PrintThroughput(w, "HNSW",
                   MeasureSweep(w, {10, 20, 40, 80, 160}, [&](size_t ef) {
-                    return hnsw.SearchBatch(w.queries, 10, ef);
+                    return hnsw.SearchBatch(KnobRequest(w, ef));
                   }));
 
   // --- FAISS-style IVF-Flat ---
@@ -140,7 +149,7 @@ void RunDataset(const Workload& w, float usp_eta) {
   IvfFlatIndex ivf(&w.base, ivf_config);
   PrintThroughput(w, "FAISS IVF-Flat",
                   MeasureSweep(w, probe_knobs, [&](size_t nprobe) {
-                    return ivf.SearchBatch(w.queries, 10, nprobe);
+                    return ivf.SearchBatch(KnobRequest(w, nprobe));
                   }));
 }
 

@@ -1,0 +1,288 @@
+// Predicate-filtered search benchmark: QPS and recall vs selectivity for
+// every index type, selector pushdown (SearchOptions::filter) against the
+// naive post-filter baseline (over-fetch unfiltered, drop disallowed,
+// truncate to k). Written machine-readable to BENCH_filtered.json (override
+// the path with argv[1]; conventions in docs/BENCHMARKS.md).
+//
+// Expected shape: pushdown recall stays ~1.0 at every selectivity (ground
+// truth is brute force over the allowed subset, which pushdown matches by
+// construction at full budget and closely tracks at working budgets), while
+// the post-filter baseline collapses at low selectivity — its over-fetch
+// window runs out of allowed ids — and pays the over-fetch in QPS.
+//
+// Scale knobs: USP_BENCH_FILTERED_N (default 4000), USP_BENCH_FILTERED_QUERIES
+// (200), USP_BENCH_FILTERED_REPS (2), USP_BENCH_EPOCHS (USP ensemble).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/kmeans.h"
+#include "bench/common.h"
+#include "core/ensemble.h"
+#include "hnsw/hnsw.h"
+#include "ivf/ivf.h"
+#include "knn/brute_force.h"
+#include "quant/pq.h"
+#include "quant/scann_index.h"
+#include "serve/dynamic_index.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace usp::bench {
+namespace {
+
+constexpr size_t kTopK = 10;
+
+struct MeasuredMode {
+  double qps = 0.0;
+  double recall = 0.0;
+  double mean_candidates = 0.0;
+};
+
+struct Row {
+  std::string index;
+  double selectivity;
+  MeasuredMode filtered;    // selector pushdown
+  MeasuredMode postfilter;  // over-fetch + drop + truncate
+};
+
+/// One benched index: the engine plus its working-point budget (probes /
+/// ef_search / forwarded segment budget).
+struct Entry {
+  std::string name;
+  const Index* index;
+  size_t budget;
+};
+
+double BestSeconds(size_t reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// recall@k against the filtered ground truth (padding-aware on both sides).
+double FilteredRecall(const std::vector<std::vector<uint32_t>>& got,
+                      const KnnResult& truth) {
+  size_t hits = 0, want = 0;
+  for (size_t q = 0; q < got.size(); ++q) {
+    std::unordered_set<uint32_t> expected;
+    for (size_t j = 0; j < truth.k; ++j) {
+      const uint32_t id = truth.Row(q)[j];
+      if (id != kInvalidId) expected.insert(id);
+    }
+    want += expected.size();
+    for (uint32_t id : got[q]) {
+      if (expected.count(id) > 0) ++hits;
+    }
+  }
+  return want == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(want);
+}
+
+Row Measure(const Entry& entry, const Workload& w, double selectivity,
+            const IdSelectorBitmap& filter, const KnnResult& truth,
+            size_t reps) {
+  Row row;
+  row.index = entry.name;
+  row.selectivity = selectivity;
+  const size_t nq = w.queries.rows();
+
+  // Mode 1: selector pushdown through the index.
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = kTopK;
+  request.options.budget = entry.budget;
+  request.options.filter = &filter;
+  BatchSearchResult pushed;
+  row.filtered.qps = static_cast<double>(nq) / BestSeconds(reps, [&] {
+    pushed = entry.index->SearchBatch(request);
+  });
+  {
+    std::vector<std::vector<uint32_t>> got(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      for (size_t j = 0; j < pushed.k; ++j) {
+        const uint32_t id = pushed.Row(q)[j];
+        if (id != kInvalidId) got[q].push_back(id);
+      }
+    }
+    row.filtered.recall = FilteredRecall(got, truth);
+    row.filtered.mean_candidates = pushed.MeanCandidates();
+  }
+
+  // Mode 2: post-filter baseline — unfiltered search with a 10x over-fetch
+  // (capped at the corpus), then drop disallowed ids and truncate to k. The
+  // drop/truncate pass is part of what this strategy costs per query, so it
+  // runs inside the timed region.
+  SearchRequest naive;
+  naive.queries = w.queries;
+  naive.options.k = std::min(w.base.rows(), kTopK * 10);
+  naive.options.budget = entry.budget;
+  BatchSearchResult unf;
+  std::vector<std::vector<uint32_t>> post_got(nq);
+  row.postfilter.qps = static_cast<double>(nq) / BestSeconds(reps, [&] {
+    unf = entry.index->SearchBatch(naive);
+    for (size_t q = 0; q < nq; ++q) {
+      post_got[q].clear();
+      for (size_t j = 0; j < unf.k && post_got[q].size() < kTopK; ++j) {
+        const uint32_t id = unf.Row(q)[j];
+        if (id != kInvalidId && filter.is_member(id)) post_got[q].push_back(id);
+      }
+    }
+  });
+  row.postfilter.recall = FilteredRecall(post_got, truth);
+  row.postfilter.mean_candidates = unf.MeanCandidates();
+  return row;
+}
+
+int Run(const char* out_path) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kSiftLike;
+  spec.num_base = static_cast<size_t>(EnvInt("USP_BENCH_FILTERED_N", 4000));
+  spec.num_queries =
+      static_cast<size_t>(EnvInt("USP_BENCH_FILTERED_QUERIES", 200));
+  spec.gt_k = kTopK;
+  spec.knn_k = 10;
+  spec.seed = 57;
+  const size_t reps =
+      static_cast<size_t>(EnvInt("USP_BENCH_FILTERED_REPS", 2));
+  std::printf("building workload (n=%zu, d=128)...\n", spec.num_base);
+  const Workload w = MakeWorkload(spec);
+  const size_t n = w.base.rows();
+
+  // --- Build all seven index types over the shared corpus ----------------
+  constexpr size_t kBins = 32;
+  WallTimer timer;
+
+  KMeansConfig km_config;
+  km_config.num_clusters = kBins;
+  km_config.seed = 3;
+  KMeansPartitioner kmeans(w.base, km_config);
+  PartitionIndex partition(&w.base, &kmeans);
+
+  IvfConfig flat_config;
+  flat_config.nlist = kBins;
+  flat_config.seed = 4;
+  IvfFlatIndex ivf_flat(&w.base, flat_config);
+
+  IvfConfig pq_config;
+  pq_config.nlist = kBins;
+  pq_config.seed = 5;
+  pq_config.pq.num_subspaces = 8;
+  pq_config.pq.codebook_size = 16;
+  pq_config.rerank_budget = 200;
+  IvfPqIndex ivf_pq(&w.base, pq_config);
+
+  PqConfig scann_pq;
+  scann_pq.num_subspaces = 8;
+  scann_pq.codebook_size = 16;
+  scann_pq.anisotropic_eta = 4.0f;
+  scann_pq.seed = 6;
+  ProductQuantizer quantizer(scann_pq);
+  quantizer.Train(w.base);
+  ScannIndexConfig scann_config;
+  scann_config.rerank_budget = 200;
+  ScannIndex scann(&w.base, &kmeans, std::move(quantizer), scann_config);
+
+  HnswConfig hnsw_config;
+  hnsw_config.max_neighbors = 16;
+  hnsw_config.ef_construction = 100;
+  hnsw_config.seed = 7;
+  HnswIndex hnsw(hnsw_config);
+  hnsw.Build(w.base);
+
+  UspEnsembleConfig ens_config;
+  ens_config.model.num_bins = 16;
+  ens_config.model.eta = 7.0f;
+  ens_config.model.epochs =
+      static_cast<size_t>(EnvInt("USP_BENCH_EPOCHS", 8));
+  ens_config.model.batch_size = 512;
+  ens_config.model.hidden_dim = 64;
+  ens_config.model.seed = 8;
+  ens_config.num_models = 2;
+  UspEnsemble ensemble(ens_config);
+  ensemble.Train(w.base, w.knn_matrix);
+
+  DynamicIndex dynamic(w.base.cols());
+  dynamic.AddBatch(w.base);  // global ids == base row ids
+  dynamic.Seal();
+  std::printf("  [built all 7 index types in %.1fs]\n", timer.ElapsedSeconds());
+
+  const std::vector<Entry> entries = {
+      {"partition", &partition, 6},
+      {"ivf_flat", &ivf_flat, 6},
+      {"ivf_pq", &ivf_pq, 6},
+      {"scann", &scann, 6},
+      {"hnsw", &hnsw, 120},
+      {"usp_ensemble", &ensemble, 3},
+      {"dynamic", &dynamic, 16},
+  };
+
+  // --- Selectivity sweep --------------------------------------------------
+  std::vector<Row> rows;
+  for (const double selectivity : {0.01, 0.1, 0.5, 0.9}) {
+    Rng rng(900 + static_cast<uint64_t>(selectivity * 100));
+    IdSelectorBitmap filter(n);
+    for (uint32_t id = 0; id < n; ++id) {
+      if (rng.Uniform() < selectivity) filter.Set(id);
+    }
+    if (filter.count() == 0) filter.Set(0);
+    const KnnResult truth =
+        BruteForceKnn(w.base, w.queries, kTopK, Metric::kSquaredL2, &filter);
+
+    std::printf("\nselectivity %.0f%% (%zu of %zu ids allowed)\n",
+                100 * selectivity, filter.count(), n);
+    std::printf("  %-14s %14s %10s  | %14s %10s\n", "index",
+                "pushdown-qps", "recall", "postfilter-qps", "recall");
+    for (const Entry& entry : entries) {
+      const Row row = Measure(entry, w, selectivity, filter, truth, reps);
+      std::printf("  %-14s %14.1f %10.4f  | %14.1f %10.4f\n",
+                  row.index.c_str(), row.filtered.qps, row.filtered.recall,
+                  row.postfilter.qps, row.postfilter.recall);
+      rows.push_back(row);
+    }
+  }
+
+  // --- JSON ---------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"config\": {\"points\": %zu, \"queries\": %zu, "
+               "\"k\": %zu, \"overfetch\": %zu},\n  \"results\": [\n",
+               n, w.queries.rows(), kTopK, kTopK * 10);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"index\": \"%s\", \"selectivity\": %.2f, "
+        "\"filtered_qps\": %.1f, \"filtered_recall\": %.4f, "
+        "\"filtered_mean_candidates\": %.1f, "
+        "\"postfilter_qps\": %.1f, \"postfilter_recall\": %.4f, "
+        "\"postfilter_mean_candidates\": %.1f}%s\n",
+        r.index.c_str(), r.selectivity, r.filtered.qps, r.filtered.recall,
+        r.filtered.mean_candidates, r.postfilter.qps, r.postfilter.recall,
+        r.postfilter.mean_candidates, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace usp::bench
+
+int main(int argc, char** argv) {
+  return usp::bench::Run(argc > 1 ? argv[1] : "BENCH_filtered.json");
+}

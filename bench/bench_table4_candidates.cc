@@ -31,7 +31,13 @@ void Run() {
   UspEnsemble ensemble(usp_config);
   ensemble.Train(w.base, w.knn_matrix);
   const auto usp_curve = ProbeSweep(
-      [&](size_t probes) { return ensemble.SearchBatch(w.queries, 10, probes); },
+      [&](size_t probes) {
+        SearchRequest request;
+        request.queries = w.queries;
+        request.options.k = 10;
+        request.options.budget = probes;
+        return ensemble.SearchBatch(request);
+      },
       DefaultProbeCounts(kBins), w.ground_truth.indices, w.ground_truth.k);
   const double usp_c = CandidatesAtAccuracy(usp_curve, kTargetAccuracy);
 

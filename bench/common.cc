@@ -68,7 +68,10 @@ std::vector<SweepPoint> SweepScorer(const Workload& w, const BinScorer& scorer,
   PartitionIndex index(&w.base, &scorer);
   const Matrix scores = index.ScoreQueries(w.queries);
   auto search = [&](size_t probes) {
-    return index.SearchBatchWithScores(w.queries, scores, 10, probes);
+    SearchOptions options;
+    options.k = 10;
+    options.budget = probes;
+    return index.SearchBatchWithScores(w.queries, scores, options);
   };
   return ProbeSweep(search, DefaultProbeCounts(max_probes),
                     w.ground_truth.indices, w.ground_truth.k);

@@ -45,7 +45,11 @@ int main() {
     WallTimer timer;
     ensemble.Train(w.base, w.knn_matrix);
     const double train_seconds = timer.ElapsedSeconds();
-    const auto result = ensemble.SearchBatch(w.queries, 10, 1);
+    SearchRequest request;
+    request.queries = w.queries;
+    request.options.k = 10;
+    request.options.budget = 1;
+    const auto result = ensemble.SearchBatch(request);
     std::printf("  %4zu %12.1f %12.4f %12.1f\n", e, train_seconds,
                 KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
                 result.MeanCandidates());
@@ -74,7 +78,11 @@ int main() {
     flat.Train(w.base, w.knn_matrix);
     const double train_seconds = timer.ElapsedSeconds();
     PartitionIndex index(&w.base, &flat);
-    const auto result = index.SearchBatch(w.queries, 10, 4);
+    SearchRequest request;
+    request.queries = w.queries;
+    request.options.k = 10;
+    request.options.budget = 4;
+    const auto result = index.SearchBatch(request);
     std::printf("  %-14s train %6.1fs params %7zu  acc@4probes %.4f  "
                 "mean|C| %.0f\n",
                 "flat-64", train_seconds, flat.ParameterCount(),
@@ -91,7 +99,11 @@ int main() {
     tree.Train(w.base, w.knn_matrix);
     const double train_seconds = timer.ElapsedSeconds();
     PartitionIndex index(&w.base, &tree);
-    const auto result = index.SearchBatch(w.queries, 10, 4);
+    SearchRequest request;
+    request.queries = w.queries;
+    request.options.k = 10;
+    request.options.budget = 4;
+    const auto result = index.SearchBatch(request);
     std::printf("  %-14s train %6.1fs params %7zu  acc@4probes %.4f  "
                 "mean|C| %.0f  (%zu small models)\n",
                 "tree-8x8", train_seconds, tree.ParameterCount(),

@@ -67,11 +67,18 @@ int main(int argc, char** argv) {
 
   // 3. Compare: how many descriptors must each index scan for a given
   //    recall target? (That scan is the query-latency driver.)
+  auto sweep_request = [&](size_t p) {
+    SearchRequest request;
+    request.queries = w.queries;
+    request.options.k = 10;
+    request.options.budget = p;
+    return request;
+  };
   auto usp_curve = ProbeSweep(
-      [&](size_t p) { return usp_index.SearchBatch(w.queries, 10, p); },
+      [&](size_t p) { return usp_index.SearchBatch(sweep_request(p)); },
       DefaultProbeCounts(kBins), w.ground_truth.indices, w.ground_truth.k);
   auto km_curve = ProbeSweep(
-      [&](size_t p) { return km_index.SearchBatch(w.queries, 10, p); },
+      [&](size_t p) { return km_index.SearchBatch(sweep_request(p)); },
       DefaultProbeCounts(kBins), w.ground_truth.indices, w.ground_truth.k);
 
   std::printf("\n%35s\n", "descriptors scanned per query");
@@ -82,11 +89,28 @@ int main(int argc, char** argv) {
     std::printf("%11.0f%% %14.0f %14.0f\n", 100 * target, usp_c, km_c);
   }
 
-  // 4. Show one retrieval end to end.
-  const BatchSearchResult result = usp_index.SearchBatch(w.queries, 5, 2);
+  // 4. Show one retrieval end to end, with per-query stats.
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = 5;
+  request.options.budget = 2;
+  request.options.stats = true;
+  const BatchSearchResult result = usp_index.SearchBatch(request);
   std::printf("\nquery 0 -> top-5 descriptor ids:");
   for (size_t j = 0; j < 5; ++j) std::printf(" %u", result.Row(0)[j]);
-  std::printf("  (scanned %u of %zu descriptors)\n",
-              result.candidate_counts[0], w.base.rows());
+  std::printf("  (scanned %u of %zu descriptors in %u bins)\n",
+              result.candidate_counts[0], w.base.rows(),
+              result.stats->bins_probed[0]);
+
+  // 5. Filtered retrieval: restrict query 0 to the first half of the corpus
+  //    (e.g. only descriptors from an allowed shard) — the selector is pushed
+  //    into the scan, not applied to a truncated result.
+  const IdSelectorRange first_half(0, static_cast<uint32_t>(w.base.rows() / 2));
+  request.options.filter = &first_half;
+  const BatchSearchResult filtered = usp_index.SearchBatch(request);
+  std::printf("filtered to ids [0, %zu) -> top-5:", w.base.rows() / 2);
+  for (size_t j = 0; j < 5; ++j) std::printf(" %u", filtered.Row(0)[j]);
+  std::printf("  (%u candidates filtered out)\n",
+              filtered.stats->filtered_out[0]);
   return 0;
 }

@@ -37,15 +37,34 @@ int main() {
               config.num_bins, partitioner.ParameterCount(),
               timer.ElapsedSeconds());
 
-  // 3. Build the index (lookup table) and answer queries (Algorithm 2).
+  // 3. Build the index (lookup table) and answer queries (Algorithm 2)
+  //    through the structured query API: a SearchRequest carries the query
+  //    view plus SearchOptions{k, budget, num_threads, filter, stats}.
   PartitionIndex index(&w.base, &partitioner);
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = 10;
   std::printf("\n%8s  %12s  %10s\n", "probes", "mean|C|", "10NN-acc");
   for (size_t probes : {1, 2, 4, 8}) {
-    const BatchSearchResult result = index.SearchBatch(w.queries, 10, probes);
+    request.options.budget = probes;
+    const BatchSearchResult result = index.SearchBatch(request);
     const double accuracy =
         KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k);
     std::printf("%8zu  %12.1f  %10.4f\n", probes, result.MeanCandidates(),
                 accuracy);
   }
+
+  // 4. Predicate-filtered search: only ids the selector admits may be
+  //    returned. The filter is pushed into the candidate scan, so the result
+  //    is exact over the allowed subset — not a truncated unfiltered list.
+  const IdSelectorRange recent(0, static_cast<uint32_t>(w.base.rows() / 4));
+  request.options.budget = 8;
+  request.options.filter = &recent;
+  request.options.stats = true;
+  const BatchSearchResult filtered = index.SearchBatch(request);
+  std::printf("\nfiltered to ids [0, %zu): query 0 scored %u candidates "
+              "(%u filtered out)\n",
+              w.base.rows() / 4, filtered.candidate_counts[0],
+              filtered.stats->filtered_out[0]);
   return 0;
 }

@@ -14,10 +14,21 @@
 
 namespace {
 
+// The request every round-trip check runs (k neighbors at `budget` effort).
+usp::SearchRequest MakeRequest(const usp::Workload& w, size_t k,
+                               size_t budget) {
+  usp::SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = k;
+  request.options.budget = budget;
+  return request;
+}
+
 // Searches `index` and returns recall@k against the workload ground truth.
 double Recall(const usp::Index& index, const usp::Workload& w, size_t k,
               size_t budget) {
-  const usp::BatchSearchResult result = index.SearchBatch(w.queries, k, budget);
+  const usp::BatchSearchResult result =
+      index.SearchBatch(MakeRequest(w, k, budget));
   return usp::KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k);
 }
 
@@ -31,8 +42,8 @@ bool RoundTrip(const usp::Index& index, const usp::Workload& w, size_t k,
     return false;
   }
 
-  const usp::BatchSearchResult expected =
-      index.SearchBatch(w.queries, k, budget);
+  const usp::SearchRequest request = MakeRequest(w, k, budget);
+  const usp::BatchSearchResult expected = index.SearchBatch(request);
   for (const usp::LoadMode mode :
        {usp::LoadMode::kHeap, usp::LoadMode::kMmap}) {
     auto reopened = usp::OpenIndex(path, mode);
@@ -42,7 +53,7 @@ bool RoundTrip(const usp::Index& index, const usp::Workload& w, size_t k,
       return false;
     }
     const usp::Index& loaded = *reopened.value();
-    const usp::BatchSearchResult got = loaded.SearchBatch(w.queries, k, budget);
+    const usp::BatchSearchResult got = loaded.SearchBatch(request);
     if (got.ids != expected.ids) {
       std::fprintf(stderr, "%s: %s reload changed search results\n",
                    path.c_str(),

@@ -31,9 +31,13 @@ ProductQuantizer TrainQuantizer(const Matrix& base) {
 
 void Evaluate(const char* name, const ScannIndex& index, const Workload& w,
               size_t probes) {
-  index.SearchBatch(w.queries, 10, probes);  // warm-up
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = 10;
+  request.options.budget = probes;
+  index.SearchBatch(request);  // warm-up
   WallTimer timer;
-  const BatchSearchResult result = index.SearchBatch(w.queries, 10, probes);
+  const BatchSearchResult result = index.SearchBatch(request);
   const double seconds = timer.ElapsedSeconds();
   std::printf("  %-20s probes=%-3zu acc=%.4f  qps=%8.1f  mean|C|=%8.1f\n",
               name, probes,

@@ -70,10 +70,11 @@ void UspEnsemble::Train(const Matrix& data, const KnnResult& knn_matrix) {
   }
 }
 
-BatchSearchResult UspEnsemble::SearchBatch(MatrixView queries, size_t k,
-                                           size_t num_probes,
-                                           size_t num_threads) const {
+BatchSearchResult UspEnsemble::SearchBatch(const SearchRequest& request) const {
   USP_CHECK(!base_.empty() && !models_.empty());
+  const MatrixView queries = request.queries;
+  const SearchOptions& options = request.options;
+  const size_t num_probes = options.budget;
   const size_t nq = queries.rows();
   const size_t e = models_.size();
 
@@ -85,13 +86,14 @@ BatchSearchResult UspEnsemble::SearchBatch(MatrixView queries, size_t k,
   }
 
   BatchSearchResult result;
-  result.k = k;
-  result.AllocatePadded(nq);
+  result.Prepare(nq, options);
 
-  ParallelFor(nq, 8, num_threads, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 8, options.num_threads, [&](size_t begin, size_t end,
+                                              size_t) {
     std::vector<uint32_t> candidates, merged;
     for (size_t q = begin; q < end; ++q) {
       merged.clear();
+      size_t probes = 0;
       if (config_.combine == EnsembleCombine::kBestConfidence) {
         // Alg. 4 steps 3-4: confidence = the model's top bin probability.
         size_t best_model = 0;
@@ -107,19 +109,30 @@ BatchSearchResult UspEnsemble::SearchBatch(MatrixView queries, size_t k,
         }
         indexes_[best_model]->CollectCandidates(scores[best_model].Row(q),
                                                 num_probes, &merged);
+        probes = std::min(num_probes, indexes_[best_model]->num_bins());
       } else {
         std::unordered_set<uint32_t> seen;
         for (size_t j = 0; j < e; ++j) {
           indexes_[j]->CollectCandidates(scores[j].Row(q), num_probes,
                                          &candidates);
+          probes += std::min(num_probes, indexes_[j]->num_bins());
           for (uint32_t id : candidates) {
             if (seen.insert(id).second) merged.push_back(id);
           }
         }
       }
-      result.candidate_counts[q] = static_cast<uint32_t>(merged.size());
-      result.SetRow(q,
-                    RerankCandidatesScored(*dist_, queries.Row(q), merged, k));
+      RerankCounts counts;
+      result.SetRow(q, RerankCandidatesScored(*dist_, queries.Row(q), merged,
+                                              options.k, options.filter,
+                                              &counts));
+      // `merged` is already deduplicated, so scored == merged.size() minus
+      // what the selector dropped.
+      result.candidate_counts[q] = counts.scored;
+      if (result.stats) {
+        result.stats->candidates_scored[q] = counts.scored;
+        result.stats->bins_probed[q] = static_cast<uint32_t>(probes);
+        result.stats->filtered_out[q] = counts.filtered_out;
+      }
     }
   });
   return result;

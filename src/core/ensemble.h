@@ -51,12 +51,14 @@ class UspEnsemble : public Index {
   /// ensemble.
   void Train(const Matrix& data, const KnnResult& knn_matrix);
 
-  /// Algorithm 4: probe `budget` bins in the chosen model(s), re-rank by
-  /// exact distance. `num_threads` caps the per-query search sharding
-  /// (0 = pool default, 1 = serial; model scoring still uses the pool's
-  /// GEMM); results are identical at every setting.
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override;
+  /// Algorithm 4: probe `options.budget` bins in the chosen model(s),
+  /// re-rank by exact distance. An options.filter drops disallowed merged
+  /// candidates before the rerank (selector pushdown). `options.num_threads`
+  /// caps the per-query search sharding (0 = pool default, 1 = serial; model
+  /// scoring still uses the pool's GEMM); results are identical at every
+  /// setting.
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return base_.rows(); }

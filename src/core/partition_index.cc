@@ -57,34 +57,52 @@ void PartitionIndex::CollectCandidates(const float* scores, size_t num_probes,
   }
 }
 
-BatchSearchResult PartitionIndex::SearchBatch(MatrixView queries, size_t k,
-                                              size_t budget,
-                                              size_t num_threads) const {
-  return SearchBatchWithScores(queries, ScoreQueries(queries), k, budget,
-                               num_threads);
+BatchSearchResult PartitionIndex::SearchBatch(
+    const SearchRequest& request) const {
+  return SearchBatchWithScores(request.queries, ScoreQueries(request.queries),
+                               request.options);
+}
+
+BatchSearchResult PartitionIndex::SearchBatchWithScores(
+    MatrixView queries, const Matrix& scores,
+    const SearchOptions& options) const {
+  USP_CHECK(scores.rows() == queries.rows());
+  USP_CHECK(scores.cols() == buckets_.size());
+  const size_t nq = queries.rows();
+  const size_t probes = std::min(options.budget, buckets_.size());
+  BatchSearchResult result;
+  result.Prepare(nq, options);
+
+  ParallelFor(nq, 8, options.num_threads, [&](size_t begin, size_t end,
+                                              size_t) {
+    std::vector<uint32_t> candidates;
+    for (size_t q = begin; q < end; ++q) {
+      CollectCandidates(scores.Row(q), probes, &candidates);
+      RerankCounts counts;
+      result.SetRow(q, RerankCandidatesScored(dist_, queries.Row(q),
+                                              candidates, options.k,
+                                              options.filter, &counts));
+      // Buckets are disjoint, so post-dedupe scored == collected when no
+      // filter drops anything: candidate_counts stays |C(q)| as scored.
+      result.candidate_counts[q] = counts.scored;
+      if (result.stats) {
+        result.stats->candidates_scored[q] = counts.scored;
+        result.stats->bins_probed[q] = static_cast<uint32_t>(probes);
+        result.stats->filtered_out[q] = counts.filtered_out;
+      }
+    }
+  });
+  return result;
 }
 
 BatchSearchResult PartitionIndex::SearchBatchWithScores(
     MatrixView queries, const Matrix& scores, size_t k, size_t num_probes,
     size_t num_threads) const {
-  USP_CHECK(scores.rows() == queries.rows());
-  USP_CHECK(scores.cols() == buckets_.size());
-  const size_t nq = queries.rows();
-  BatchSearchResult result;
-  result.k = k;
-  result.AllocatePadded(nq);
-
-  ParallelFor(nq, 8, num_threads, [&](size_t begin, size_t end, size_t) {
-    std::vector<uint32_t> candidates;
-    for (size_t q = begin; q < end; ++q) {
-      CollectCandidates(scores.Row(q), num_probes, &candidates);
-      result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
-      result.SetRow(q,
-                    RerankCandidatesScored(dist_, queries.Row(q), candidates,
-                                           k));
-    }
-  });
-  return result;
+  SearchOptions options;
+  options.k = k;
+  options.budget = num_probes;
+  options.num_threads = num_threads;
+  return SearchBatchWithScores(queries, scores, options);
 }
 
 double KnnAccuracy(const BatchSearchResult& result,

@@ -44,17 +44,25 @@ class PartitionIndex : public Index {
   /// Scores all queries once; reuse across different probe counts.
   Matrix ScoreQueries(MatrixView queries) const;
 
-  /// k-NN search probing the `budget` best bins per query. The per-query
-  /// probe/rerank stage is sharded over the global thread pool; `num_threads`
-  /// caps that sharding (0 = pool default, 1 = that stage runs serially on
-  /// the calling thread). The bin-scoring stage (ScoreQueries) always uses
-  /// the pool's data-parallel GEMM regardless of the cap. Results are
-  /// bit-identical at every thread count: each query's work is independent
-  /// and writes only its own output rows.
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override;
+  /// k-NN search probing the `options.budget` best bins per query. An
+  /// options.filter drops disallowed candidates before the exact rerank
+  /// (selector pushdown: at full budget the result is brute force over the
+  /// allowed subset). The per-query probe/rerank stage is sharded over the
+  /// global thread pool; `options.num_threads` caps that sharding (0 = pool
+  /// default, 1 = that stage runs serially on the calling thread). The
+  /// bin-scoring stage (ScoreQueries) always uses the pool's data-parallel
+  /// GEMM regardless of the cap. Results are bit-identical at every thread
+  /// count: each query's work is independent and writes only its own output
+  /// rows.
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
   /// Same but with externally computed scores (one scoring, many sweeps).
+  BatchSearchResult SearchBatchWithScores(MatrixView queries,
+                                          const Matrix& scores,
+                                          const SearchOptions& options) const;
+
+  /// Positional convenience over the options form (historical signature).
   BatchSearchResult SearchBatchWithScores(MatrixView queries,
                                           const Matrix& scores, size_t k,
                                           size_t num_probes,

@@ -25,10 +25,14 @@ std::vector<SweepPoint> ProbeSweep(const PartitionIndex& index,
                                    const std::vector<uint32_t>& truth,
                                    size_t truth_k, size_t num_threads) {
   const Matrix scores = index.ScoreQueries(queries);
+  SearchOptions options;
+  options.k = k;
+  options.num_threads = num_threads;
   return ProbeSweep(
       [&](size_t probes) {
-        return index.SearchBatchWithScores(queries, scores, k, probes,
-                                           num_threads);
+        SearchOptions swept = options;
+        swept.budget = probes;
+        return index.SearchBatchWithScores(queries, scores, swept);
       },
       probe_counts, truth, truth_k);
 }

@@ -84,7 +84,7 @@ HnswIndex::HnswIndex(HnswConfig config, MatrixView base,
 
 std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
     const float* query, uint32_t entry, size_t ef, int level,
-    size_t* evaluations) const {
+    const IdSelector* filter, LayerStats* stats) const {
   const size_t d = base_.cols();
   const DistanceKernels& kd = GetDistanceKernels();
   std::vector<uint8_t> visited(base_.rows(), 0);
@@ -94,27 +94,49 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
       frontier;  // closest first
   std::priority_queue<std::pair<float, uint32_t>,
                       std::vector<std::pair<float, uint32_t>>, CloserFirst>
-      best;  // farthest of the kept set on top
+      best;  // farthest of the kept *allowed* set on top
 
   const float entry_dist = kd.squared_l2(query, base_.Row(entry), d);
-  if (evaluations != nullptr) ++*evaluations;
+  if (stats != nullptr) {
+    ++stats->evaluations;
+    ++stats->visited;
+  }
   visited[entry] = 1;
   frontier.push({entry_dist, entry});
-  best.push({entry_dist, entry});
+  if (filter == nullptr || filter->is_member(entry)) {
+    best.push({entry_dist, entry});
+  } else if (stats != nullptr) {
+    ++stats->filtered_out;
+  }
 
+  // Visit-but-don't-return: the frontier expands through every node (the
+  // admission bound uses the worst kept *allowed* distance, so navigation
+  // crosses filtered regions), while `best` only ever holds allowed nodes.
+  // With no filter this is arithmetic-for-arithmetic the classic ef-bounded
+  // search: `best` is non-empty from the entry push onward, so the size
+  // guard below never changes a comparison.
   while (!frontier.empty()) {
     const auto [dist, node] = frontier.top();
     frontier.pop();
-    if (dist > best.top().first && best.size() >= ef) break;
+    if (best.size() >= ef && dist > best.top().first) break;
     for (uint32_t nb : LinksAt(node, level)) {
       if (visited[nb]) continue;
       visited[nb] = 1;
       const float nb_dist = kd.squared_l2(query, base_.Row(nb), d);
-      if (evaluations != nullptr) ++*evaluations;
+      const bool allowed = filter == nullptr || filter->is_member(nb);
+      if (stats != nullptr) {
+        ++stats->evaluations;
+        ++stats->visited;
+        // Counted at visit time, admission-bound or not, so filtered_out
+        // really is "visited nodes the selector excluded".
+        if (!allowed) ++stats->filtered_out;
+      }
       if (best.size() < ef || nb_dist < best.top().first) {
         frontier.push({nb_dist, nb});
-        best.push({nb_dist, nb});
-        if (best.size() > ef) best.pop();
+        if (allowed) {
+          best.push({nb_dist, nb});
+          if (best.size() > ef) best.pop();
+        }
       }
     }
   }
@@ -175,7 +197,7 @@ void HnswIndex::Build(const Matrix& base) {
     // Connect on each layer from min(level, max_level_) down to 0.
     for (int l = std::min(level, max_level_); l >= 0; --l) {
       auto nearest = SearchLayer(base.Row(i), current, config_.ef_construction,
-                                 l, nullptr);
+                                 l, /*filter=*/nullptr, /*stats=*/nullptr);
       const size_t cap = (l == 0) ? max_links0 : config_.max_neighbors;
       std::vector<std::pair<float, uint32_t>> candidates;
       candidates.reserve(nearest.size());
@@ -215,7 +237,6 @@ void HnswIndex::Build(const Matrix& base) {
 std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
                                         size_t budget) const {
   USP_CHECK(!base_.empty() && max_level_ >= 0);
-  size_t evals = 0;
   // Greedy descent to layer 1.
   uint32_t current = entry_point_;
   const size_t d = base_.cols();
@@ -235,8 +256,9 @@ std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
       }
     }
   }
-  const auto nearest =
-      SearchLayer(query, current, std::max(k, budget), 0, &evals);
+  LayerStats layer_stats;
+  const auto nearest = SearchLayer(query, current, std::max(k, budget), 0,
+                                   /*filter=*/nullptr, &layer_stats);
   std::vector<uint32_t> out;
   out.reserve(std::min(k, nearest.size()));
   for (size_t i = 0; i < nearest.size() && i < k; ++i) {
@@ -245,16 +267,19 @@ std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
   return out;
 }
 
-BatchSearchResult HnswIndex::SearchBatch(MatrixView queries, size_t k,
-                                         size_t budget,
-                                         size_t num_threads) const {
+BatchSearchResult HnswIndex::SearchBatch(const SearchRequest& request) const {
+  const MatrixView queries = request.queries;
+  const SearchOptions& options = request.options;
+  const size_t k = options.k;
   const size_t nq = queries.rows();
   BatchSearchResult result;
-  result.k = k;
-  result.AllocatePadded(nq);
+  result.Prepare(nq, options);
   const DistanceKernels& kd = GetDistanceKernels();
-  ParallelFor(nq, 4, num_threads, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 4, options.num_threads, [&](size_t begin, size_t end,
+                                              size_t) {
     for (size_t q = begin; q < end; ++q) {
+      // Greedy descent ignores the filter: upper layers only pick the base
+      // layer's entry point, never a returned neighbor.
       size_t evals = 0;
       uint32_t current = entry_point_;
       const size_t d = base_.cols();
@@ -277,13 +302,26 @@ BatchSearchResult HnswIndex::SearchBatch(MatrixView queries, size_t k,
           }
         }
       }
+      LayerStats layer_stats;
       const auto nearest = SearchLayer(queries.Row(q), current,
-                                       std::max(k, budget), 0, &evals);
+                                       std::max(k, options.budget), 0,
+                                       options.filter, &layer_stats);
       for (size_t i = 0; i < nearest.size() && i < k; ++i) {
         result.ids[q * k + i] = nearest[i].id;
         result.distances[q * k + i] = nearest[i].distance;
       }
-      result.candidate_counts[q] = static_cast<uint32_t>(evals);
+      // Every visited node is distance-scored (navigation requires it), so
+      // the scored count is descent evals + base-layer evals even under a
+      // filter — see the SearchBatch contract in hnsw.h.
+      result.candidate_counts[q] =
+          static_cast<uint32_t>(evals + layer_stats.evaluations);
+      if (result.stats) {
+        result.stats->candidates_scored[q] = result.candidate_counts[q];
+        result.stats->filtered_out[q] =
+            static_cast<uint32_t>(layer_stats.filtered_out);
+        result.stats->nodes_visited[q] =
+            static_cast<uint32_t>(layer_stats.visited);
+      }
     }
   });
   return result;

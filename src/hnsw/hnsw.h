@@ -39,13 +39,29 @@ class HnswIndex : public Index {
   std::vector<uint32_t> Search(const float* query, size_t k,
                                size_t budget) const override;
 
-  /// Batch search with beam width `budget` (= ef_search). `candidate_counts`
-  /// reports the number of distance evaluations per query, the analogue of
-  /// the candidate-set size |C| used to compare against partition-based
-  /// methods. `num_threads` caps the per-query sharding (0 = pool default,
+  /// Batch search with beam width `options.budget` (= ef_search).
+  /// `candidate_counts` reports the number of distance evaluations per query,
+  /// the analogue of the candidate-set size |C| used to compare against
+  /// partition-based methods; HNSW scores every node it visits (navigation
+  /// needs the distance), so under a filter the count still reflects visited
+  /// nodes — filtering changes what is *returned*, not what is scored.
+  ///
+  /// Filter semantics are visit-but-don't-return: traversal expands through
+  /// disallowed nodes (they keep the graph connected and navigable) but only
+  /// allowed nodes enter the result set or tighten its bound. With ef >=
+  /// size() the whole connected component is explored, so filtered
+  /// full-budget search equals brute force over the allowed subset. The
+  /// flip side: whenever the selector admits fewer than ef nodes, the
+  /// ef-bound can never engage and the search degrades to a full traversal
+  /// of the connected component — O(size()) per query. At very low
+  /// selectivity that is the price of exactness here; latency-sensitive
+  /// callers should cap ef near the expected allowed count (or prefer a
+  /// partition-based index, whose filtered cost shrinks with selectivity).
+  ///
+  /// `options.num_threads` caps the per-query sharding (0 = pool default,
   /// 1 = serial); results are identical at every setting.
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override;
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return node_levels_.size(); }
@@ -65,15 +81,22 @@ class HnswIndex : public Index {
 
  private:
   // Best-first search on one layer from `entry`; returns up to `ef` closest
-  // (distance, id) pairs. `evaluations` (optional) accumulates the number of
-  // distance computations.
+  // *allowed* (distance, id) pairs. `filter` (optional) applies the
+  // visit-but-don't-return semantics above; disallowed nodes still steer the
+  // frontier. `stats` (optional) accumulates traversal counters.
   struct Scored {
     float distance;
     uint32_t id;
   };
+  struct LayerStats {
+    size_t evaluations = 0;   ///< distance computations
+    size_t visited = 0;       ///< distinct nodes marked visited
+    size_t filtered_out = 0;  ///< visited nodes the selector excluded
+  };
   std::vector<Scored> SearchLayer(const float* query, uint32_t entry,
                                   size_t ef, int level,
-                                  size_t* evaluations) const;
+                                  const IdSelector* filter,
+                                  LayerStats* stats) const;
   std::vector<uint32_t>& LinksAt(uint32_t node, int level) {
     return links_[node][level];
   }

@@ -1,0 +1,42 @@
+#include "index/id_selector.h"
+
+#include <algorithm>
+
+namespace usp {
+
+IdSelectorArray::IdSelectorArray(std::vector<uint32_t> ids)
+    : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool IdSelectorArray::is_member(uint32_t id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+IdSelectorBitmap::IdSelectorBitmap(size_t universe)
+    : universe_(universe), words_((universe + 63) / 64, 0) {}
+
+IdSelectorBitmap::IdSelectorBitmap(size_t universe,
+                                   const std::vector<uint32_t>& ids)
+    : IdSelectorBitmap(universe) {
+  for (uint32_t id : ids) {
+    if (id < universe_) Set(id);
+  }
+}
+
+void IdSelectorBitmap::Set(uint32_t id) {
+  if (id < universe_) words_[id >> 6] |= uint64_t{1} << (id & 63u);
+}
+
+void IdSelectorBitmap::Reset(uint32_t id) {
+  if (id < universe_) words_[id >> 6] &= ~(uint64_t{1} << (id & 63u));
+}
+
+size_t IdSelectorBitmap::count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) total += __builtin_popcountll(word);
+  return total;
+}
+
+}  // namespace usp

@@ -1,0 +1,122 @@
+// Predicate-filtered search: an IdSelector names the subset of base ids a
+// query is allowed to return (the FAISS SearchParameters/IDSelector idea).
+// SearchOptions::filter carries one through every scoring path, where it is
+// applied *before* scoring — filtered search is "brute force over the allowed
+// subset" at full budget, never a post-filtered truncation of an unfiltered
+// result. See docs/ARCHITECTURE.md ("Query path") for how each index type
+// pushes the selector down.
+//
+// Selectors are immutable at query time and shared by concurrent queries, so
+// is_member must be const-thread-safe (all implementations here are plain
+// reads). They are non-owning from the index's point of view: the caller
+// keeps the selector alive for the duration of the search.
+#ifndef USP_INDEX_ID_SELECTOR_H_
+#define USP_INDEX_ID_SELECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace usp {
+
+/// Membership predicate over base-point ids. `id` is whatever id space the
+/// queried index reports: base row numbers for the static index types, stable
+/// global ids for DynamicIndex (which translates the selector to per-segment
+/// local ids internally).
+class IdSelector {
+ public:
+  virtual ~IdSelector() = default;
+
+  /// True when `id` may appear in search results.
+  virtual bool is_member(uint32_t id) const = 0;
+};
+
+/// Accepts every id: search behaves exactly as with no filter. Useful as a
+/// neutral default in code that always composes selectors.
+class IdSelectorAll final : public IdSelector {
+ public:
+  bool is_member(uint32_t) const override { return true; }
+};
+
+/// Accepts the half-open range [begin, end) — the natural selector for
+/// time-ordered corpora where ids are assigned by ingestion order.
+class IdSelectorRange final : public IdSelector {
+ public:
+  IdSelectorRange(uint32_t begin, uint32_t end) : begin_(begin), end_(end) {}
+
+  bool is_member(uint32_t id) const override {
+    return id >= begin_ && id < end_;
+  }
+
+  uint32_t begin() const { return begin_; }
+  uint32_t end() const { return end_; }
+
+ private:
+  uint32_t begin_;
+  uint32_t end_;
+};
+
+/// Accepts an explicit id list (sorted + deduplicated at construction;
+/// membership is a binary search). Suited to short allow-lists; prefer
+/// IdSelectorBitmap when the list is a sizable fraction of the base.
+class IdSelectorArray final : public IdSelector {
+ public:
+  explicit IdSelectorArray(std::vector<uint32_t> ids);
+
+  bool is_member(uint32_t id) const override;
+
+  /// The sorted, deduplicated allow-list.
+  const std::vector<uint32_t>& ids() const { return ids_; }
+
+ private:
+  std::vector<uint32_t> ids_;
+};
+
+/// Dense bitmap over the id universe [0, universe): O(1) membership, one bit
+/// per base point. Ids at or beyond `universe` are non-members. This is the
+/// selector DynamicIndex builds internally when translating a global filter
+/// to segment-local ids.
+class IdSelectorBitmap final : public IdSelector {
+ public:
+  /// All ids non-members; populate with Set().
+  explicit IdSelectorBitmap(size_t universe);
+
+  /// Members are exactly the in-range entries of `ids`.
+  IdSelectorBitmap(size_t universe, const std::vector<uint32_t>& ids);
+
+  bool is_member(uint32_t id) const override {
+    return id < universe_ &&
+           (words_[id >> 6] >> (id & 63u) & uint64_t{1}) != 0;
+  }
+
+  void Set(uint32_t id);
+  void Reset(uint32_t id);
+
+  size_t universe() const { return universe_; }
+
+  /// Number of member ids (popcount over the bitmap).
+  size_t count() const;
+
+ private:
+  size_t universe_;
+  std::vector<uint64_t> words_;
+};
+
+/// Complement of another selector: is_member(id) == !inner.is_member(id).
+/// Composable — Not(Array) expresses a deny-list, Not(Range) excludes a
+/// cohort. Non-owning: `inner` must outlive this selector.
+class IdSelectorNot final : public IdSelector {
+ public:
+  explicit IdSelectorNot(const IdSelector* inner) : inner_(inner) {}
+
+  bool is_member(uint32_t id) const override {
+    return !inner_->is_member(id);
+  }
+
+ private:
+  const IdSelector* inner_;
+};
+
+}  // namespace usp
+
+#endif  // USP_INDEX_ID_SELECTOR_H_

@@ -6,11 +6,30 @@
 
 namespace usp {
 
+void SearchStats::Allocate(size_t num_queries) {
+  candidates_scored.assign(num_queries, 0);
+  bins_probed.assign(num_queries, 0);
+  filtered_out.assign(num_queries, 0);
+  nodes_visited.assign(num_queries, 0);
+}
+
 void BatchSearchResult::AllocatePadded(size_t num_queries) {
   ids.assign(num_queries * k, kInvalidId);
   distances.assign(num_queries * k,
                    std::numeric_limits<float>::infinity());
   candidate_counts.assign(num_queries, 0);
+}
+
+void BatchSearchResult::Prepare(size_t num_queries,
+                                const SearchOptions& options) {
+  k = options.k;
+  AllocatePadded(num_queries);
+  if (options.stats) {
+    stats.emplace();
+    stats->Allocate(num_queries);
+  } else {
+    stats.reset();
+  }
 }
 
 void BatchSearchResult::SetRow(size_t q, const std::vector<Neighbor>& sorted) {

@@ -1,15 +1,24 @@
 // The unified ANN-index interface. Every index type in the repository —
 // PartitionIndex, IvfFlatIndex, IvfPqIndex, ScannIndex, HnswIndex,
-// UspEnsemble — implements Index, so benches, examples, and the serving layer
-// program against one vtable and the serialization layer (index/serialize.h)
-// can persist and reopen any of them behind a single OpenIndex() call.
+// UspEnsemble, DynamicIndex — implements Index, so benches, examples, and the
+// serving layer program against one vtable and the serialization layer
+// (index/serialize.h) can persist and reopen any of them behind a single
+// OpenIndex() call.
+//
+// Queries are expressed as a SearchRequest: a view of the query vectors plus
+// SearchOptions carrying k, the effort budget, the thread cap, an optional
+// IdSelector filter (predicate-filtered search), and a per-query stats
+// switch. The historical positional SearchBatch(queries, k, budget,
+// num_threads) survives as a thin convenience shim over the request form.
 #ifndef USP_INDEX_INDEX_H_
 #define USP_INDEX_INDEX_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "dist/metric.h"
+#include "index/id_selector.h"
 #include "knn/top_k.h"
 #include "tensor/matrix.h"
 
@@ -17,18 +26,94 @@ namespace usp {
 
 /// Sentinel id marking a padded result slot. Rows of BatchSearchResult are
 /// always exactly k wide; when a query yields fewer than k neighbors (k >
-/// size(), tiny probe budgets, heavy deletes) the trailing slots hold
-/// kInvalidId with +inf distance. Every Index implementation pads this way —
-/// real neighbors first (ascending by distance), then an uninterrupted run of
-/// kInvalidId slots. Pinned by tests/index_padding_test.cc.
+/// size(), tiny probe budgets, heavy deletes, a selector admitting fewer than
+/// k points) the trailing slots hold kInvalidId with +inf distance. Every
+/// Index implementation pads this way — real neighbors first (ascending by
+/// distance), then an uninterrupted run of kInvalidId slots. Pinned by
+/// tests/index_padding_test.cc and tests/filtered_search_test.cc.
 inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Per-query search knobs. Defaults reproduce the historical positional call:
+/// no filter, no stats, pool-default threading.
+struct SearchOptions {
+  /// Neighbors to return per query (result rows are exactly k wide, padded
+  /// with kInvalidId).
+  size_t k = 10;
+
+  /// Per-query search effort: probed bins for the partition-based types,
+  /// ef_search for HNSW, forwarded to every sealed segment by DynamicIndex.
+  size_t budget = 1;
+
+  /// Caps the per-query sharding over the global thread pool (0 = pool
+  /// default, 1 = serial). Results are bit-identical at every setting.
+  size_t num_threads = 0;
+
+  /// Optional membership predicate: only ids with filter->is_member(id) may
+  /// be returned. Applied before scoring in every index type (selector
+  /// pushdown, docs/ARCHITECTURE.md "Query path"), so at full budget the
+  /// result equals brute force restricted to the allowed subset — never a
+  /// post-filtered truncation. Non-owning; must outlive the call. nullptr
+  /// means unfiltered.
+  const IdSelector* filter = nullptr;
+
+  /// When true, the result carries a SearchStats block with per-query
+  /// instrumentation (candidates scored, bins probed, filtered-out count,
+  /// visited nodes).
+  bool stats = false;
+};
+
+/// A batch of queries plus the options they run under. `queries` is a
+/// non-owning view (a Matrix converts implicitly; external storage — an
+/// mmap'd section, a caller-owned buffer — is searched zero-copy).
+struct SearchRequest {
+  MatrixView queries;
+  SearchOptions options;
+};
+
+/// Optional per-query instrumentation (SearchOptions::stats), sized one entry
+/// per query. Lets callers close the recall/latency loop per query instead of
+/// batch-averaging through MeanCandidates().
+struct SearchStats {
+  /// Candidates actually scored by exact/ADC distance, post-filter — the
+  /// per-query |C(q)| of Eq. 4. Matches candidate_counts entry for entry.
+  std::vector<uint32_t> candidates_scored;
+
+  /// Bins/lists probed (partition-based types; summed across models for
+  /// ensembles and across segments for DynamicIndex; 0 for partition-free
+  /// scans and HNSW).
+  std::vector<uint32_t> bins_probed;
+
+  /// Candidates dropped by the selector before scoring (for HNSW: visited
+  /// base-layer nodes the selector kept out of the result set; for
+  /// DynamicIndex: also tombstoned hits dropped at the merge).
+  std::vector<uint32_t> filtered_out;
+
+  /// HNSW only: base-layer nodes visited during graph traversal (0
+  /// elsewhere). candidates_scored additionally includes the upper-layer
+  /// greedy-descent evaluations, so it can exceed this count.
+  std::vector<uint32_t> nodes_visited;
+
+  /// Sizes every counter to `num_queries` zeroed entries.
+  void Allocate(size_t num_queries);
+};
 
 /// Search output for a batch of queries.
 struct BatchSearchResult {
   size_t k = 0;
-  std::vector<uint32_t> ids;               ///< (num_queries x k), row-major
-  std::vector<float> distances;            ///< parallel to ids; minimized form
-  std::vector<uint32_t> candidate_counts;  ///< |C(q)| per query
+  std::vector<uint32_t> ids;     ///< (num_queries x k), row-major
+  std::vector<float> distances;  ///< parallel to ids; minimized form
+
+  /// |C(q)| per query: the number of candidates *scored* by the exact/ADC
+  /// distance stage. Under a filter this is the post-filter count (dropped
+  /// candidates are never scored), which keeps MeanCandidates() — the S(R)
+  /// of Eq. 4 — meaningful as "exact-distance work per query". HNSW scores
+  /// every visited node (navigation needs the distance), so its count is the
+  /// visit count regardless of filter. Pinned by
+  /// tests/filtered_search_test.cc (CandidateCountsArePostFilter).
+  std::vector<uint32_t> candidate_counts;
+
+  /// Per-query instrumentation; engaged only when SearchOptions::stats.
+  std::optional<SearchStats> stats;
 
   const uint32_t* Row(size_t q) const { return ids.data() + q * k; }
   const float* DistanceRow(size_t q) const { return distances.data() + q * k; }
@@ -36,6 +121,10 @@ struct BatchSearchResult {
   /// Sizes ids/distances/candidate_counts for `num_queries` rows, every slot
   /// pre-padded (kInvalidId / +inf / 0).
   void AllocatePadded(size_t num_queries);
+
+  /// AllocatePadded + sets k from `options` and engages the stats block when
+  /// options.stats. The standard first step of every SearchBatch impl.
+  void Prepare(size_t num_queries, const SearchOptions& options);
 
   /// Writes the first min(k, sorted.size()) neighbors into row q (ids and
   /// distances); trailing slots keep their padding.
@@ -63,22 +152,34 @@ enum class IndexType : uint32_t {
 const char* IndexTypeName(IndexType type);
 
 /// Abstract, immutable (Add-free) ANN index: train or load offline, serve
-/// queries online. `budget` is the per-query search effort knob — the number
-/// of probed bins for partition-based indexes, ef_search for HNSW.
+/// queries online. Implementations override SearchBatch(const SearchRequest&)
+/// and add `using Index::SearchBatch;` so the positional convenience shim
+/// stays visible on the concrete type.
 class Index {
  public:
   virtual ~Index() = default;
 
-  /// Batched k-NN search. `queries` is a non-owning view (a Matrix converts
-  /// implicitly; external storage — an mmap'd section, a caller-owned buffer —
-  /// is searched zero-copy). `num_threads` caps the per-query sharding over
-  /// the global thread pool (0 = pool default, 1 = serial); results are
-  /// bit-identical at every setting. Result rows hold real neighbors first
-  /// (ascending by distance, with matching `distances`), then kInvalidId
-  /// padding.
-  virtual BatchSearchResult SearchBatch(MatrixView queries, size_t k,
-                                        size_t budget,
-                                        size_t num_threads = 0) const = 0;
+  /// Batched k-NN search over a structured request. Result rows hold real
+  /// neighbors first (ascending by distance, with matching `distances`), then
+  /// kInvalidId padding. With a filter, only allowed ids appear and at full
+  /// budget the row is bit-identical to brute force over the allowed subset
+  /// (tests/filtered_search_test.cc).
+  virtual BatchSearchResult SearchBatch(const SearchRequest& request) const = 0;
+
+  /// Positional convenience shim over the request form — kept so historical
+  /// call sites stay source-compatible, and bit-identical to an unfiltered
+  /// SearchRequest with the same (k, budget, num_threads) by construction.
+  /// New code should build a SearchRequest (it is the only spelling that can
+  /// express filters and stats).
+  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
+                                size_t num_threads = 0) const {
+    SearchRequest request;
+    request.queries = queries;
+    request.options.k = k;
+    request.options.budget = budget;
+    request.options.num_threads = num_threads;
+    return SearchBatch(request);
+  }
 
   /// Single-query convenience: returns up to k neighbor ids, ascending by
   /// distance. The default wraps `query` in a 1-row MatrixView (zero-copy)

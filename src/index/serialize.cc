@@ -464,9 +464,9 @@ class LoadedIndex : public Index {
   explicit LoadedIndex(std::unique_ptr<IndexBundle> bundle)
       : bundle_(std::move(bundle)) {}
 
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override {
-    return bundle_->index->SearchBatch(queries, k, budget, num_threads);
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override {
+    return bundle_->index->SearchBatch(request);
   }
   std::vector<uint32_t> Search(const float* query, size_t k,
                                size_t budget) const override {

@@ -58,10 +58,11 @@ IvfFlatIndex::IvfFlatIndex(MatrixView base, const IvfConfig& config,
                                             config.metric);
 }
 
-BatchSearchResult IvfFlatIndex::SearchBatch(MatrixView queries, size_t k,
-                                            size_t budget,
-                                            size_t num_threads) const {
-  return index_->SearchBatch(queries, k, budget, num_threads);
+BatchSearchResult IvfFlatIndex::SearchBatch(
+    const SearchRequest& request) const {
+  // The inner PartitionIndex shares the base-row id space, so the selector
+  // and stats pass through unchanged.
+  return index_->SearchBatch(request);
 }
 
 Status IvfPqIndex::ValidateConfig(const IvfConfig& config) {
@@ -117,10 +118,8 @@ IvfPqIndex::IvfPqIndex(MatrixView base, const IvfConfig& config,
                                         assignments);
 }
 
-BatchSearchResult IvfPqIndex::SearchBatch(MatrixView queries, size_t k,
-                                          size_t budget,
-                                          size_t num_threads) const {
-  return index_->SearchBatch(queries, k, budget, num_threads);
+BatchSearchResult IvfPqIndex::SearchBatch(const SearchRequest& request) const {
+  return index_->SearchBatch(request);
 }
 
 }  // namespace usp

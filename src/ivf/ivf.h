@@ -52,12 +52,13 @@ class IvfFlatIndex : public Index {
   IndexType type() const override { return IndexType::kIvfFlat; }
   MatrixView base_view() const override { return index_->base(); }
 
-  /// k-NN search probing the `budget` (= nprobe) best lists. `num_threads`
-  /// caps the per-query search sharding (0 = pool default, 1 = serial;
-  /// coarse scoring still uses the pool's GEMM); results are identical at
-  /// every setting.
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override;
+  /// k-NN search probing the `options.budget` (= nprobe) best lists; an
+  /// options.filter restricts results to allowed base rows (dropped before
+  /// the exact scan). `options.num_threads` caps the per-query search
+  /// sharding (0 = pool default, 1 = serial; coarse scoring still uses the
+  /// pool's GEMM); results are identical at every setting.
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
   const PartitionIndex& partition() const { return *index_; }
@@ -93,12 +94,13 @@ class IvfPqIndex : public Index {
   IndexType type() const override { return IndexType::kIvfPq; }
   MatrixView base_view() const override { return index_->base(); }
 
-  /// k-NN search probing the `budget` (= nprobe) best lists. `num_threads`
-  /// caps the per-query search sharding (0 = pool default, 1 = serial;
-  /// coarse scoring still uses the pool's GEMM); results are identical at
-  /// every setting.
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override;
+  /// k-NN search probing the `options.budget` (= nprobe) best lists; an
+  /// options.filter drops disallowed rows before the ADC scan, so filtered
+  /// rows never consume rerank budget. `options.num_threads` caps the
+  /// per-query search sharding (0 = pool default, 1 = serial; coarse scoring
+  /// still uses the pool's GEMM); results are identical at every setting.
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
   const ScannIndex& scann() const { return *index_; }

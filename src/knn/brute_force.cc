@@ -1,9 +1,11 @@
 #include "knn/brute_force.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "dist/distance_kernels.h"
+#include "index/index.h"  // kInvalidId: the filtered-scan padding sentinel
 #include "knn/top_k.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
@@ -61,36 +63,63 @@ KnnResult KnnImpl(MatrixView base, MatrixView queries, size_t k,
   return result;
 }
 
-// Generic-metric brute force: per query, score contiguous base blocks through
-// the DistanceComputer (already in minimized form) and keep the top k.
+// Generic-metric brute force: per query, score base rows through the
+// DistanceComputer (already in minimized form) and keep the top k. With a
+// `filter`, the allowed id list is materialized once per call and only those
+// rows are gather-scored (dropped rows are never scored — the pushdown
+// contract — so a 1%-selectivity scan does ~1% of the distance work);
+// ScoreIds applies the same per-row kernel as ScoreRange, so the results are
+// bit-identical to a full scan + drop. When the filter admits fewer than k
+// rows, trailing slots pad with the kInvalidId sentinel / +inf (only
+// reachable with a filter: unfiltered callers check k <= rows).
 KnnResult KnnImplMetric(MatrixView base, MatrixView queries, size_t k,
-                        Metric metric, size_t num_threads) {
+                        Metric metric, const IdSelector* filter,
+                        size_t num_threads) {
   USP_CHECK(base.cols() == queries.cols());
-  USP_CHECK(k > 0 && k <= base.rows());
+  USP_CHECK(k > 0);
+  USP_CHECK(filter != nullptr || k <= base.rows());
   const size_t nq = queries.rows(), nb = base.rows();
 
   KnnResult result;
   result.k = k;
-  result.indices.resize(nq * k);
-  result.distances.resize(nq * k);
+  result.indices.assign(nq * k, kInvalidId);
+  result.distances.assign(nq * k, std::numeric_limits<float>::infinity());
 
   const DistanceComputer dist(base, metric);
+  std::vector<uint32_t> allowed;
+  if (filter != nullptr) {
+    for (size_t b = 0; b < nb; ++b) {
+      const uint32_t id = static_cast<uint32_t>(b);
+      if (filter->is_member(id)) allowed.push_back(id);
+    }
+  }
+
   ParallelFor(nq, 8, num_threads, [&](size_t q_begin, size_t q_end, size_t) {
     std::vector<float> scores(kBaseBlock);
     std::vector<float> scratch;
     for (size_t q = q_begin; q < q_end; ++q) {
       const float* prepared = dist.PrepareQuery(queries.Row(q), &scratch);
       TopK heap(k);
-      for (size_t b0 = 0; b0 < nb; b0 += kBaseBlock) {
-        const size_t count = std::min(nb - b0, kBaseBlock);
-        dist.ScoreRange(prepared, static_cast<uint32_t>(b0), count,
-                        scores.data());
-        for (size_t b = 0; b < count; ++b) {
-          heap.Push(scores[b], static_cast<uint32_t>(b0 + b));
+      if (filter == nullptr) {
+        for (size_t b0 = 0; b0 < nb; b0 += kBaseBlock) {
+          const size_t count = std::min(nb - b0, kBaseBlock);
+          dist.ScoreRange(prepared, static_cast<uint32_t>(b0), count,
+                          scores.data());
+          for (size_t b = 0; b < count; ++b) {
+            heap.Push(scores[b], static_cast<uint32_t>(b0 + b));
+          }
+        }
+      } else {
+        for (size_t a0 = 0; a0 < allowed.size(); a0 += kBaseBlock) {
+          const size_t count = std::min(allowed.size() - a0, kBaseBlock);
+          dist.ScoreIds(prepared, allowed.data() + a0, count, scores.data());
+          for (size_t i = 0; i < count; ++i) {
+            heap.Push(scores[i], allowed[a0 + i]);
+          }
         }
       }
       auto sorted = heap.TakeSorted();
-      for (size_t j = 0; j < k; ++j) {
+      for (size_t j = 0; j < sorted.size(); ++j) {
         result.indices[q * k + j] = sorted[j].id;
         result.distances[q * k + j] = sorted[j].distance;
       }
@@ -110,7 +139,19 @@ KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
   if (metric == Metric::kSquaredL2) {
     return KnnImpl(base, queries, k, /*exclude_identity=*/false, num_threads);
   }
-  return KnnImplMetric(base, queries, k, metric, num_threads);
+  return KnnImplMetric(base, queries, k, metric, /*filter=*/nullptr,
+                       num_threads);
+}
+
+KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
+                        Metric metric, const IdSelector* filter,
+                        size_t num_threads) {
+  if (filter == nullptr) return BruteForceKnn(base, queries, k, metric,
+                                              num_threads);
+  // Filtered scans take the kernel path even for L2: the norm-trick tiles
+  // produce different float rounding than ScoreIds, and the filtered contract
+  // is bit-identity with the index types' rerank stage.
+  return KnnImplMetric(base, queries, k, metric, filter, num_threads);
 }
 
 KnnResult BuildKnnMatrix(const Matrix& data, size_t k) {
@@ -149,12 +190,24 @@ KnnResult FilterKnnToSubset(const KnnResult& global,
 
 std::vector<Neighbor> RerankCandidatesScored(
     const DistanceComputer& dist, const float* query,
-    const std::vector<uint32_t>& candidates, size_t k) {
+    const std::vector<uint32_t>& candidates, size_t k,
+    const IdSelector* filter, RerankCounts* counts) {
   // Ensembles and multi-probe sweeps can feed overlapping candidate lists;
   // dedupe so duplicates never occupy several top-k slots.
   std::vector<uint32_t> ids(candidates);
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  if (filter != nullptr) {
+    const size_t before = ids.size();
+    ids.erase(std::remove_if(ids.begin(), ids.end(),
+                             [&](uint32_t id) { return !filter->is_member(id); }),
+              ids.end());
+    if (counts != nullptr) {
+      counts->filtered_out = static_cast<uint32_t>(before - ids.size());
+    }
+  }
+  if (counts != nullptr) counts->scored = static_cast<uint32_t>(ids.size());
 
   std::vector<float> scratch;
   const float* prepared = dist.PrepareQuery(query, &scratch);

@@ -9,6 +9,7 @@
 
 #include "dist/distance_computer.h"
 #include "dist/metric.h"
+#include "index/id_selector.h"
 #include "knn/top_k.h"
 #include "tensor/matrix.h"
 
@@ -44,21 +45,46 @@ KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
 KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
                         Metric metric, size_t num_threads = 0);
 
+/// Predicate-filtered exact k-NN: only base rows accepted by `filter` may
+/// appear (filter == nullptr behaves like the overload above). The allowed
+/// ids are materialized once and gather-scored through the DistanceComputer
+/// kernel path (ScoreIds) — for every metric, including kSquaredL2 — so
+/// dropped rows are never scored and the distances are bit-identical to the
+/// candidate-rerank path of the index types; this makes it the reference the
+/// filtered-search acceptance tests pin index results against. When fewer
+/// than k rows are allowed, trailing slots are padded with the 0xFFFFFFFFu
+/// sentinel (index/index.h kInvalidId) and +inf distance.
+KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
+                        Metric metric, const IdSelector* filter,
+                        size_t num_threads = 0);
+
 /// k'-NN matrix of the dataset against itself with self-matches excluded
 /// (row i never contains i). This is Fig. 2 of the paper.
 KnnResult BuildKnnMatrix(const Matrix& data, size_t k);
+
+/// Work counters reported by RerankCandidatesScored (both post-dedupe).
+/// `scored` is the |C(q)| that lands in BatchSearchResult::candidate_counts:
+/// candidates that passed the selector and were exact-scored.
+struct RerankCounts {
+  uint32_t scored = 0;
+  uint32_t filtered_out = 0;  ///< candidates the selector dropped unscored
+};
 
 /// Re-ranks a candidate list by exact distance under `dist`'s metric and
 /// returns the top k candidates as (distance, id) pairs, ascending by
 /// distance (ties by id). Duplicate ids in `candidates` (e.g. from
 /// overlapping ensemble probes) are deduplicated before scoring, so the
-/// result never repeats an id. Scoring goes through the batched gather-by-id
-/// kernels (prefetched). Used by every partition-based index for the final
-/// scan of the candidate set; the scores feed cross-segment merging in the
-/// serving layer.
+/// result never repeats an id. When `filter` is set, candidates it rejects
+/// are dropped *before* scoring (selector pushdown: disallowed rows cost no
+/// distance work and can never displace allowed ones); `counts`, when
+/// non-null, receives the scored/filtered tallies. Scoring goes through the
+/// batched gather-by-id kernels (prefetched). Used by every partition-based
+/// index for the final scan of the candidate set; the scores feed
+/// cross-segment merging in the serving layer.
 std::vector<Neighbor> RerankCandidatesScored(
     const DistanceComputer& dist, const float* query,
-    const std::vector<uint32_t>& candidates, size_t k);
+    const std::vector<uint32_t>& candidates, size_t k,
+    const IdSelector* filter = nullptr, RerankCounts* counts = nullptr);
 
 /// Id-only convenience wrapper over RerankCandidatesScored.
 std::vector<uint32_t> RerankCandidates(const DistanceComputer& dist,

@@ -61,33 +61,34 @@ std::vector<uint32_t> ScannIndex::Assignments() const {
   return assignments;
 }
 
-BatchSearchResult ScannIndex::SearchBatch(MatrixView queries, size_t k,
-                                          size_t budget,
-                                          size_t num_threads) const {
-  const size_t num_probes = budget;
+BatchSearchResult ScannIndex::SearchBatch(const SearchRequest& request) const {
+  const MatrixView queries = request.queries;
+  const SearchOptions& options = request.options;
+  const size_t k = options.k;
   const size_t nq = queries.rows();
   const size_t m_sub = quantizer_.num_subspaces();
   BatchSearchResult result;
-  result.k = k;
-  result.AllocatePadded(nq);
+  result.Prepare(nq, options);
 
   Matrix scores;
   if (partitioner_ != nullptr) {
     scores = partitioner_->ScoreBins(queries);
   }
 
-  ParallelFor(nq, 4, num_threads, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 4, options.num_threads, [&](size_t begin, size_t end,
+                                              size_t) {
     std::vector<uint32_t> candidates;
     std::vector<uint32_t> shortlist;
     for (size_t q = begin; q < end; ++q) {
       const float* query = queries.Row(q);
       // Stage 1: candidate generation.
       candidates.clear();
+      size_t probes = 0;
       if (partitioner_ == nullptr) {
         candidates.resize(base_.rows());
         std::iota(candidates.begin(), candidates.end(), 0u);
       } else {
-        const size_t probes = std::min(num_probes, buckets_.size());
+        probes = std::min(options.budget, buckets_.size());
         const float* s = scores.Row(q);
         std::vector<uint32_t> order(buckets_.size());
         std::iota(order.begin(), order.end(), 0u);
@@ -101,7 +102,27 @@ BatchSearchResult ScannIndex::SearchBatch(MatrixView queries, size_t k,
           candidates.insert(candidates.end(), bucket.begin(), bucket.end());
         }
       }
+
+      // Selector pushdown ahead of the ADC stage: disallowed rows cost no
+      // table lookups and cannot crowd allowed rows out of the shortlist.
+      size_t dropped = 0;
+      if (options.filter != nullptr) {
+        const size_t before = candidates.size();
+        candidates.erase(
+            std::remove_if(candidates.begin(), candidates.end(),
+                           [&](uint32_t id) {
+                             return !options.filter->is_member(id);
+                           }),
+            candidates.end());
+        dropped = before - candidates.size();
+      }
       result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
+      if (result.stats) {
+        result.stats->candidates_scored[q] =
+            static_cast<uint32_t>(candidates.size());
+        result.stats->bins_probed[q] = static_cast<uint32_t>(probes);
+        result.stats->filtered_out[q] = static_cast<uint32_t>(dropped);
+      }
 
       // Stage 2: ADC scoring, keep the best rerank_budget approximate hits.
       const std::vector<float> table = quantizer_.BuildAdcTable(query);
@@ -114,7 +135,7 @@ BatchSearchResult ScannIndex::SearchBatch(MatrixView queries, size_t k,
       for (const auto& cand : top_approx) shortlist.push_back(cand.id);
 
       // Stage 3: exact re-rank of the shortlist through the batched
-      // gather-by-id kernels.
+      // gather-by-id kernels (already filtered in stage 1).
       result.SetRow(q, RerankCandidatesScored(dist_, query, shortlist, k));
     }
   });

@@ -38,13 +38,16 @@ class ScannIndex : public Index {
              ProductQuantizer quantizer, ScannIndexConfig config,
              const uint8_t* codes, const std::vector<uint32_t>& assignments);
 
-  /// k-NN search: probe the `budget` best bins, ADC-score their points, then
-  /// exact-rerank the best `rerank_budget` candidates. `num_threads` caps the
-  /// per-query search sharding (0 = thread-pool default, 1 = serial;
-  /// partition scoring still uses the pool's GEMM); results are identical at
-  /// every setting.
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override;
+  /// k-NN search: probe the `options.budget` best bins, ADC-score their
+  /// points, then exact-rerank the best `rerank_budget` candidates. An
+  /// options.filter is applied before the ADC stage, so disallowed rows cost
+  /// no table lookups and never occupy shortlist slots — with all bins probed
+  /// and rerank_budget >= the allowed count, the result is exact brute force
+  /// over the allowed subset. `options.num_threads` caps the per-query search
+  /// sharding (0 = thread-pool default, 1 = serial; partition scoring still
+  /// uses the pool's GEMM); results are identical at every setting.
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return base_.rows(); }

@@ -377,14 +377,41 @@ void DynamicIndex::WaitForMaintenance() const {
 // Search.
 // ---------------------------------------------------------------------------
 
-BatchSearchResult DynamicIndex::SearchBatch(MatrixView queries, size_t k,
-                                            size_t budget,
-                                            size_t num_threads) const {
+namespace {
+/// Lazy segment-local view of the caller's global selector composed with the
+/// tombstone set: local row i is allowed iff its global id passes the filter
+/// AND is live. Membership is evaluated per candidate the segment actually
+/// visits — O(candidates) instead of an O(segment) eager bitmap translation
+/// per query — and reads global_ids/tombstones safely because the search
+/// holds the index lock shared for the whole fan-out.
+class LocalSelector final : public IdSelector {
+ public:
+  LocalSelector(const IdSelector* global,
+                const std::vector<uint32_t>& global_ids,
+                const std::unordered_set<uint32_t>& tombstones)
+      : global_(global), global_ids_(global_ids), tombstones_(tombstones) {}
+
+  bool is_member(uint32_t local) const override {
+    const uint32_t gid = global_ids_[local];
+    return global_->is_member(gid) && tombstones_.count(gid) == 0;
+  }
+
+ private:
+  const IdSelector* global_;
+  const std::vector<uint32_t>& global_ids_;
+  const std::unordered_set<uint32_t>& tombstones_;
+};
+}  // namespace
+
+BatchSearchResult DynamicIndex::SearchBatch(const SearchRequest& request) const {
+  const MatrixView queries = request.queries;
+  const SearchOptions& options = request.options;
+  const IdSelector* filter = options.filter;
+  const size_t k = options.k;
   USP_CHECK(queries.empty() || queries.cols() == dim_);
   const size_t nq = queries.rows();
   BatchSearchResult result;
-  result.k = k;
-  result.AllocatePadded(nq);
+  result.Prepare(nq, options);
   if (nq == 0 || k == 0) return result;
 
   // The lock is held shared across the whole fan-out + merge: segments and
@@ -392,36 +419,71 @@ BatchSearchResult DynamicIndex::SearchBatch(MatrixView queries, size_t k,
   // batch.
   std::shared_lock<std::shared_mutex> lock(mutex_);
 
-  // Over-fetch per segment by its own tombstone count, so every tombstoned
-  // hit can be dropped without surfacing fewer than k live neighbors while
-  // deeper live ones exist in the same segment.
   struct SegmentHits {
     BatchSearchResult batch;
     const std::vector<uint32_t>* global_ids;
   };
   std::vector<SegmentHits> per_segment;
   per_segment.reserve(sealed_.size());
+
   for (const auto& seg : sealed_) {
-    const size_t fetch = std::min(seg->index->size(), k + seg->tombstoned);
-    if (fetch == 0) continue;
-    per_segment.push_back(
-        {seg->index->SearchBatch(queries, fetch, budget, num_threads),
-         &seg->global_ids});
+    SearchRequest sub;
+    sub.queries = queries;
+    sub.options = options;
+    if (filter == nullptr) {
+      // Over-fetch per segment by its own tombstone count, so every
+      // tombstoned hit can be dropped at the merge without surfacing fewer
+      // than k live neighbors while deeper live ones exist in the segment.
+      const size_t fetch = std::min(seg->index->size(), k + seg->tombstoned);
+      if (fetch == 0) continue;
+      sub.options.k = fetch;
+      per_segment.push_back({seg->index->SearchBatch(sub), &seg->global_ids});
+    } else {
+      // Tombstones ride inside the pushed-down selector, so the segment
+      // returns only mergeable hits and no over-fetch is needed. The local
+      // view is only consulted during this synchronous sub-search.
+      const LocalSelector local(filter, seg->global_ids, tombstones_);
+      sub.options.k = std::min(seg->index->size(), k);
+      sub.options.filter = &local;
+      per_segment.push_back({seg->index->SearchBatch(sub), &seg->global_ids});
+    }
   }
 
   const size_t write_rows = write_ids_.size();
   KnnResult write_hits;
-  if (write_rows > 0) {
+  size_t write_scored = 0;    // post-filter rows the write scan may return
+  size_t write_filtered = 0;  // write rows the selector/tombstones excluded
+  std::unique_ptr<IdSelectorBitmap> write_filter;
+  if (write_rows > 0 && filter != nullptr) {
+    write_filter = std::make_unique<IdSelectorBitmap>(write_rows);
+    for (size_t i = 0; i < write_rows; ++i) {
+      const uint32_t gid = write_ids_[i];
+      if (filter->is_member(gid) && tombstones_.count(gid) == 0) {
+        write_filter->Set(static_cast<uint32_t>(i));
+        ++write_scored;
+      }
+    }
+    write_filtered = write_rows - write_scored;
+  }
+  if (write_rows > 0 && filter == nullptr) {
+    write_scored = write_rows;  // the write segment is scanned exactly
     const MatrixView write_view(write_data_.data(), write_rows, dim_);
     write_hits = BruteForceKnn(write_view, queries,
                                std::min(write_rows, k + write_tombstoned_),
-                               config_.metric, num_threads);
+                               config_.metric, options.num_threads);
+  } else if (write_scored > 0) {
+    const MatrixView write_view(write_data_.data(), write_rows, dim_);
+    write_hits = BruteForceKnn(write_view, queries, std::min(write_rows, k),
+                               config_.metric, write_filter.get(),
+                               options.num_threads);
   }
 
-  ParallelFor(nq, 8, num_threads, [&](size_t begin, size_t end, size_t) {
+  ParallelFor(nq, 8, options.num_threads, [&](size_t begin, size_t end,
+                                              size_t) {
     for (size_t q = begin; q < end; ++q) {
       TopK heap(k);
       size_t candidates = 0;
+      size_t merge_dropped = 0;  // unfiltered path: tombstoned hits dropped
       for (const SegmentHits& hits : per_segment) {
         const BatchSearchResult& batch = hits.batch;
         candidates += batch.candidate_counts[q];
@@ -430,22 +492,45 @@ BatchSearchResult DynamicIndex::SearchBatch(MatrixView queries, size_t k,
         for (size_t j = 0; j < batch.k; ++j) {
           if (ids[j] == kInvalidId) break;  // padding: no more hits
           const uint32_t gid = (*hits.global_ids)[ids[j]];
-          if (tombstones_.count(gid) > 0) continue;
+          // Filtered hits are pre-screened by the local selector; the
+          // tombstone check only runs on the unfiltered over-fetch path.
+          if (filter == nullptr && tombstones_.count(gid) > 0) {
+            ++merge_dropped;
+            continue;
+          }
           heap.Push(dists[j], gid);
         }
       }
-      if (write_rows > 0) {
-        candidates += write_rows;  // the write segment is scanned exactly
+      if (write_hits.k > 0) {
+        candidates += write_scored;
         const uint32_t* ids = write_hits.Row(q);
         const float* dists = write_hits.distances.data() + q * write_hits.k;
         for (size_t j = 0; j < write_hits.k; ++j) {
+          if (ids[j] == kInvalidId) break;  // filtered-scan padding
           const uint32_t gid = write_ids_[ids[j]];
-          if (tombstones_.count(gid) > 0) continue;
+          if (filter == nullptr && tombstones_.count(gid) > 0) {
+            ++merge_dropped;
+            continue;
+          }
           heap.Push(dists[j], gid);
         }
       }
       result.candidate_counts[q] = static_cast<uint32_t>(candidates);
       result.SetRow(q, heap.TakeSorted());
+      if (result.stats) {
+        uint32_t bins = 0, fout = 0, visited = 0;
+        for (const SegmentHits& hits : per_segment) {
+          if (!hits.batch.stats) continue;
+          bins += hits.batch.stats->bins_probed[q];
+          fout += hits.batch.stats->filtered_out[q];
+          visited += hits.batch.stats->nodes_visited[q];
+        }
+        result.stats->candidates_scored[q] = result.candidate_counts[q];
+        result.stats->bins_probed[q] = bins;
+        result.stats->filtered_out[q] = static_cast<uint32_t>(
+            fout + write_filtered + merge_dropped);
+        result.stats->nodes_visited[q] = visited;
+      }
     }
   });
   return result;

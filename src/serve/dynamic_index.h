@@ -141,8 +141,17 @@ class DynamicIndex : public Index {
 
   // --- Index interface -----------------------------------------------------
 
-  BatchSearchResult SearchBatch(MatrixView queries, size_t k, size_t budget,
-                                size_t num_threads = 0) const override;
+  /// Batched search over the segment set. An options.filter operates on the
+  /// *stable global ids* this index reports; it is composed with the
+  /// tombstone set and lazily translated to per-segment local-row selectors
+  /// (evaluated per candidate, never an eager O(segment) pass), so every
+  /// segment applies `allowed = filter(global_id) && !deleted(global_id)` as
+  /// its own pushed-down selector — filtered hits are never post-dropped at
+  /// the merge, and at full budget the result equals brute force over the
+  /// live allowed set. Segment-level stats are summed per query; in the
+  /// filtered path, tombstone drops are folded into filtered_out.
+  using Index::SearchBatch;
+  BatchSearchResult SearchBatch(const SearchRequest& request) const override;
   size_t dim() const override { return dim_; }
   /// Number of live (non-tombstoned) points.
   size_t size() const override;

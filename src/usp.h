@@ -9,8 +9,10 @@
 #include "dist/distance_kernels.h"
 #include "dist/metric.h"
 
-// Unified index interface + versioned serialization (train once, serve many).
+// Unified index interface (SearchRequest/SearchOptions, predicate-filtered
+// search via IdSelector) + versioned serialization (train once, serve many).
 #include "index/container.h"
+#include "index/id_selector.h"
 #include "index/index.h"
 #include "index/serialize.h"
 
