@@ -1,14 +1,28 @@
 // Predicate-filtered search benchmark: QPS and recall vs selectivity for
-// every index type, selector pushdown (SearchOptions::filter) against the
-// naive post-filter baseline (over-fetch unfiltered, drop disallowed,
-// truncate to k). Written machine-readable to BENCH_filtered.json (override
-// the path with argv[1]; conventions in docs/BENCHMARKS.md).
+// every index type, in three modes per (index, selectivity) cell:
+//
+//   pushdown     selector pushdown pinned (PlanMode::kForcePushdown) — the
+//                historical baseline.
+//   postfilter   naive post-filter baseline: unfiltered search with the
+//                over-fetch window scaled as min(n, k/selectivity), drop
+//                disallowed, truncate to k. The window used is recorded per
+//                result row (postfilter_overfetch) so comparisons are honest.
+//   planner      PlanMode::kAuto — the selectivity-aware query planner
+//                (index/query_planner.h) picks the strategy per request; the
+//                chosen strategy is recorded per row.
+//
+// Pushdown + postfilter are written to BENCH_filtered.json (argv[1]); the
+// planner mode to BENCH_planner.json (argv[2]); conventions in
+// docs/BENCHMARKS.md.
 //
 // Expected shape: pushdown recall stays ~1.0 at every selectivity (ground
 // truth is brute force over the allowed subset, which pushdown matches by
 // construction at full budget and closely tracks at working budgets), while
 // the post-filter baseline collapses at low selectivity — its over-fetch
-// window runs out of allowed ids — and pays the over-fetch in QPS.
+// window runs out of allowed ids — and pays the over-fetch in QPS. The
+// planner should match the best mode everywhere, and in particular lift
+// filtered HNSW off its low-selectivity cliff (allowed < ef degrades graph
+// traversal to O(n); the planner reroutes to an allowed-set scan).
 //
 // Scale knobs: USP_BENCH_FILTERED_N (default 4000), USP_BENCH_FILTERED_QUERIES
 // (200), USP_BENCH_FILTERED_REPS (2), USP_BENCH_EPOCHS (USP ensemble).
@@ -25,6 +39,7 @@
 #include "bench/common.h"
 #include "core/ensemble.h"
 #include "hnsw/hnsw.h"
+#include "index/query_planner.h"
 #include "ivf/ivf.h"
 #include "knn/brute_force.h"
 #include "quant/pq.h"
@@ -48,8 +63,11 @@ struct MeasuredMode {
 struct Row {
   std::string index;
   double selectivity;
-  MeasuredMode filtered;    // selector pushdown
+  MeasuredMode filtered;    // selector pushdown (pinned)
   MeasuredMode postfilter;  // over-fetch + drop + truncate
+  MeasuredMode planner;     // PlanMode::kAuto
+  size_t postfilter_overfetch = 0;  // actual window used by the baseline
+  std::string planner_strategy;     // what kAuto picked for this cell
 };
 
 /// One benched index: the engine plus its working-point budget (probes /
@@ -96,12 +114,14 @@ Row Measure(const Entry& entry, const Workload& w, double selectivity,
   row.selectivity = selectivity;
   const size_t nq = w.queries.rows();
 
-  // Mode 1: selector pushdown through the index.
+  // Mode 1: selector pushdown through the index, pinned so the planner
+  // cannot silently swap the strategy under the baseline being measured.
   SearchRequest request;
   request.queries = w.queries;
   request.options.k = kTopK;
   request.options.budget = entry.budget;
   request.options.filter = &filter;
+  request.options.plan = PlanMode::kForcePushdown;
   BatchSearchResult pushed;
   row.filtered.qps = static_cast<double>(nq) / BestSeconds(reps, [&] {
     pushed = entry.index->SearchBatch(request);
@@ -118,13 +138,20 @@ Row Measure(const Entry& entry, const Workload& w, double selectivity,
     row.filtered.mean_candidates = pushed.MeanCandidates();
   }
 
-  // Mode 2: post-filter baseline — unfiltered search with a 10x over-fetch
-  // (capped at the corpus), then drop disallowed ids and truncate to k. The
-  // drop/truncate pass is part of what this strategy costs per query, so it
-  // runs inside the timed region.
+  // Mode 2: post-filter baseline — unfiltered search with the over-fetch
+  // window scaled to the *measured* selectivity, min(n, k * n / allowed):
+  // the window expected to hold k allowed rows. (A hardcoded 10x window was
+  // unfair at low selectivity — far too small for the allowed count — and
+  // wasteful at high selectivity.) Then drop disallowed ids and truncate to
+  // k; the drop/truncate pass is part of what this strategy costs per query,
+  // so it runs inside the timed region.
+  const size_t n = w.base.rows();
+  const size_t allowed = std::max<size_t>(filter.count(), 1);
+  row.postfilter_overfetch =
+      std::min(n, std::max(kTopK, (kTopK * n + allowed - 1) / allowed));
   SearchRequest naive;
   naive.queries = w.queries;
-  naive.options.k = std::min(w.base.rows(), kTopK * 10);
+  naive.options.k = row.postfilter_overfetch;
   naive.options.budget = entry.budget;
   BatchSearchResult unf;
   std::vector<std::vector<uint32_t>> post_got(nq);
@@ -140,10 +167,34 @@ Row Measure(const Entry& entry, const Workload& w, double selectivity,
   });
   row.postfilter.recall = FilteredRecall(post_got, truth);
   row.postfilter.mean_candidates = unf.MeanCandidates();
+
+  // Mode 3: the planner (PlanMode::kAuto is the SearchOptions default).
+  SearchRequest planned_request;
+  planned_request.queries = w.queries;
+  planned_request.options.k = kTopK;
+  planned_request.options.budget = entry.budget;
+  planned_request.options.filter = &filter;
+  row.planner_strategy = PlanStrategyName(
+      PlanFilteredSearch(*entry.index, planned_request.options).strategy);
+  BatchSearchResult planned;
+  row.planner.qps = static_cast<double>(nq) / BestSeconds(reps, [&] {
+    planned = entry.index->SearchBatch(planned_request);
+  });
+  {
+    std::vector<std::vector<uint32_t>> got(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      for (size_t j = 0; j < planned.k; ++j) {
+        const uint32_t id = planned.Row(q)[j];
+        if (id != kInvalidId) got[q].push_back(id);
+      }
+    }
+    row.planner.recall = FilteredRecall(got, truth);
+    row.planner.mean_candidates = planned.MeanCandidates();
+  }
   return row;
 }
 
-int Run(const char* out_path) {
+int Run(const char* out_path, const char* planner_out_path) {
   WorkloadSpec spec;
   spec.kind = WorkloadKind::kSiftLike;
   spec.num_base = static_cast<size_t>(EnvInt("USP_BENCH_FILTERED_N", 4000));
@@ -240,18 +291,23 @@ int Run(const char* out_path) {
 
     std::printf("\nselectivity %.0f%% (%zu of %zu ids allowed)\n",
                 100 * selectivity, filter.count(), n);
-    std::printf("  %-14s %14s %10s  | %14s %10s\n", "index",
-                "pushdown-qps", "recall", "postfilter-qps", "recall");
+    std::printf("  %-14s %14s %10s  | %14s %10s  | %14s %10s %s\n", "index",
+                "pushdown-qps", "recall", "postfilter-qps", "recall",
+                "planner-qps", "recall", "strategy");
     for (const Entry& entry : entries) {
       const Row row = Measure(entry, w, selectivity, filter, truth, reps);
-      std::printf("  %-14s %14.1f %10.4f  | %14.1f %10.4f\n",
+      std::printf("  %-14s %14.1f %10.4f  | %14.1f %10.4f  | %14.1f %10.4f %s\n",
                   row.index.c_str(), row.filtered.qps, row.filtered.recall,
-                  row.postfilter.qps, row.postfilter.recall);
+                  row.postfilter.qps, row.postfilter.recall, row.planner.qps,
+                  row.planner.recall, row.planner_strategy.c_str());
       rows.push_back(row);
     }
   }
 
   // --- JSON ---------------------------------------------------------------
+  // BENCH_filtered.json: the pushdown / post-filter baselines. The over-fetch
+  // window is selectivity-dependent now, so it lives on each result row
+  // instead of in the config block.
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -259,8 +315,8 @@ int Run(const char* out_path) {
   }
   std::fprintf(f,
                "{\n  \"config\": {\"points\": %zu, \"queries\": %zu, "
-               "\"k\": %zu, \"overfetch\": %zu},\n  \"results\": [\n",
-               n, w.queries.rows(), kTopK, kTopK * 10);
+               "\"k\": %zu},\n  \"results\": [\n",
+               n, w.queries.rows(), kTopK);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(
@@ -269,14 +325,46 @@ int Run(const char* out_path) {
         "\"filtered_qps\": %.1f, \"filtered_recall\": %.4f, "
         "\"filtered_mean_candidates\": %.1f, "
         "\"postfilter_qps\": %.1f, \"postfilter_recall\": %.4f, "
-        "\"postfilter_mean_candidates\": %.1f}%s\n",
+        "\"postfilter_mean_candidates\": %.1f, "
+        "\"postfilter_overfetch\": %zu}%s\n",
         r.index.c_str(), r.selectivity, r.filtered.qps, r.filtered.recall,
         r.filtered.mean_candidates, r.postfilter.qps, r.postfilter.recall,
-        r.postfilter.mean_candidates, i + 1 < rows.size() ? "," : "");
+        r.postfilter.mean_candidates, r.postfilter_overfetch,
+        i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path);
+
+  // BENCH_planner.json: the planner mode, with the pushdown baseline rate
+  // alongside so speedups are readable from one file.
+  std::FILE* p = std::fopen(planner_out_path, "w");
+  if (p == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", planner_out_path);
+    return 1;
+  }
+  std::fprintf(p,
+               "{\n  \"config\": {\"points\": %zu, \"queries\": %zu, "
+               "\"k\": %zu},\n  \"results\": [\n",
+               n, w.queries.rows(), kTopK);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        p,
+        "    {\"index\": \"%s\", \"selectivity\": %.2f, "
+        "\"strategy\": \"%s\", "
+        "\"planner_qps\": %.1f, \"planner_recall\": %.4f, "
+        "\"planner_mean_candidates\": %.1f, "
+        "\"pushdown_qps\": %.1f, \"speedup_vs_pushdown\": %.2f}%s\n",
+        r.index.c_str(), r.selectivity, r.planner_strategy.c_str(),
+        r.planner.qps, r.planner.recall, r.planner.mean_candidates,
+        r.filtered.qps,
+        r.filtered.qps > 0 ? r.planner.qps / r.filtered.qps : 0.0,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(p, "  ]\n}\n");
+  std::fclose(p);
+  std::printf("wrote %s\n", planner_out_path);
   return 0;
 }
 
@@ -284,5 +372,6 @@ int Run(const char* out_path) {
 }  // namespace usp::bench
 
 int main(int argc, char** argv) {
-  return usp::bench::Run(argc > 1 ? argv[1] : "BENCH_filtered.json");
+  return usp::bench::Run(argc > 1 ? argv[1] : "BENCH_filtered.json",
+                         argc > 2 ? argv[2] : "BENCH_planner.json");
 }

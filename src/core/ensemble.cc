@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "index/query_planner.h"
 #include "knn/brute_force.h"
 #include "util/thread_pool.h"
 
@@ -70,8 +71,20 @@ void UspEnsemble::Train(const Matrix& data, const KnnResult& knn_matrix) {
   }
 }
 
+size_t UspEnsemble::EstimateCandidates(size_t budget) const {
+  size_t total = 0;
+  for (const auto& index : indexes_) {
+    total += index->EstimateCandidates(budget);
+    if (total >= size()) return size();
+  }
+  return total;
+}
+
 BatchSearchResult UspEnsemble::SearchBatch(const SearchRequest& request) const {
   USP_CHECK(!base_.empty() && !models_.empty());
+  // Planner hook: sparse selectors skip the whole score/merge/rerank pipeline
+  // in favor of an allowed-set scan (index/query_planner.h).
+  if (auto planned = MaybeReroute(*this, request)) return std::move(*planned);
   const MatrixView queries = request.queries;
   const SearchOptions& options = request.options;
   const size_t num_probes = options.budget;

@@ -66,6 +66,10 @@ class UspEnsemble : public Index {
   IndexType type() const override { return IndexType::kUspEnsemble; }
   MatrixView base_view() const override { return base_; }
 
+  /// Planner cost input (index/query_planner.h): summed per-model candidate
+  /// volume capped at n (the merge deduplicates overlapping probes).
+  size_t EstimateCandidates(size_t budget) const override;
+
   size_t num_models() const { return models_.size(); }
   const UspPartitioner& model(size_t i) const { return *models_[i]; }
   const PartitionIndex& index(size_t i) const { return *indexes_[i]; }

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "index/query_planner.h"
 #include "knn/brute_force.h"
 #include "util/thread_pool.h"
 
@@ -59,8 +60,19 @@ void PartitionIndex::CollectCandidates(const float* scores, size_t num_probes,
 
 BatchSearchResult PartitionIndex::SearchBatch(
     const SearchRequest& request) const {
+  // Planner hook: a filtered request may reroute to an allowed-set scan or
+  // post-filter before any bin scoring happens (index/query_planner.h).
+  // SearchBatchWithScores below is the raw pushdown path — callers that
+  // precompute scores (eval sweeps) opt out of planning by construction.
+  if (auto planned = MaybeReroute(*this, request)) return std::move(*planned);
   return SearchBatchWithScores(request.queries, ScoreQueries(request.queries),
                                request.options);
+}
+
+size_t PartitionIndex::EstimateCandidates(size_t budget) const {
+  if (buckets_.empty()) return size();
+  const size_t probes = std::min(std::max<size_t>(budget, 1), buckets_.size());
+  return (size() * probes + buckets_.size() - 1) / buckets_.size();
 }
 
 BatchSearchResult PartitionIndex::SearchBatchWithScores(

@@ -72,6 +72,10 @@ class PartitionIndex : public Index {
   void CollectCandidates(const float* scores, size_t num_probes,
                          std::vector<uint32_t>* candidates) const;
 
+  /// Planner cost input (index/query_planner.h): balanced-bin candidate
+  /// volume, ceil(n * min(budget, bins) / bins).
+  size_t EstimateCandidates(size_t budget) const override;
+
   size_t num_bins() const { return buckets_.size(); }
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return base_.rows(); }

@@ -12,7 +12,21 @@ std::vector<SweepPoint> ProbeSweep(
     const BatchSearchResult result = search(probes);
     SweepPoint point;
     point.probes = probes;
-    point.mean_candidates = result.MeanCandidates();
+    if (result.stats && !result.stats->candidates_scored.empty()) {
+      // Prefer the per-query instrumentation: candidates_scored is the
+      // post-filter |C(q)| of Eq. 4, and nodes_visited tells us whether the
+      // counts are really traversal counts (HNSW's scored == visited
+      // exception) that would silently skew a cross-index comparison.
+      const size_t nq = result.stats->candidates_scored.size();
+      double sum = 0.0;
+      for (size_t q = 0; q < nq; ++q) {
+        sum += static_cast<double>(result.stats->candidates_scored[q]);
+        point.counts_include_visits |= result.stats->nodes_visited[q] > 0;
+      }
+      point.mean_candidates = sum / static_cast<double>(nq);
+    } else {
+      point.mean_candidates = result.MeanCandidates();
+    }
     point.accuracy = KnnAccuracy(result, truth, truth_k);
     curve.push_back(point);
   }

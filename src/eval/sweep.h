@@ -15,10 +15,23 @@ struct SweepPoint {
   size_t probes = 0;
   double mean_candidates = 0.0;
   double accuracy = 0.0;
+
+  /// True when mean_candidates counts graph *visits* rather than
+  /// shortlist candidates: HNSW scores every node it visits (navigation
+  /// needs the distance), so its candidate_counts are traversal counts and
+  /// overstate the "candidate set size" a partition-based point reports.
+  /// Cross-index S(R) comparisons (Fig. 7 style) should not mix flagged and
+  /// unflagged points on one axis without noting the semantics.
+  bool counts_include_visits = false;
 };
 
 /// Runs `search(probes)` for each probe count in `probe_counts` and scores
-/// k-NN accuracy against ground truth.
+/// k-NN accuracy against ground truth. When the result carries a SearchStats
+/// block (SearchOptions::stats), the S(R) axis is taken from
+/// stats->candidates_scored — the per-query |C(q)| of Eq. 4 — and points
+/// whose counts are really graph-visit counts (nonzero nodes_visited, i.e.
+/// HNSW) are flagged via counts_include_visits; otherwise it falls back to
+/// MeanCandidates() unflagged.
 std::vector<SweepPoint> ProbeSweep(
     const std::function<BatchSearchResult(size_t)>& search,
     const std::vector<size_t>& probe_counts,

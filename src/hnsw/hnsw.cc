@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "dist/distance_kernels.h"
+#include "index/query_planner.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -268,6 +269,11 @@ std::vector<uint32_t> HnswIndex::Search(const float* query, size_t k,
 }
 
 BatchSearchResult HnswIndex::SearchBatch(const SearchRequest& request) const {
+  // Planner hook (index/query_planner.h): this is the fix for the
+  // low-selectivity cliff documented above — when the selector admits fewer
+  // nodes than the beam, the planner reroutes to brute force over the
+  // allowed set instead of paying the O(n) degraded traversal.
+  if (auto planned = MaybeReroute(*this, request)) return std::move(*planned);
   const MatrixView queries = request.queries;
   const SearchOptions& options = request.options;
   const size_t k = options.k;

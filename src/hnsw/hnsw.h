@@ -68,6 +68,16 @@ class HnswIndex : public Index {
   Metric metric() const override { return Metric::kSquaredL2; }
   IndexType type() const override { return IndexType::kHnsw; }
   MatrixView base_view() const override { return base_; }
+
+  /// Planner cost input (index/query_planner.h): distance evaluations of an
+  /// unfiltered ef=`budget` search, modeled as the beam expanding up to M
+  /// neighbors per kept node — min(n, budget * M). The planner
+  /// separately models the filtered cliff described above, which this
+  /// estimate deliberately excludes.
+  size_t EstimateCandidates(size_t budget) const override {
+    const size_t beam = std::max<size_t>(budget, 1);
+    return std::min(size(), beam * config_.max_neighbors);
+  }
   int max_level() const { return max_level_; }
 
   // Graph state accessors (serialization + diagnostics).

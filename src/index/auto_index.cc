@@ -1,0 +1,94 @@
+#include "index/auto_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hnsw/hnsw.h"
+#include "util/status.h"
+
+namespace usp {
+namespace {
+
+/// nlist ~ sqrt(n), clamped to [1, n]: the standard IVF balance between
+/// coarse-scoring cost (nlist) and list-scan cost (n / nlist).
+size_t NlistFor(size_t n) {
+  const auto root =
+      static_cast<size_t>(std::lround(std::sqrt(static_cast<double>(n))));
+  return std::max<size_t>(1, std::min(root, std::max<size_t>(n, 1)));
+}
+
+/// Largest M <= 8 that divides dim exactly (PQ subspaces must tile the
+/// vector); 1 always divides, so this never fails.
+size_t PqSubspacesFor(size_t dim) {
+  for (size_t m = std::min<size_t>(dim, 8); m > 1; --m) {
+    if (dim % m == 0) return m;
+  }
+  return 1;
+}
+
+}  // namespace
+
+AutoIndexChoice ChooseIndexType(size_t n, size_t dim, Metric metric) {
+  AutoIndexChoice choice;
+  choice.ivf.metric = metric;
+  choice.ivf.nlist = NlistFor(n);
+
+  if (n <= kAutoIndexSmallDataset) {
+    // Structure cannot pay for itself: one list == an exact scan at budget 1.
+    choice.type = IndexType::kIvfFlat;
+    choice.ivf.nlist = 1;
+    return choice;
+  }
+  if (metric != Metric::kSquaredL2) {
+    // HNSW and the PQ pipelines are squared-L2 only (docs/ARCHITECTURE.md
+    // metric x index table); IVF-Flat supports IP and cosine end to end.
+    choice.type = IndexType::kIvfFlat;
+    return choice;
+  }
+  if (dim <= kAutoIndexLowDim) {
+    // Low-dim distances are nearly free; flat list scans beat graph hops.
+    choice.type = IndexType::kIvfFlat;
+    return choice;
+  }
+  if (n <= kAutoIndexGraphDataset) {
+    choice.type = IndexType::kHnsw;
+    return choice;
+  }
+  // Large high-dim base: compressed residency.
+  choice.type = IndexType::kIvfPq;
+  choice.ivf.pq.num_subspaces = PqSubspacesFor(dim);
+  return choice;
+}
+
+std::unique_ptr<Index> BuildAutoIndex(const Matrix& base, Metric metric,
+                                      uint64_t seed) {
+  USP_CHECK(base.rows() > 0 && base.cols() > 0);
+  AutoIndexChoice choice = ChooseIndexType(base.rows(), base.cols(), metric);
+  choice.ivf.seed = seed;
+  choice.ivf.pq.seed = seed;
+
+  switch (choice.type) {
+    case IndexType::kHnsw: {
+      HnswConfig config;
+      config.max_neighbors = choice.hnsw_max_neighbors;
+      config.ef_construction = choice.hnsw_ef_construction;
+      config.seed = seed;
+      auto index = std::make_unique<HnswIndex>(config);
+      index->Build(base);
+      return index;
+    }
+    case IndexType::kIvfPq: {
+      // Guard against configs the ADC pipeline rejects (shape edge cases);
+      // degrade to IVF-Flat rather than abort — the factory's contract is
+      // "always a working index".
+      if (IvfPqIndex::ValidateConfig(choice.ivf).ok()) {
+        return std::make_unique<IvfPqIndex>(&base, choice.ivf);
+      }
+      return std::make_unique<IvfFlatIndex>(&base, choice.ivf);
+    }
+    default:
+      return std::make_unique<IvfFlatIndex>(&base, choice.ivf);
+  }
+}
+
+}  // namespace usp

@@ -1,0 +1,60 @@
+// sklearn-style `algorithm='auto'` index selection: map (dataset size, dim,
+// metric) to an index type plus trained-to-fit parameters, so callers who do
+// not want to reason about nlist/ef/PQ shapes get a sane default in one call.
+// This is the capstone of the query-planner stack (index/query_planner.h):
+// the planner adapts the *strategy* per query, QueryPlanner adapts the
+// *budget* per recall target, and this factory picks the *index* per dataset.
+//
+// The decision mirrors sklearn's neighbors heuristics transplanted to this
+// repository's index zoo (docs/ARCHITECTURE.md has the full table):
+//
+//   n <= kSmallDataset            -> IVF-Flat, nlist = 1   (exact scan; any
+//                                    structure would cost more than it saves)
+//   metric != kSquaredL2          -> IVF-Flat, nlist ~ sqrt(n)  (the only
+//                                    type supporting IP/cosine end to end)
+//   dim <= kLowDim                -> IVF-Flat, nlist ~ sqrt(n)  (distances
+//                                    are cheap; list scans beat graphs)
+//   n <= kGraphDataset            -> HNSW (dim-robust recall at low budget)
+//   otherwise                     -> IVF-PQ (compressed residency for large
+//                                    high-dim bases), subspaces fit to dim
+#ifndef USP_INDEX_AUTO_INDEX_H_
+#define USP_INDEX_AUTO_INDEX_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "dist/metric.h"
+#include "index/index.h"
+#include "ivf/ivf.h"
+#include "tensor/matrix.h"
+
+namespace usp {
+
+/// Decision thresholds (exposed for tests and tuning).
+inline constexpr size_t kAutoIndexSmallDataset = 2000;
+inline constexpr size_t kAutoIndexLowDim = 16;
+inline constexpr size_t kAutoIndexGraphDataset = 100000;
+
+/// The factory's resolved choice: which type to build and the parameters it
+/// would build it with (only the config matching `type` is meaningful).
+struct AutoIndexChoice {
+  IndexType type = IndexType::kIvfFlat;
+  IvfConfig ivf;           ///< kIvfFlat / kIvfPq parameters
+  size_t hnsw_max_neighbors = 16;     ///< kHnsw: M
+  size_t hnsw_ef_construction = 100;  ///< kHnsw: build beam
+};
+
+/// Pure decision function: (n, dim, metric) -> type + parameters, no
+/// training. Deterministic; documented in the header comment.
+AutoIndexChoice ChooseIndexType(size_t n, size_t dim, Metric metric);
+
+/// Trains the chosen index over `base` (which must outlive the returned
+/// index — the repository-wide view convention). `seed` feeds every
+/// stochastic stage (k-means, PQ, HNSW level draws) for reproducible builds.
+std::unique_ptr<Index> BuildAutoIndex(const Matrix& base,
+                                      Metric metric = Metric::kSquaredL2,
+                                      uint64_t seed = 1);
+
+}  // namespace usp
+
+#endif  // USP_INDEX_AUTO_INDEX_H_

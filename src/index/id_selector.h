@@ -13,11 +13,16 @@
 #ifndef USP_INDEX_ID_SELECTOR_H_
 #define USP_INDEX_ID_SELECTOR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace usp {
+
+/// Sentinel returned by IdSelector::count when a selector cannot report its
+/// cardinality without enumerating the universe.
+inline constexpr size_t kUnknownCount = static_cast<size_t>(-1);
 
 /// Membership predicate over base-point ids. `id` is whatever id space the
 /// queried index reports: base row numbers for the static index types, stable
@@ -29,6 +34,17 @@ class IdSelector {
 
   /// True when `id` may appear in search results.
   virtual bool is_member(uint32_t id) const = 0;
+
+  /// Exact number of members inside [0, universe) when that is cheaply
+  /// computable (O(1) arithmetic for All/Range, O(log) for Array, one
+  /// popcount pass for Bitmap, complement arithmetic for Not), or
+  /// kUnknownCount when counting would require enumerating the universe.
+  /// This is the query planner's selectivity probe; see CountUpTo for the
+  /// bounded fallback that handles kUnknownCount selectors.
+  virtual size_t count(size_t universe) const {
+    (void)universe;
+    return kUnknownCount;
+  }
 };
 
 /// Accepts every id: search behaves exactly as with no filter. Useful as a
@@ -36,6 +52,8 @@ class IdSelector {
 class IdSelectorAll final : public IdSelector {
  public:
   bool is_member(uint32_t) const override { return true; }
+
+  size_t count(size_t universe) const override { return universe; }
 };
 
 /// Accepts the half-open range [begin, end) — the natural selector for
@@ -46,6 +64,13 @@ class IdSelectorRange final : public IdSelector {
 
   bool is_member(uint32_t id) const override {
     return id >= begin_ && id < end_;
+  }
+
+  /// |[begin, end) ∩ [0, universe)|.
+  size_t count(size_t universe) const override {
+    const size_t lo = std::min<size_t>(begin_, universe);
+    const size_t hi = std::min<size_t>(end_, universe);
+    return hi > lo ? hi - lo : 0;
   }
 
   uint32_t begin() const { return begin_; }
@@ -64,6 +89,10 @@ class IdSelectorArray final : public IdSelector {
   explicit IdSelectorArray(std::vector<uint32_t> ids);
 
   bool is_member(uint32_t id) const override;
+
+  /// Entries below `universe` — a binary search over the sorted list, so ids
+  /// at or beyond the queried index's size never inflate the selectivity.
+  size_t count(size_t universe) const override;
 
   /// The sorted, deduplicated allow-list.
   const std::vector<uint32_t>& ids() const { return ids_; }
@@ -97,6 +126,10 @@ class IdSelectorBitmap final : public IdSelector {
   /// Number of member ids (popcount over the bitmap).
   size_t count() const;
 
+  /// Members below min(universe, this->universe()): the popcount restricted
+  /// to the queried index's id range.
+  size_t count(size_t universe) const override;
+
  private:
   size_t universe_;
   std::vector<uint64_t> words_;
@@ -113,9 +146,24 @@ class IdSelectorNot final : public IdSelector {
     return !inner_->is_member(id);
   }
 
+  /// Universe-aware complement: universe - inner.count(universe), propagating
+  /// kUnknownCount when the inner selector cannot count itself.
+  size_t count(size_t universe) const override {
+    const size_t inner_count = inner_->count(universe);
+    return inner_count == kUnknownCount ? kUnknownCount
+                                        : universe - inner_count;
+  }
+
  private:
   const IdSelector* inner_;
 };
+
+/// Bounded selectivity probe: min(limit, |members of `filter` in
+/// [0, universe)|). O(1)-ish when the selector implements count();
+/// otherwise scans ids upward and stops as soon as `limit` members are found
+/// (or the universe is exhausted) — so a planner asking "are there at least
+/// L allowed ids?" pays at most one membership test per id up to the answer.
+size_t CountUpTo(const IdSelector& filter, size_t universe, size_t limit);
 
 }  // namespace usp
 

@@ -33,6 +33,31 @@ namespace usp {
 /// tests/index_padding_test.cc and tests/filtered_search_test.cc.
 inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
 
+/// How a filtered request is executed (SearchOptions::plan). kAuto lets the
+/// query planner (index/query_planner.h) pick per request from a selectivity
+/// probe and a per-index-type cost model; the kForce* modes pin one strategy
+/// for benchmarking, debugging, or tests that target a specific path. All
+/// strategies return bit-identical results to filtered brute force at full
+/// budget; they differ only in cost. Unfiltered requests ignore this field.
+enum class PlanMode : uint8_t {
+  /// Planner's choice: pushdown, allowed-set scan, or post-filter, whichever
+  /// the cost model predicts cheapest for this (index, selectivity, budget).
+  kAuto = 0,
+
+  /// Historical behavior: push the selector down into the index's own
+  /// traversal (probe/visit as usual, test membership before scoring).
+  kForcePushdown = 1,
+
+  /// Brute force over the allowed subset (filtered BruteForceKnn on
+  /// base_view) — exact at any budget; the low-selectivity escape hatch.
+  kForceAllowedScan = 2,
+
+  /// Unfiltered search with an enlarged k, then drop disallowed rows. Rows
+  /// left with fewer than k allowed hits are re-run with real pushdown, so
+  /// exactness at full budget is preserved.
+  kForcePostFilter = 3,
+};
+
 /// Per-query search knobs. Defaults reproduce the historical positional call:
 /// no filter, no stats, pool-default threading.
 struct SearchOptions {
@@ -60,6 +85,10 @@ struct SearchOptions {
   /// instrumentation (candidates scored, bins probed, filtered-out count,
   /// visited nodes).
   bool stats = false;
+
+  /// Execution strategy for filtered requests; see PlanMode. Ignored when
+  /// filter == nullptr.
+  PlanMode plan = PlanMode::kAuto;
 };
 
 /// A batch of queries plus the options they run under. `queries` is a
@@ -197,6 +226,16 @@ class Index {
   /// The serving layer's compaction (serve/dynamic_index.h) uses this to
   /// gather live rows out of sealed segments without knowing their type.
   virtual MatrixView base_view() const { return MatrixView(); }
+
+  /// Expected number of candidates an *unfiltered* query generates at
+  /// `budget` — the E term of the planner's cost model
+  /// (index/query_planner.h). An estimate, not a promise: partition types
+  /// assume balanced bins, HNSW bounds its frontier expansion. The default
+  /// (the whole base) is the conservative upper bound.
+  virtual size_t EstimateCandidates(size_t budget) const {
+    (void)budget;
+    return size();
+  }
 
   /// The concrete index this object answers queries with. Loaded indexes
   /// (index/serialize.h) are wrappers owning their storage; underlying()

@@ -477,6 +477,9 @@ class LoadedIndex : public Index {
   Metric metric() const override { return bundle_->index->metric(); }
   IndexType type() const override { return bundle_->index->type(); }
   MatrixView base_view() const override { return bundle_->index->base_view(); }
+  size_t EstimateCandidates(size_t budget) const override {
+    return bundle_->index->EstimateCandidates(budget);
+  }
   const Index& underlying() const override { return *bundle_->index; }
 
  private:

@@ -52,6 +52,13 @@ class IvfFlatIndex : public Index {
   IndexType type() const override { return IndexType::kIvfFlat; }
   MatrixView base_view() const override { return index_->base(); }
 
+  /// Planner cost input: the inner PartitionIndex's balanced-list estimate.
+  /// (Query planning itself also happens in the inner index, whose
+  /// SearchBatch this class delegates to.)
+  size_t EstimateCandidates(size_t budget) const override {
+    return index_->EstimateCandidates(budget);
+  }
+
   /// k-NN search probing the `options.budget` (= nprobe) best lists; an
   /// options.filter restricts results to allowed base rows (dropped before
   /// the exact scan). `options.num_threads` caps the per-query search
@@ -93,6 +100,13 @@ class IvfPqIndex : public Index {
   Metric metric() const override { return Metric::kSquaredL2; }
   IndexType type() const override { return IndexType::kIvfPq; }
   MatrixView base_view() const override { return index_->base(); }
+
+  /// Planner cost input: the inner ScannIndex's balanced-list estimate.
+  /// (Query planning itself also happens in the inner index, whose
+  /// SearchBatch this class delegates to.)
+  size_t EstimateCandidates(size_t budget) const override {
+    return index_->EstimateCandidates(budget);
+  }
 
   /// k-NN search probing the `options.budget` (= nprobe) best lists; an
   /// options.filter drops disallowed rows before the ADC scan, so filtered

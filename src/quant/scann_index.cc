@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "index/query_planner.h"
 #include "knn/brute_force.h"
 #include "knn/top_k.h"
 #include "util/thread_pool.h"
@@ -61,7 +62,17 @@ std::vector<uint32_t> ScannIndex::Assignments() const {
   return assignments;
 }
 
+size_t ScannIndex::EstimateCandidates(size_t budget) const {
+  if (buckets_.empty()) return size();
+  const size_t probes = std::min(std::max<size_t>(budget, 1), buckets_.size());
+  return (size() * probes + buckets_.size() - 1) / buckets_.size();
+}
+
 BatchSearchResult ScannIndex::SearchBatch(const SearchRequest& request) const {
+  // Planner hook: filtered requests may reroute away from the ADC pipeline
+  // entirely (index/query_planner.h) — e.g. a sparse selector is cheaper to
+  // satisfy by exact brute force over the allowed rows than by probing.
+  if (auto planned = MaybeReroute(*this, request)) return std::move(*planned);
   const MatrixView queries = request.queries;
   const SearchOptions& options = request.options;
   const size_t k = options.k;

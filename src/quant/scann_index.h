@@ -55,6 +55,10 @@ class ScannIndex : public Index {
   IndexType type() const override { return IndexType::kScann; }
   MatrixView base_view() const override { return base_; }
 
+  /// Planner cost input (index/query_planner.h): balanced-bin ADC candidate
+  /// volume; the whole base for a partition-free exhaustive scan.
+  size_t EstimateCandidates(size_t budget) const override;
+
   const ProductQuantizer& quantizer() const { return quantizer_; }
   bool has_partition() const { return partitioner_ != nullptr; }
 

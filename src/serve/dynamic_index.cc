@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "index/query_planner.h"
 #include "ivf/ivf.h"
 #include "knn/brute_force.h"
 #include "util/thread_pool.h"
@@ -404,6 +405,13 @@ class LocalSelector final : public IdSelector {
 }  // namespace
 
 BatchSearchResult DynamicIndex::SearchBatch(const SearchRequest& request) const {
+  // Planner hook. With no base_view to scan, the top level only ever chooses
+  // between pushdown and post-filter; under pushdown the filter fans out as
+  // per-segment sub-requests that keep options.plan, so each sealed segment
+  // re-plans against its own translated (filter && !tombstone) selector —
+  // a sparse global filter can brute-force one segment's allowed rows while
+  // another segment still probes (index/query_planner.h).
+  if (auto planned = MaybeReroute(*this, request)) return std::move(*planned);
   const MatrixView queries = request.queries;
   const SearchOptions& options = request.options;
   const IdSelector* filter = options.filter;
@@ -543,6 +551,15 @@ BatchSearchResult DynamicIndex::SearchBatch(const SearchRequest& request) const 
 size_t DynamicIndex::size() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return live_;
+}
+
+size_t DynamicIndex::EstimateCandidates(size_t budget) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  size_t total = write_ids_.size();
+  for (const auto& segment : sealed_) {
+    total += segment->index->EstimateCandidates(budget);
+  }
+  return total;
 }
 
 size_t DynamicIndex::num_sealed_segments() const {

@@ -155,6 +155,12 @@ class DynamicIndex : public Index {
   size_t dim() const override { return dim_; }
   /// Number of live (non-tombstoned) points.
   size_t size() const override;
+
+  /// Planner cost input (index/query_planner.h): summed sealed-segment
+  /// estimates plus the always-scanned write segment. Note the top level
+  /// never reroutes itself (no base_view to scan); each sealed segment plans
+  /// its own sub-request against its translated selector.
+  size_t EstimateCandidates(size_t budget) const override;
   Metric metric() const override { return config_.metric; }
   IndexType type() const override { return IndexType::kDynamic; }
 

@@ -10,10 +10,13 @@
 #include "dist/metric.h"
 
 // Unified index interface (SearchRequest/SearchOptions, predicate-filtered
-// search via IdSelector) + versioned serialization (train once, serve many).
+// search via IdSelector, selectivity-aware query planning) + versioned
+// serialization (train once, serve many) + algorithm='auto' index factory.
+#include "index/auto_index.h"
 #include "index/container.h"
 #include "index/id_selector.h"
 #include "index/index.h"
+#include "index/query_planner.h"
 #include "index/serialize.h"
 
 // Mutable serving layer (LSM-style segments, tombstone deletes, compaction).

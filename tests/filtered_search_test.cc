@@ -267,6 +267,9 @@ TEST(FilteredSearchTest, CandidateCountsArePostFilter) {
     request.options.k = 10;
     request.options.budget = 4;
     request.options.stats = true;
+    // This test pins the *pushdown* path's counting semantics; keep the
+    // planner from rerouting to another (equally correct) strategy.
+    request.options.plan = PlanMode::kForcePushdown;
     const BatchSearchResult unfiltered = index->SearchBatch(request);
     request.options.filter = &filter;
     const BatchSearchResult filtered = index->SearchBatch(request);
@@ -297,6 +300,10 @@ TEST(FilteredSearchTest, HnswStatsCountVisitsAndFilterDrops) {
   request.options.budget = 64;
   request.options.stats = true;
   request.options.filter = &filter;
+  // This test pins the traversal stats of the pushdown path; under kAuto the
+  // planner would (correctly) reroute this low-selectivity request to an
+  // allowed-set scan, which visits no graph nodes at all.
+  request.options.plan = PlanMode::kForcePushdown;
   const BatchSearchResult result = all.hnsw.SearchBatch(request);
   ASSERT_TRUE(result.stats.has_value());
   for (size_t q = 0; q < all.w.queries.rows(); ++q) {
