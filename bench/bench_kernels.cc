@@ -1,21 +1,34 @@
 // Microbenchmark for the src/dist/ kernel layer: 1-vs-1 scalar vs dispatched
-// vs batched ScoreBlock / gather ScoreIds, at d in {32, 128, 960}. Writes
+// vs batched ScoreBlock / gather ScoreIds, at d in {32, 128, 960}, plus the
+// compressed-domain kernels of dist/quant_kernels.h (4-bit PQ fast-scan vs
+// the per-code float-ADC walk, SQ8 int8 scans vs the fp32 loop) and a
+// whole-index Sq8-vs-IVF-Flat QPS comparison at matched recall@10. Writes
 // machine-readable results to BENCH_kernels.json (override the path with
-// argv[1]) to seed the perf trajectory; the headline number is the speedup of
-// the dispatched batched kernels over the scalar 1-vs-1 loop.
+// argv[1]) to seed the perf trajectory; the headline numbers are the speedup
+// of the dispatched batched kernels over the scalar 1-vs-1 loop and of the
+// pq4 shuffle kernel over the per-code ADC loop.
 //
 // Scale knobs: USP_BENCH_KERNEL_MB (working set, default 64) and
-// USP_BENCH_KERNEL_REPS (timed repetitions, default 5).
+// USP_BENCH_KERNEL_REPS (timed repetitions, default 5); the index comparison
+// follows the shared bench scale (USP_BENCH_SIFT_N / USP_BENCH_QUERIES).
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <numeric>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/common.h"
+#include "core/partition_index.h"
 #include "dist/distance_kernels.h"
+#include "dist/quant_kernels.h"
+#include "ivf/ivf.h"
+#include "quant/fastscan.h"
+#include "quant/sq8_index.h"
 #include "util/env.h"
 #include "util/timer.h"
 
@@ -32,6 +45,16 @@ struct BenchResult {
   double speedup_vs_scalar_1v1;  // 0 when it IS the baseline
 };
 
+/// Whole-index operating points of the Sq8-vs-IVF-Flat comparison.
+struct IndexQps {
+  double sq8_recall = 0.0;
+  double sq8_qps = 0.0;
+  double ivf_recall = 0.0;
+  double ivf_qps = 0.0;
+  size_t ivf_probes = 0;
+  double qps_ratio = 0.0;  // sq8_qps / ivf_qps at matched recall
+};
+
 double BestOfReps(size_t reps, const std::function<void()>& fn) {
   double best = 1e100;
   for (size_t r = 0; r < reps; ++r) {
@@ -42,16 +65,91 @@ double BestOfReps(size_t reps, const std::function<void()>& fn) {
   return best;
 }
 
+/// Sq8Index vs IVF-Flat at matched recall@10 on the default bench workload:
+/// measures the exhaustive quantized scan against the probe count IVF-Flat
+/// needs to reach the same recall.
+IndexQps RunIndexComparison(size_t reps) {
+  const Workload& w = SiftLikeWorkload();
+  IndexQps out;
+  const size_t nq = w.queries.rows();
+  const size_t k = 10;
+
+  Sq8IndexConfig sq8_config;
+  const Sq8Index sq8(&w.base, sq8_config);
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = k;
+  request.options.budget = 1;  // the SQ8 scan is exhaustive regardless
+  const BatchSearchResult sq8_result = sq8.SearchBatch(request);
+  out.sq8_recall =
+      KnnAccuracy(sq8_result, w.ground_truth.indices, w.ground_truth.k);
+  out.sq8_qps = static_cast<double>(nq) /
+                BestOfReps(reps, [&] { sq8.SearchBatch(request); });
+
+  IvfConfig ivf_config;
+  ivf_config.nlist = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(static_cast<double>(w.base.rows()))));
+  const IvfFlatIndex ivf(&w.base, ivf_config);
+
+  // Smallest probe budget whose recall matches SQ8's (all lists if it never
+  // gets there — then the comparison is against exact search).
+  out.ivf_probes = ivf_config.nlist;
+  for (size_t probes = 1; probes <= ivf_config.nlist; ++probes) {
+    request.options.budget = probes;
+    const double recall = KnnAccuracy(ivf.SearchBatch(request),
+                                      w.ground_truth.indices,
+                                      w.ground_truth.k);
+    if (recall >= out.sq8_recall) {
+      out.ivf_probes = probes;
+      out.ivf_recall = recall;
+      break;
+    }
+    out.ivf_recall = recall;
+  }
+  request.options.budget = out.ivf_probes;
+  out.ivf_qps = static_cast<double>(nq) /
+                BestOfReps(reps, [&] { ivf.SearchBatch(request); });
+  out.qps_ratio = out.ivf_qps > 0.0 ? out.sq8_qps / out.ivf_qps : 0.0;
+  return out;
+}
+
 int Run(const char* out_path) {
   const size_t budget_floats =
       static_cast<size_t>(EnvInt("USP_BENCH_KERNEL_MB", 64)) * (1u << 20) / 4;
   const size_t reps = static_cast<size_t>(EnvInt("USP_BENCH_KERNEL_REPS", 5));
   const DistanceKernels& scalar = ScalarKernels();
   const DistanceKernels& dispatched = GetDistanceKernels();
-  std::printf("dispatched kernel set: %s\n", dispatched.name);
+  const QuantKernels& quant_scalar = ScalarQuantKernels();
+  const QuantKernels& quant = GetQuantKernels();
+  std::printf("dispatched kernel set: %s (quantized: %s)\n", dispatched.name,
+              quant.name);
 
   std::vector<BenchResult> results;
-  float sink = 0.0f;  // defeats dead-code elimination
+  float sink = 0.0f;      // defeats dead-code elimination
+  uint64_t isink = 0;     // same, integer domain
+
+  auto record = [&](const std::string& kernel, const std::string& impl,
+                    size_t d, size_t rows, double bytes, double seconds,
+                    double baseline_seconds) {
+    BenchResult r;
+    r.kernel = kernel;
+    r.impl = impl;
+    r.dim = d;
+    r.rows = rows;
+    r.ns_per_row = seconds * 1e9 / static_cast<double>(rows);
+    r.gb_per_sec = bytes / seconds / 1e9;
+    r.speedup_vs_scalar_1v1 =
+        baseline_seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+    results.push_back(r);
+    std::printf("%-18s %-7s d=%-4zu rows=%-7zu %8.2f ns/row %7.2f GB/s%s\n",
+                kernel.c_str(), impl.c_str(), d, rows, r.ns_per_row,
+                r.gb_per_sec,
+                baseline_seconds > 0.0
+                    ? ("  (" + std::to_string(r.speedup_vs_scalar_1v1) +
+                       "x vs baseline)")
+                          .c_str()
+                    : "");
+  };
 
   for (const size_t d : {size_t{32}, size_t{128}, size_t{960}}) {
     const size_t rows = std::min<size_t>(200000, budget_floats / d);
@@ -66,28 +164,6 @@ int Run(const char* out_path) {
     std::vector<float> out(rows);
     const double bytes = static_cast<double>(rows) * d * sizeof(float);
 
-    auto record = [&](const std::string& kernel, const std::string& impl,
-                      double seconds, double baseline_seconds) {
-      BenchResult r;
-      r.kernel = kernel;
-      r.impl = impl;
-      r.dim = d;
-      r.rows = rows;
-      r.ns_per_row = seconds * 1e9 / static_cast<double>(rows);
-      r.gb_per_sec = bytes / seconds / 1e9;
-      r.speedup_vs_scalar_1v1 =
-          baseline_seconds > 0.0 ? baseline_seconds / seconds : 0.0;
-      results.push_back(r);
-      std::printf("%-18s %-7s d=%-4zu rows=%-7zu %8.2f ns/row %7.2f GB/s%s\n",
-                  kernel.c_str(), impl.c_str(), d, rows, r.ns_per_row,
-                  r.gb_per_sec,
-                  baseline_seconds > 0.0
-                      ? ("  (" + std::to_string(r.speedup_vs_scalar_1v1) +
-                         "x vs scalar 1v1)")
-                            .c_str()
-                      : "");
-    };
-
     // Baseline: scalar 1-vs-1 loop (the pre-refactor call-site shape).
     const double scalar_1v1 = BestOfReps(reps, [&] {
       for (size_t i = 0; i < rows; ++i) {
@@ -95,9 +171,9 @@ int Run(const char* out_path) {
       }
       sink += out[rows / 2];
     });
-    record("l2_1v1", "scalar", scalar_1v1, 0.0);
+    record("l2_1v1", "scalar", d, rows, bytes, scalar_1v1, 0.0);
 
-    record("l2_1v1", dispatched.name, BestOfReps(reps, [&] {
+    record("l2_1v1", dispatched.name, d, rows, bytes, BestOfReps(reps, [&] {
              for (size_t i = 0; i < rows; ++i) {
                out[i] =
                    dispatched.squared_l2(query.data(), base.data() + i * d, d);
@@ -106,35 +182,154 @@ int Run(const char* out_path) {
            }),
            scalar_1v1);
 
-    record("l2_score_block", dispatched.name, BestOfReps(reps, [&] {
+    record("l2_score_block", dispatched.name, d, rows, bytes,
+           BestOfReps(reps, [&] {
              dispatched.score_block_l2(query.data(), base.data(), rows, d,
                                        out.data());
              sink += out[rows / 2];
            }),
            scalar_1v1);
 
-    record("l2_score_ids", dispatched.name, BestOfReps(reps, [&] {
+    record("l2_score_ids", dispatched.name, d, rows, bytes,
+           BestOfReps(reps, [&] {
              dispatched.score_ids_l2(query.data(), base.data(), d, ids.data(),
                                      rows, out.data());
              sink += out[rows / 2];
            }),
            scalar_1v1);
 
-    record("dot_score_block", dispatched.name, BestOfReps(reps, [&] {
+    record("dot_score_block", dispatched.name, d, rows, bytes,
+           BestOfReps(reps, [&] {
              dispatched.score_block_dot(query.data(), base.data(), rows, d,
                                         out.data());
              sink += out[rows / 2];
            }),
            scalar_1v1);
+
+    record("dot_score_ids", dispatched.name, d, rows, bytes,
+           BestOfReps(reps, [&] {
+             dispatched.score_ids_dot(query.data(), base.data(), d, ids.data(),
+                                      rows, out.data());
+             sink += out[rows / 2];
+           }),
+           scalar_1v1);
   }
+
+  // --- 4-bit PQ fast-scan vs the per-code float-ADC walk -------------------
+  // Baseline is the historical ADC inner loop (one table lookup + add per
+  // subspace code); the contender scores 32 codes per 16-byte LUT shuffle.
+  for (const size_t m : {size_t{8}, size_t{16}}) {
+    constexpr size_t kCodebook = 16;
+    const size_t rows = 256 * 1024;  // multiple of the 32-code block
+    std::mt19937 gen(7);
+    std::uniform_int_distribution<uint32_t> code_dist(0, kCodebook - 1);
+    std::uniform_real_distribution<float> val_dist(0.0f, 4.0f);
+    std::vector<uint8_t> codes(rows * m);
+    for (auto& c : codes) c = static_cast<uint8_t>(code_dist(gen));
+    std::vector<float> table(m * kCodebook);
+    for (auto& v : table) v = val_dist(gen);
+
+    const PackedCodes packed = PackCodes4(codes.data(), rows, m);
+    const QuantizedLut qlut = QuantizeAdcTable(table.data(), m, kCodebook);
+    std::vector<float> fscores(rows);
+    std::vector<uint16_t> qsums(packed.num_blocks() * kPq4BlockSize);
+    const double code_bytes = static_cast<double>(rows) * m;
+
+    const double adc_float = BestOfReps(reps, [&] {
+      for (size_t i = 0; i < rows; ++i) {
+        const uint8_t* code = codes.data() + i * m;
+        float sum = 0.0f;
+        for (size_t s = 0; s < m; ++s) {
+          sum += table[s * kCodebook + code[s]];
+        }
+        fscores[i] = sum;
+      }
+      sink += fscores[rows / 2];
+    });
+    record("pq4_adc", "float", m, rows, code_bytes, adc_float, 0.0);
+
+    record("pq4_fastscan", quant_scalar.name, m, rows, code_bytes,
+           BestOfReps(reps, [&] {
+             quant_scalar.pq4_scan(packed.data.data(), qlut.lut.data(), m,
+                                   packed.num_blocks(), qsums.data());
+             isink += qsums[rows / 2];
+           }),
+           adc_float);
+
+    record("pq4_fastscan", quant.name, m, rows, code_bytes,
+           BestOfReps(reps, [&] {
+             quant.pq4_scan(packed.data.data(), qlut.lut.data(), m,
+                            packed.num_blocks(), qsums.data());
+             isink += qsums[rows / 2];
+           }),
+           adc_float);
+  }
+
+  // --- SQ8 int8 scans vs the scalar fp32 loop ------------------------------
+  // Same logical workload (rows x d distances); the int8 rows move 4x fewer
+  // bytes and go through the widening madd kernels.
+  {
+    const size_t d = 128;
+    const size_t rows = std::min<size_t>(200000, budget_floats / d);
+    std::mt19937 gen(11);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    std::vector<float> fbase(rows * d), fquery(d);
+    for (auto& v : fbase) v = dist(gen);
+    for (auto& v : fquery) v = dist(gen);
+    std::vector<uint8_t> qbase(rows * d), qquery(d);
+    auto encode = [](float v) {
+      return static_cast<uint8_t>((v + 1.0f) * 127.5f);
+    };
+    for (size_t i = 0; i < fbase.size(); ++i) qbase[i] = encode(fbase[i]);
+    for (size_t j = 0; j < d; ++j) qquery[j] = encode(fquery[j]);
+    std::vector<float> fout(rows);
+    std::vector<uint32_t> qout(rows);
+    const double qbytes = static_cast<double>(rows) * d;
+
+    const double fp32_l2 = BestOfReps(reps, [&] {
+      for (size_t i = 0; i < rows; ++i) {
+        fout[i] = scalar.squared_l2(fquery.data(), fbase.data() + i * d, d);
+      }
+      sink += fout[rows / 2];
+    });
+    record("sq8_scan_l2", "fp32", d, rows,
+           static_cast<double>(rows) * d * sizeof(float), fp32_l2, 0.0);
+
+    record("sq8_scan_l2", quant.name, d, rows, qbytes, BestOfReps(reps, [&] {
+             quant.sq8_scan_l2(qquery.data(), qbase.data(), rows, d,
+                               qout.data());
+             isink += qout[rows / 2];
+           }),
+           fp32_l2);
+
+    record("sq8_scan_dot", quant.name, d, rows, qbytes, BestOfReps(reps, [&] {
+             quant.sq8_scan_dot(qquery.data(), qbase.data(), rows, d,
+                                qout.data());
+             isink += qout[rows / 2];
+           }),
+           fp32_l2);
+  }
+
+  std::printf("index comparison (Sq8 vs IVF-Flat at matched recall@10)...\n");
+  const IndexQps qps = RunIndexComparison(reps);
+  std::printf(
+      "sq8: recall=%.3f qps=%.0f | ivf_flat: probes=%zu recall=%.3f "
+      "qps=%.0f | qps ratio %.2fx\n",
+      qps.sq8_recall, qps.sq8_qps, qps.ivf_probes, qps.ivf_recall, qps.ivf_qps,
+      qps.qps_ratio);
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
     return 1;
   }
-  std::fprintf(f, "{\n  \"dispatched\": \"%s\",\n  \"results\": [\n",
-               dispatched.name);
+  std::fprintf(f, "{\n  \"dispatched\": \"%s\",\n", dispatched.name);
+  std::fprintf(f,
+               "  \"machine\": {\"dispatched_isa\": \"%s\", "
+               "\"quant_isa\": \"%s\", \"cores\": %u},\n",
+               dispatched.name, quant.name,
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(f,
@@ -145,9 +340,18 @@ int Run(const char* out_path) {
                  r.gb_per_sec, r.speedup_vs_scalar_1v1,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"index_qps\": {\"sq8_recall\": %.4f, \"sq8_qps\": %.1f, "
+               "\"ivf_flat_probes\": %zu, \"ivf_flat_recall\": %.4f, "
+               "\"ivf_flat_qps\": %.1f, \"qps_ratio\": %.3f}\n",
+               qps.sq8_recall, qps.sq8_qps, qps.ivf_probes, qps.ivf_recall,
+               qps.ivf_qps, qps.qps_ratio);
+  std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("wrote %s (sink=%g)\n", out_path, static_cast<double>(sink));
+  std::printf("wrote %s (sink=%g isink=%llu)\n", out_path,
+              static_cast<double>(sink),
+              static_cast<unsigned long long>(isink));
   return 0;
 }
 

@@ -1,0 +1,20 @@
+#include "dist/quant_kernels.h"
+
+#include "util/env.h"
+
+namespace usp {
+
+const QuantKernels& SelectQuantKernels(bool force_scalar) {
+  if (!force_scalar) {
+    if (const QuantKernels* avx2 = Avx2QuantKernelsOrNull()) return *avx2;
+  }
+  return ScalarQuantKernels();
+}
+
+const QuantKernels& GetQuantKernels() {
+  static const QuantKernels& kernels =
+      SelectQuantKernels(EnvInt("USP_FORCE_SCALAR", 0) != 0);
+  return kernels;
+}
+
+}  // namespace usp

@@ -1,0 +1,67 @@
+// Portable quantized kernel set. Every kernel is an exact integer sum, so
+// this set is bitwise identical to quant_kernels_avx2.cc by construction —
+// there is no floating-point lane structure to mirror, only the same
+// wraparound arithmetic (uint16 accumulation for pq4, uint32 for sq8).
+#include "dist/quant_kernels.h"
+
+namespace usp {
+namespace {
+
+void Pq4ScanScalar(const uint8_t* blocks, const uint8_t* luts, size_t m,
+                   size_t num_blocks, uint16_t* out) {
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const uint8_t* block = blocks + b * m * 16;
+    uint16_t* scores = out + b * kPq4BlockSize;
+    for (size_t t = 0; t < kPq4BlockSize; ++t) scores[t] = 0;
+    for (size_t s = 0; s < m; ++s) {
+      const uint8_t* packed = block + s * 16;
+      const uint8_t* lut = luts + s * 16;
+      for (size_t j = 0; j < 16; ++j) {
+        scores[j] = static_cast<uint16_t>(scores[j] + lut[packed[j] & 0x0F]);
+        scores[j + 16] =
+            static_cast<uint16_t>(scores[j + 16] + lut[packed[j] >> 4]);
+      }
+    }
+  }
+}
+
+uint32_t Sq8L2Scalar(const uint8_t* x, const uint8_t* y, size_t d) {
+  uint32_t total = 0;
+  for (size_t i = 0; i < d; ++i) {
+    const int32_t diff = static_cast<int32_t>(x[i]) - static_cast<int32_t>(y[i]);
+    total += static_cast<uint32_t>(diff * diff);
+  }
+  return total;
+}
+
+uint32_t Sq8DotScalar(const uint8_t* x, const uint8_t* y, size_t d) {
+  uint32_t total = 0;
+  for (size_t i = 0; i < d; ++i) {
+    total += static_cast<uint32_t>(x[i]) * static_cast<uint32_t>(y[i]);
+  }
+  return total;
+}
+
+void Sq8ScanL2Scalar(const uint8_t* query, const uint8_t* rows, size_t count,
+                     size_t d, uint32_t* out) {
+  for (size_t r = 0; r < count; ++r) out[r] = Sq8L2Scalar(query, rows + r * d, d);
+}
+
+void Sq8ScanDotScalar(const uint8_t* query, const uint8_t* rows, size_t count,
+                      size_t d, uint32_t* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = Sq8DotScalar(query, rows + r * d, d);
+  }
+}
+
+}  // namespace
+
+const QuantKernels& ScalarQuantKernels() {
+  static const QuantKernels kernels = {
+      "scalar",      Pq4ScanScalar,   Sq8L2Scalar,
+      Sq8DotScalar,  Sq8ScanL2Scalar, Sq8ScanDotScalar,
+  };
+  return kernels;
+}
+
+}  // namespace usp

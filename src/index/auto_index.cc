@@ -39,19 +39,16 @@ AutoIndexChoice ChooseIndexType(size_t n, size_t dim, Metric metric) {
     choice.ivf.nlist = 1;
     return choice;
   }
-  if (metric != Metric::kSquaredL2) {
-    // HNSW and the PQ pipelines are squared-L2 only (docs/ARCHITECTURE.md
-    // metric x index table); IVF-Flat supports IP and cosine end to end.
-    choice.type = IndexType::kIvfFlat;
-    return choice;
-  }
   if (dim <= kAutoIndexLowDim) {
     // Low-dim distances are nearly free; flat list scans beat graph hops.
     choice.type = IndexType::kIvfFlat;
     return choice;
   }
   if (n <= kAutoIndexGraphDataset) {
-    choice.type = IndexType::kHnsw;
+    // HNSW is squared-L2 only (docs/ARCHITECTURE.md metric x index table);
+    // IVF-Flat supports IP and cosine end to end at this scale.
+    choice.type = metric == Metric::kSquaredL2 ? IndexType::kHnsw
+                                               : IndexType::kIvfFlat;
     return choice;
   }
   // Large high-dim base: compressed residency.

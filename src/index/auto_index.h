@@ -10,13 +10,14 @@
 //
 //   n <= kSmallDataset            -> IVF-Flat, nlist = 1   (exact scan; any
 //                                    structure would cost more than it saves)
-//   metric != kSquaredL2          -> IVF-Flat, nlist ~ sqrt(n)  (the only
-//                                    type supporting IP/cosine end to end)
 //   dim <= kLowDim                -> IVF-Flat, nlist ~ sqrt(n)  (distances
 //                                    are cheap; list scans beat graphs)
-//   n <= kGraphDataset            -> HNSW (dim-robust recall at low budget)
+//   n <= kGraphDataset            -> HNSW for squared L2 (dim-robust recall
+//                                    at low budget; the graph is L2-only),
+//                                    IVF-Flat for IP/cosine
 //   otherwise                     -> IVF-PQ (compressed residency for large
-//                                    high-dim bases), subspaces fit to dim
+//                                    high-dim bases, any metric), subspaces
+//                                    fit to dim
 #ifndef USP_INDEX_AUTO_INDEX_H_
 #define USP_INDEX_AUTO_INDEX_H_
 

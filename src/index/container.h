@@ -56,6 +56,13 @@ enum class SectionTag : uint32_t {
   kIdMap = 15,        ///< ordinal j: segment-local row -> global id (uint32);
                       ///< ordinal num_sealed is the write segment's map
   kTombstones = 16,   ///< deleted-id bitmap, ceil(next_id/64) uint64 words
+  // Quantized-scan sections (no version bump: readers that ignore them still
+  // rebuild equivalent state from kPqCodes, and kSq8* only appear under the
+  // new kSq8 index type tag):
+  kPqPackedCodes = 17,  ///< bucket-grouped 4-bit fast-scan blocks
+                        ///< (quant/fastscan.h layout)
+  kSq8Params = 18,      ///< 2 x dim float32: per-dim mins then scales
+  kSq8Codes = 19,       ///< (num_points x dim) uint8 SQ8 codes
 };
 
 /// Fixed 64-byte file header.

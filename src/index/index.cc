@@ -63,6 +63,8 @@ const char* IndexTypeName(IndexType type) {
       return "usp_ensemble";
     case IndexType::kDynamic:
       return "dynamic";
+    case IndexType::kSq8:
+      return "sq8";
   }
   return "unknown";
 }

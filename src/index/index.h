@@ -174,6 +174,7 @@ enum class IndexType : uint32_t {
   kHnsw = 5,         ///< HnswIndex
   kUspEnsemble = 6,  ///< UspEnsemble
   kDynamic = 7,      ///< DynamicIndex (serve/dynamic_index.h)
+  kSq8 = 8,          ///< Sq8Index (quant/sq8_index.h)
 };
 
 /// Human-readable name of a type tag ("partition", "ivf_flat", ...);

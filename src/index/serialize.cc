@@ -8,9 +8,11 @@
 #include "core/ensemble.h"
 #include "core/partition_index.h"
 #include "core/partitioner.h"
+#include "dist/quant_kernels.h"
 #include "hnsw/hnsw.h"
 #include "ivf/ivf.h"
 #include "quant/scann_index.h"
+#include "quant/sq8_index.h"
 #include "serve/dynamic_index.h"
 #include "util/io.h"
 
@@ -58,6 +60,13 @@ struct ScannConfigRecord {
   uint32_t scorer_metric;
 };
 static_assert(sizeof(ScannConfigRecord) == 16, "on-disk contract");
+
+/// The SQ8 metric lives in the container header; per-dim mins/scales live in
+/// the kSq8Params section.
+struct Sq8ConfigRecord {
+  uint64_t rerank_budget;
+};
+static_assert(sizeof(Sq8ConfigRecord) == 8, "on-disk contract");
 
 struct HnswConfigRecord {
   uint64_t max_neighbors;
@@ -276,9 +285,17 @@ Status SaveIvfFlat(const IvfFlatIndex& index, Writer* out,
   return writer.WriteTo(out, name);
 }
 
+/// Appends the fast-scan block section when the index carries packed codes,
+/// so mmap'd loads serve them zero-copy instead of re-packing kPqCodes.
+void AppendPackedCodes(const ScannIndex& scann, ContainerWriter* writer) {
+  if (!scann.has_fast_scan()) return;
+  writer->AddSection(SectionTag::kPqPackedCodes, 0, scann.packed_codes(),
+                     scann.PackedBytes());
+}
+
 Status SaveIvfPq(const IvfPqIndex& index, Writer* out,
             const std::string& name) {
-  ContainerWriter writer(IndexType::kIvfPq, Metric::kSquaredL2, index.dim(),
+  ContainerWriter writer(IndexType::kIvfPq, index.metric(), index.dim(),
                          index.size());
   IvfPqConfigRecord config{};
   config.nlist = index.config().nlist;
@@ -295,12 +312,13 @@ Status SaveIvfPq(const IvfPqIndex& index, Writer* out,
   const PqSections pq = AppendPqSections(index.scann().quantizer(), &writer);
   writer.AddSection(SectionTag::kPqCodes, 0, index.scann().codes(),
                     index.size() * index.scann().quantizer().num_subspaces());
+  AppendPackedCodes(index.scann(), &writer);
   return writer.WriteTo(out, name);
 }
 
 Status SaveScann(const ScannIndex& index, Writer* out,
             const std::string& name) {
-  ContainerWriter writer(IndexType::kScann, Metric::kSquaredL2, index.dim(),
+  ContainerWriter writer(IndexType::kScann, index.metric(), index.dim(),
                          index.size());
   ScannConfigRecord config{};
   config.rerank_budget = index.config().rerank_budget;
@@ -319,6 +337,25 @@ Status SaveScann(const ScannIndex& index, Writer* out,
   const PqSections pq = AppendPqSections(index.quantizer(), &writer);
   writer.AddSection(SectionTag::kPqCodes, 0, index.codes(),
                     index.size() * index.quantizer().num_subspaces());
+  AppendPackedCodes(index, &writer);
+  return writer.WriteTo(out, name);
+}
+
+Status SaveSq8(const Sq8Index& index, Writer* out, const std::string& name) {
+  ContainerWriter writer(IndexType::kSq8, index.metric(), index.dim(),
+                         index.size());
+  Sq8ConfigRecord config{};
+  config.rerank_budget = index.config().rerank_budget;
+  writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+  AppendBaseSection(index.base_view(), &writer);
+  std::vector<float> params;
+  params.reserve(2 * index.dim());
+  params.insert(params.end(), index.mins().begin(), index.mins().end());
+  params.insert(params.end(), index.scales().begin(), index.scales().end());
+  writer.AddSection(SectionTag::kSq8Params, 0, params.data(),
+                    params.size() * sizeof(float));
+  writer.AddSection(SectionTag::kSq8Codes, 0, index.codes(),
+                    index.size() * index.dim());
   return writer.WriteTo(out, name);
 }
 
@@ -453,6 +490,8 @@ struct IndexBundle {
   MatrixView base;
   std::vector<uint8_t> codes_owned;
   const uint8_t* codes = nullptr;
+  std::vector<uint8_t> packed_owned;
+  const uint8_t* packed = nullptr;  ///< fast-scan blocks (kPqPackedCodes)
   std::unique_ptr<BinScorer> scorer;
   std::unique_ptr<Index> index;
 };
@@ -718,6 +757,56 @@ StatusOr<ProductQuantizer> LoadPq(IndexBundle* bundle) {
                           std::move(codebooks));
 }
 
+/// Loads the optional kPqPackedCodes section into bundle->packed (zero-copy
+/// when mapped). The stored size must equal the bucket-grouped block layout
+/// the index derives from `assignments` (quant/scann_index.cc SetUpFastScan);
+/// a missing section leaves bundle->packed null and the blocks are rebuilt
+/// from kPqCodes. Sections saved for a wide codebook are impossible (the
+/// saver only packs 4-bit codes), so codebook_size > 16 skips the read.
+Status LoadPackedCodes(IndexBundle* bundle, const ProductQuantizer& pq,
+                       const std::vector<uint32_t>& assignments,
+                       uint64_t num_bins) {
+  ContainerReader* c = bundle->container.get();
+  if (pq.codebook_size() > 16 || !c->Has(SectionTag::kPqPackedCodes, 0)) {
+    return Status::Ok();
+  }
+  const uint64_t n = c->header().num_points;
+  uint64_t blocks = 0;
+  if (assignments.empty()) {
+    blocks = (n + kPq4BlockSize - 1) / kPq4BlockSize;
+  } else {
+    std::vector<uint64_t> counts(num_bins, 0);
+    for (uint32_t bin : assignments) ++counts[bin];
+    for (uint64_t count : counts) {
+      blocks += (count + kPq4BlockSize - 1) / kPq4BlockSize;
+    }
+  }
+  uint64_t bytes = 0;
+  if (!ByteCount(blocks, 16 * pq.num_subspaces(), &bytes)) {
+    return Status::InvalidArgument("implausible packed-code shape in " +
+                                   c->path());
+  }
+  StatusOr<SectionEntry> entry = c->Find(SectionTag::kPqPackedCodes, 0);
+  if (!entry.ok()) return entry.status();
+  if (entry.value().size != bytes) {
+    return Status::InvalidArgument("packed-code section size mismatch in " +
+                                   c->path());
+  }
+  if (c->zero_copy()) {
+    StatusOr<const uint8_t*> data =
+        c->SectionData(SectionTag::kPqPackedCodes, 0);
+    if (!data.ok()) return data.status();
+    bundle->packed = data.value();
+    return Status::Ok();
+  }
+  StatusOr<std::vector<uint8_t>> owned =
+      c->ReadSectionBytes(SectionTag::kPqPackedCodes, 0);
+  if (!owned.ok()) return owned.status();
+  bundle->packed_owned = std::move(owned).value();
+  bundle->packed = bundle->packed_owned.data();
+  return Status::Ok();
+}
+
 // ---------------------------------------------------------------------------
 // Per-type loaders (registry targets).
 // ---------------------------------------------------------------------------
@@ -790,7 +879,9 @@ StatusOr<std::unique_ptr<Index>> LoadIvfPq(
   auto bundle = std::make_unique<IndexBundle>();
   bundle->container = std::move(container);
   ContainerReader* c = bundle->container.get();
-  Status status = LoadBase(bundle.get());
+  Status status = CheckMetricValue(c->header().metric, c->path());
+  if (!status.ok()) return status;
+  status = LoadBase(bundle.get());
   if (!status.ok()) return status;
 
   IvfPqConfigRecord record{};
@@ -815,10 +906,14 @@ StatusOr<std::unique_ptr<Index>> LoadIvfPq(
   StatusOr<std::vector<uint32_t>> assignments =
       LoadAssignments(c, 0, c->header().num_points, record.nlist);
   if (!assignments.ok()) return assignments.status();
+  status = LoadPackedCodes(bundle.get(), pq.value(), assignments.value(),
+                           record.nlist);
+  if (!status.ok()) return status;
 
   bundle->index = std::make_unique<IvfPqIndex>(
       bundle->base, config, std::move(centroids).value(),
-      std::move(pq).value(), bundle->codes, assignments.value());
+      std::move(pq).value(), bundle->codes, assignments.value(),
+      bundle->packed);
   return FinishBundle(std::move(bundle));
 }
 
@@ -827,7 +922,9 @@ StatusOr<std::unique_ptr<Index>> LoadScann(
   auto bundle = std::make_unique<IndexBundle>();
   bundle->container = std::move(container);
   ContainerReader* c = bundle->container.get();
-  Status status = LoadBase(bundle.get());
+  Status status = CheckMetricValue(c->header().metric, c->path());
+  if (!status.ok()) return status;
+  status = LoadBase(bundle.get());
   if (!status.ok()) return status;
 
   ScannConfigRecord record{};
@@ -848,12 +945,73 @@ StatusOr<std::unique_ptr<Index>> LoadScann(
     if (!loaded.ok()) return loaded.status();
     assignments = std::move(loaded).value();
   }
+  status = LoadPackedCodes(
+      bundle.get(), pq.value(), assignments,
+      bundle->scorer != nullptr ? bundle->scorer->num_bins() : 0);
+  if (!status.ok()) return status;
 
   ScannIndexConfig config;
   config.rerank_budget = static_cast<size_t>(record.rerank_budget);
   bundle->index = std::make_unique<ScannIndex>(
       bundle->base, bundle->scorer.get(), std::move(pq).value(), config,
-      bundle->codes, assignments);
+      bundle->codes, assignments, static_cast<Metric>(c->header().metric),
+      bundle->packed);
+  return FinishBundle(std::move(bundle));
+}
+
+StatusOr<std::unique_ptr<Index>> LoadSq8(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  const std::string& path = c->path();
+  Status status = CheckMetricValue(c->header().metric, path);
+  if (!status.ok()) return status;
+  status = LoadBase(bundle.get());
+  if (!status.ok()) return status;
+  const uint64_t n = c->header().num_points;
+  const uint64_t dim = c->header().dim;
+
+  Sq8ConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+
+  std::vector<float> params(2 * dim);
+  status = c->ReadSection(SectionTag::kSq8Params, 0, params.data(),
+                          params.size() * sizeof(float));
+  if (!status.ok()) return status;
+  std::vector<float> mins(params.begin(), params.begin() + dim);
+  std::vector<float> scales(params.begin() + dim, params.end());
+
+  // The (n x dim) code matrix is the zero-copy payload.
+  uint64_t code_bytes = 0;
+  if (!ByteCount(n, dim, &code_bytes)) {
+    return Status::InvalidArgument("implausible code shape in " + path);
+  }
+  StatusOr<SectionEntry> entry = c->Find(SectionTag::kSq8Codes, 0);
+  if (!entry.ok()) return entry.status();
+  if (entry.value().size != code_bytes) {
+    return Status::InvalidArgument("SQ8 code section size mismatch in " +
+                                   path);
+  }
+  if (c->zero_copy()) {
+    StatusOr<const uint8_t*> data = c->SectionData(SectionTag::kSq8Codes, 0);
+    if (!data.ok()) return data.status();
+    bundle->codes = data.value();
+  } else {
+    StatusOr<std::vector<uint8_t>> owned =
+        c->ReadSectionBytes(SectionTag::kSq8Codes, 0);
+    if (!owned.ok()) return owned.status();
+    bundle->codes_owned = std::move(owned).value();
+    bundle->codes = bundle->codes_owned.data();
+  }
+
+  Sq8IndexConfig config;
+  config.metric = static_cast<Metric>(c->header().metric);
+  config.rerank_budget = static_cast<size_t>(record.rerank_budget);
+  bundle->index = std::make_unique<Sq8Index>(bundle->base, config,
+                                             std::move(mins),
+                                             std::move(scales), bundle->codes);
   return FinishBundle(std::move(bundle));
 }
 
@@ -1131,6 +1289,7 @@ const std::vector<IndexLoaderEntry>& IndexLoaderRegistry() {
           {IndexType::kHnsw, "hnsw", &LoadHnsw},
           {IndexType::kUspEnsemble, "usp_ensemble", &LoadEnsemble},
           {IndexType::kDynamic, "dynamic", &LoadDynamic},
+          {IndexType::kSq8, "sq8", &LoadSq8},
       };
   return *registry;
 }
@@ -1164,6 +1323,8 @@ Status SaveIndexTo(const Index& index, Writer* out,
     case IndexType::kDynamic:
       return SaveDynamic(static_cast<const DynamicIndex&>(concrete), out,
                          name);
+    case IndexType::kSq8:
+      return SaveSq8(static_cast<const Sq8Index&>(concrete), out, name);
   }
   return Status::InvalidArgument("unknown index type");
 }

@@ -66,11 +66,6 @@ BatchSearchResult IvfFlatIndex::SearchBatch(
 }
 
 Status IvfPqIndex::ValidateConfig(const IvfConfig& config) {
-  if (config.metric != Metric::kSquaredL2) {
-    return Status::InvalidArgument(
-        "IvfPqIndex supports kSquaredL2 only: the ADC pipeline has no "
-        "inner-product/cosine tables (see docs/ARCHITECTURE.md)");
-  }
   if (config.nlist == 0) {
     return Status::InvalidArgument("IvfConfig::nlist must be >= 1");
   }
@@ -86,36 +81,75 @@ Status IvfPqIndex::ValidateConfig(const IvfConfig& config) {
 
 IvfPqIndex::IvfPqIndex(const Matrix* base, const IvfConfig& config)
     : config_(config) {
-  // Fail loudly rather than silently serving wrong-metric neighbors; fallible
+  // Fail loudly rather than silently serving a malformed config; fallible
   // callers (config files, loaders) should run ValidateConfig first.
   USP_CHECK(ValidateConfig(config).ok());
   KMeansConfig kc;
   kc.num_clusters = config.nlist;
   kc.max_iterations = config.kmeans_iterations;
   kc.seed = config.seed;
-  coarse_ = std::make_unique<KMeansPartitioner>(*base, kc);
-
-  ProductQuantizer pq(config.pq);
-  pq.Train(*base);
   ScannIndexConfig sc;
   sc.rerank_budget = config.rerank_budget;
-  index_ = std::make_unique<ScannIndex>(base, coarse_.get(), std::move(pq), sc);
+  sc.adc = config.adc;
+  switch (config.metric) {
+    case Metric::kSquaredL2: {
+      coarse_ = std::make_unique<KMeansPartitioner>(*base, kc);
+      ProductQuantizer pq(config.pq);
+      pq.Train(*base);
+      index_ = std::make_unique<ScannIndex>(base, coarse_.get(), std::move(pq),
+                                            sc);
+      break;
+    }
+    case Metric::kInnerProduct: {
+      // IVF-IP (mirrors IvfFlatIndex): lists hold L2-nearest-centroid
+      // residents, probes rank lists by centroid dot product, ADC ranks by
+      // dot tables, rerank is exact -<q, x>.
+      KMeansResult km = RunKMeans(*base, kc);
+      coarse_ = std::make_unique<KMeansPartitioner>(std::move(km.centroids),
+                                                    Metric::kInnerProduct);
+      ProductQuantizer pq(config.pq);
+      pq.Train(*base);
+      index_ = std::make_unique<ScannIndex>(base, coarse_.get(), std::move(pq),
+                                            sc, Metric::kInnerProduct,
+                                            &km.assignments);
+      break;
+    }
+    case Metric::kCosine: {
+      // Spherical coarse quantizer + PQ on the unit-normalized base; the
+      // ScannIndex encodes its own normalized clone and reranks by exact
+      // cosine distance.
+      Matrix normalized = base->Clone();
+      NormalizeRows(&normalized);
+      KMeansResult km = RunKMeans(normalized, kc);
+      coarse_ = std::make_unique<KMeansPartitioner>(std::move(km.centroids),
+                                                    Metric::kCosine);
+      const std::vector<uint32_t> assignments =
+          coarse_->AssignBins(normalized);
+      ProductQuantizer pq(config.pq);
+      pq.Train(normalized);
+      index_ = std::make_unique<ScannIndex>(base, coarse_.get(), std::move(pq),
+                                            sc, Metric::kCosine, &assignments);
+      break;
+    }
+  }
 }
 
 IvfPqIndex::IvfPqIndex(MatrixView base, const IvfConfig& config,
                        Matrix centroids, ProductQuantizer quantizer,
                        const uint8_t* codes,
-                       const std::vector<uint32_t>& assignments)
+                       const std::vector<uint32_t>& assignments,
+                       const uint8_t* packed)
     : config_(config) {
   USP_CHECK(ValidateConfig(config).ok());
   coarse_ = std::make_unique<KMeansPartitioner>(
       KMeansPartitioner::FromTrainedCentroids(std::move(centroids),
-                                              Metric::kSquaredL2));
+                                              config.metric));
   ScannIndexConfig sc;
   sc.rerank_budget = config.rerank_budget;
+  sc.adc = config.adc;
   index_ = std::make_unique<ScannIndex>(base, coarse_.get(),
                                         std::move(quantizer), sc, codes,
-                                        assignments);
+                                        assignments, config.metric, packed);
 }
 
 BatchSearchResult IvfPqIndex::SearchBatch(const SearchRequest& request) const {

@@ -12,6 +12,7 @@
 #include "core/partition_index.h"
 #include "dist/metric.h"
 #include "index/index.h"
+#include "quant/fastscan.h"
 #include "quant/pq.h"
 #include "quant/scann_index.h"
 
@@ -22,17 +23,21 @@ struct IvfConfig {
   size_t nlist = 64;             ///< coarse clusters (inverted lists)
   size_t kmeans_iterations = 20;
   uint64_t seed = 1;
-  /// Search metric (IVF-Flat): kSquaredL2 reproduces the historical
-  /// behavior exactly. kInnerProduct keeps L2 list residency (standard
-  /// IVF-IP) but probes lists by centroid dot product and reranks by negated
-  /// inner product. kCosine trains the coarse quantizer on unit-normalized
-  /// data (spherical k-means) and probes/reranks by cosine distance.
-  /// IVF-PQ supports kSquaredL2 only — see IvfPqIndex::ValidateConfig and the
-  /// metric x index table in docs/ARCHITECTURE.md.
+  /// Search metric: kSquaredL2 reproduces the historical behavior exactly.
+  /// kInnerProduct keeps L2 list residency (standard IVF-IP) but probes
+  /// lists by centroid dot product and reranks by negated inner product.
+  /// kCosine trains the coarse quantizer on unit-normalized data (spherical
+  /// k-means) and probes/reranks by cosine distance. IVF-PQ follows the same
+  /// scheme and ranks its ADC stage by dot-product tables for IP/cosine
+  /// (cosine PQ-encodes the normalized base) — see the metric x index table
+  /// in docs/ARCHITECTURE.md.
   Metric metric = Metric::kSquaredL2;
   // IVF-PQ only:
   PqConfig pq;
   size_t rerank_budget = 100;
+  /// ADC execution mode (quant/fastscan.h): kAuto fast-scans 4-bit
+  /// codebooks on unfiltered queries. Runtime knob, not persisted.
+  AdcMode adc = AdcMode::kAuto;
 };
 
 /// IVF-Flat: probe nprobe nearest centroids, scan their lists exactly.
@@ -85,19 +90,24 @@ class IvfPqIndex : public Index {
   IvfPqIndex(const Matrix* base, const IvfConfig& config);
 
   /// Rehydrates from deserialized state; `codes` points at external (possibly
-  /// mmap'd) storage that must outlive the index.
+  /// mmap'd) storage that must outlive the index. `packed`, when non-null,
+  /// points at the saved fast-scan blocks (kPqPackedCodes section, same
+  /// lifetime rules); when null and codebook_size <= 16 they are rebuilt.
   IvfPqIndex(MatrixView base, const IvfConfig& config, Matrix centroids,
              ProductQuantizer quantizer, const uint8_t* codes,
-             const std::vector<uint32_t>& assignments);
+             const std::vector<uint32_t>& assignments,
+             const uint8_t* packed = nullptr);
 
-  /// The ADC pipeline is squared-L2 only: any other metric (and malformed PQ
-  /// shape parameters) is rejected here, so misconfiguration surfaces as a
-  /// Status at config/load time instead of an abort deep in construction.
+  /// Rejects malformed shape parameters (nlist, PQ subspaces/codebook size),
+  /// so misconfiguration surfaces as a Status at config/load time instead of
+  /// an abort deep in construction. All three metrics are accepted: L2 runs
+  /// the historical squared-distance ADC tables bit-identically, IP/cosine
+  /// rank the ADC stage by dot-product tables (quant/scann_index.h).
   static Status ValidateConfig(const IvfConfig& config);
 
   size_t dim() const override { return index_->dim(); }
   size_t size() const override { return index_->size(); }
-  Metric metric() const override { return Metric::kSquaredL2; }
+  Metric metric() const override { return config_.metric; }
   IndexType type() const override { return IndexType::kIvfPq; }
   MatrixView base_view() const override { return index_->base(); }
 

@@ -160,6 +160,19 @@ std::vector<float> ProductQuantizer::BuildAdcTable(const float* query) const {
   return table;
 }
 
+std::vector<float> ProductQuantizer::BuildDotTable(const float* query) const {
+  const size_t m = config_.num_subspaces, k = config_.codebook_size;
+  std::vector<float> table(m * k, 0.0f);
+  const DistanceKernels& kd = GetDistanceKernels();
+  for (size_t s = 0; s < m; ++s) {
+    const size_t sd = SubspaceDim(s), off = SubspaceBegin(s);
+    const Matrix& cb = codebooks_[s];
+    kd.score_block_dot(query + off, cb.data(), cb.rows(), sd,
+                       table.data() + s * k);
+  }
+  return table;
+}
+
 float ProductQuantizer::AdcDistance(const std::vector<float>& table,
                                     const uint8_t* code) const {
   const size_t m = config_.num_subspaces, k = config_.codebook_size;

@@ -50,6 +50,13 @@ class ProductQuantizer {
   /// Layout: table[s * codebook_size + c].
   std::vector<float> BuildAdcTable(const float* query) const;
 
+  /// Builds the dot-product table for one query: entry (s, c) is the inner
+  /// product of the query's subvector s with codeword c, so the per-code sum
+  /// reconstructs <query, decoded point>. Feeds the IP/cosine ADC ranking of
+  /// ScannIndex/IvfPqIndex (negated at the call site; dist/metric.h minimizes
+  /// everything).
+  std::vector<float> BuildDotTable(const float* query) const;
+
   /// Approximate squared distance of an encoded point via table lookups.
   float AdcDistance(const std::vector<float>& table,
                     const uint8_t* code) const;

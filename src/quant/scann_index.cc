@@ -1,37 +1,58 @@
 #include "quant/scann_index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
+#include "dist/quant_kernels.h"
 #include "index/query_planner.h"
 #include "knn/brute_force.h"
 #include "knn/top_k.h"
+#include "tensor/ops.h"
 #include "util/thread_pool.h"
 
 namespace usp {
 
 ScannIndex::ScannIndex(const Matrix* base, const BinScorer* partitioner,
-                       ProductQuantizer quantizer, ScannIndexConfig config)
+                       ProductQuantizer quantizer, ScannIndexConfig config,
+                       Metric metric,
+                       const std::vector<uint32_t>* assignments)
     : base_(*base),
       partitioner_(partitioner),
-      dist_(MatrixView(*base), Metric::kSquaredL2),
+      metric_(metric),
+      dist_(MatrixView(*base), metric),
       quantizer_(std::move(quantizer)),
       config_(config) {
-  owned_codes_ = quantizer_.Encode(*base);
+  if (metric_ == Metric::kCosine) {
+    // Codes approximate the unit sphere: ADC dot tables against a normalized
+    // query then rank by approximate cosine similarity.
+    Matrix normalized = base->Clone();
+    NormalizeRows(&normalized);
+    owned_codes_ = quantizer_.Encode(normalized);
+  } else {
+    owned_codes_ = quantizer_.Encode(*base);
+  }
   codes_ = owned_codes_.data();
   if (partitioner_ != nullptr) {
-    BuildBuckets(partitioner_->AssignBins(*base));
+    if (assignments != nullptr) {
+      BuildBuckets(*assignments);
+    } else {
+      BuildBuckets(partitioner_->AssignBins(*base));
+    }
   }
+  SetUpFastScan(nullptr);
 }
 
 ScannIndex::ScannIndex(MatrixView base, const BinScorer* partitioner,
                        ProductQuantizer quantizer, ScannIndexConfig config,
                        const uint8_t* codes,
-                       const std::vector<uint32_t>& assignments)
+                       const std::vector<uint32_t>& assignments, Metric metric,
+                       const uint8_t* packed)
     : base_(base),
       partitioner_(partitioner),
-      dist_(base, Metric::kSquaredL2),
+      metric_(metric),
+      dist_(base, metric),
       quantizer_(std::move(quantizer)),
       config_(config),
       codes_(codes) {
@@ -40,6 +61,7 @@ ScannIndex::ScannIndex(MatrixView base, const BinScorer* partitioner,
     USP_CHECK(assignments.size() == base_.rows());
     BuildBuckets(assignments);
   }
+  SetUpFastScan(packed);
 }
 
 void ScannIndex::BuildBuckets(const std::vector<uint32_t>& assignments) {
@@ -48,6 +70,54 @@ void ScannIndex::BuildBuckets(const std::vector<uint32_t>& assignments) {
     USP_CHECK(assignments[i] < buckets_.size());
     buckets_[assignments[i]].push_back(static_cast<uint32_t>(i));
   }
+}
+
+void ScannIndex::SetUpFastScan(const uint8_t* packed) {
+  if (config_.adc == AdcMode::kFastScan) {
+    USP_CHECK(quantizer_.codebook_size() <= 16);
+  }
+  if (config_.adc == AdcMode::kFloat || quantizer_.codebook_size() > 16) {
+    return;
+  }
+  const size_t m = quantizer_.num_subspaces();
+  // Per-bucket block offsets: each bucket's members pack contiguously so a
+  // probe scans whole blocks (one implicit all-rows bucket without a
+  // partition).
+  bucket_block_offsets_.clear();
+  if (partitioner_ == nullptr) {
+    bucket_block_offsets_ = {
+        0, (base_.rows() + kPq4BlockSize - 1) / kPq4BlockSize};
+  } else {
+    bucket_block_offsets_.reserve(buckets_.size() + 1);
+    size_t off = 0;
+    for (const auto& bucket : buckets_) {
+      bucket_block_offsets_.push_back(off);
+      off += (bucket.size() + kPq4BlockSize - 1) / kPq4BlockSize;
+    }
+    bucket_block_offsets_.push_back(off);
+  }
+  if (packed != nullptr) {
+    packed_ = packed;  // external (mmap'd) blocks; loader validated the size
+    return;
+  }
+  owned_packed_.assign(bucket_block_offsets_.back() * 16 * m, 0);
+  if (partitioner_ == nullptr) {
+    PackedCodes pc = PackCodes4(codes_, base_.rows(), m);
+    owned_packed_ = std::move(pc.data);
+  } else {
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      if (buckets_[b].empty()) continue;
+      PackedCodes pc = PackCodes4(codes_, buckets_[b], m);
+      std::memcpy(owned_packed_.data() + bucket_block_offsets_[b] * 16 * m,
+                  pc.data.data(), pc.data.size());
+    }
+  }
+  packed_ = owned_packed_.data();
+}
+
+size_t ScannIndex::PackedBytes() const {
+  if (packed_ == nullptr) return 0;
+  return bucket_block_offsets_.back() * 16 * quantizer_.num_subspaces();
 }
 
 std::vector<uint32_t> ScannIndex::Assignments() const {
@@ -68,6 +138,18 @@ size_t ScannIndex::EstimateCandidates(size_t budget) const {
   return (size() * probes + buckets_.size() - 1) / buckets_.size();
 }
 
+std::vector<float> ScannIndex::BuildMetricTable(
+    const float* prepared_query) const {
+  if (metric_ == Metric::kSquaredL2) {
+    return quantizer_.BuildAdcTable(prepared_query);
+  }
+  // IP/cosine minimize the negated dot-product sum; the exact rerank restores
+  // the metric's true distances on the shortlist.
+  std::vector<float> table = quantizer_.BuildDotTable(prepared_query);
+  for (float& v : table) v = -v;
+  return table;
+}
+
 BatchSearchResult ScannIndex::SearchBatch(const SearchRequest& request) const {
   // Planner hook: filtered requests may reroute away from the ADC pipeline
   // entirely (index/query_planner.h) — e.g. a sparse selector is cheaper to
@@ -86,67 +168,120 @@ BatchSearchResult ScannIndex::SearchBatch(const SearchRequest& request) const {
     scores = partitioner_->ScoreBins(queries);
   }
 
+  // Fast-scan engages for unfiltered requests when the packed blocks exist;
+  // filtered requests prune candidates below block granularity and keep the
+  // float per-code path (and its filtered bit-identity contracts).
+  const bool fast_scan = packed_ != nullptr && options.filter == nullptr;
+  const QuantKernels& kq = GetQuantKernels();
+
   ParallelFor(nq, 4, options.num_threads, [&](size_t begin, size_t end,
                                               size_t) {
     std::vector<uint32_t> candidates;
     std::vector<uint32_t> shortlist;
+    std::vector<uint32_t> order;
+    std::vector<uint16_t> sums;
+    std::vector<float> query_scratch;
     for (size_t q = begin; q < end; ++q) {
       const float* query = queries.Row(q);
-      // Stage 1: candidate generation.
-      candidates.clear();
+      const float* prepared = dist_.PrepareQuery(query, &query_scratch);
+
+      // Probed-bucket order (shared by both ADC modes).
       size_t probes = 0;
-      if (partitioner_ == nullptr) {
-        candidates.resize(base_.rows());
-        std::iota(candidates.begin(), candidates.end(), 0u);
-      } else {
+      if (partitioner_ != nullptr) {
         probes = std::min(options.budget, buckets_.size());
         const float* s = scores.Row(q);
-        std::vector<uint32_t> order(buckets_.size());
+        order.resize(buckets_.size());
         std::iota(order.begin(), order.end(), 0u);
         std::partial_sort(order.begin(), order.begin() + probes, order.end(),
                           [&](uint32_t a, uint32_t b) {
                             if (s[a] != s[b]) return s[a] > s[b];
                             return a < b;
                           });
-        for (size_t p = 0; p < probes; ++p) {
-          const auto& bucket = buckets_[order[p]];
-          candidates.insert(candidates.end(), bucket.begin(), bucket.end());
+      }
+
+      TopK approx(std::max(k, config_.rerank_budget));
+      size_t scored = 0;
+
+      if (fast_scan) {
+        // Quantize the per-query float table once, then score whole packed
+        // buckets through the pq4 shuffle kernel.
+        const std::vector<float> table = BuildMetricTable(prepared);
+        const QuantizedLut qlut = QuantizeAdcTable(table.data(), m_sub,
+                                                   quantizer_.codebook_size());
+        const auto scan_group = [&](size_t first_block, const uint32_t* ids,
+                                    size_t count) {
+          const size_t blocks = (count + kPq4BlockSize - 1) / kPq4BlockSize;
+          sums.resize(blocks * kPq4BlockSize);
+          kq.pq4_scan(packed_ + first_block * m_sub * 16, qlut.lut.data(),
+                      m_sub, blocks, sums.data());
+          for (size_t t = 0; t < count; ++t) {
+            approx.Push(qlut.Score(sums[t]),
+                        ids != nullptr ? ids[t] : static_cast<uint32_t>(t));
+          }
+          scored += count;
+        };
+        if (partitioner_ == nullptr) {
+          scan_group(0, nullptr, base_.rows());
+        } else {
+          for (size_t p = 0; p < probes; ++p) {
+            const auto& bucket = buckets_[order[p]];
+            if (bucket.empty()) continue;
+            scan_group(bucket_block_offsets_[order[p]], bucket.data(),
+                       bucket.size());
+          }
+        }
+        result.candidate_counts[q] = static_cast<uint32_t>(scored);
+        if (result.stats) {
+          result.stats->candidates_scored[q] = static_cast<uint32_t>(scored);
+          result.stats->bins_probed[q] = static_cast<uint32_t>(probes);
+        }
+      } else {
+        // Float path: candidate generation, selector pushdown, per-code walk.
+        candidates.clear();
+        if (partitioner_ == nullptr) {
+          candidates.resize(base_.rows());
+          std::iota(candidates.begin(), candidates.end(), 0u);
+        } else {
+          for (size_t p = 0; p < probes; ++p) {
+            const auto& bucket = buckets_[order[p]];
+            candidates.insert(candidates.end(), bucket.begin(), bucket.end());
+          }
+        }
+
+        // Selector pushdown ahead of the ADC stage: disallowed rows cost no
+        // table lookups and cannot crowd allowed rows out of the shortlist.
+        size_t dropped = 0;
+        if (options.filter != nullptr) {
+          const size_t before = candidates.size();
+          candidates.erase(
+              std::remove_if(candidates.begin(), candidates.end(),
+                             [&](uint32_t id) {
+                               return !options.filter->is_member(id);
+                             }),
+              candidates.end());
+          dropped = before - candidates.size();
+        }
+        result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
+        if (result.stats) {
+          result.stats->candidates_scored[q] =
+              static_cast<uint32_t>(candidates.size());
+          result.stats->bins_probed[q] = static_cast<uint32_t>(probes);
+          result.stats->filtered_out[q] = static_cast<uint32_t>(dropped);
+        }
+
+        const std::vector<float> table = BuildMetricTable(prepared);
+        for (uint32_t id : candidates) {
+          approx.Push(quantizer_.AdcDistance(table, codes_ + id * m_sub), id);
         }
       }
 
-      // Selector pushdown ahead of the ADC stage: disallowed rows cost no
-      // table lookups and cannot crowd allowed rows out of the shortlist.
-      size_t dropped = 0;
-      if (options.filter != nullptr) {
-        const size_t before = candidates.size();
-        candidates.erase(
-            std::remove_if(candidates.begin(), candidates.end(),
-                           [&](uint32_t id) {
-                             return !options.filter->is_member(id);
-                           }),
-            candidates.end());
-        dropped = before - candidates.size();
-      }
-      result.candidate_counts[q] = static_cast<uint32_t>(candidates.size());
-      if (result.stats) {
-        result.stats->candidates_scored[q] =
-            static_cast<uint32_t>(candidates.size());
-        result.stats->bins_probed[q] = static_cast<uint32_t>(probes);
-        result.stats->filtered_out[q] = static_cast<uint32_t>(dropped);
-      }
-
-      // Stage 2: ADC scoring, keep the best rerank_budget approximate hits.
-      const std::vector<float> table = quantizer_.BuildAdcTable(query);
-      TopK approx(std::max(k, config_.rerank_budget));
-      for (uint32_t id : candidates) {
-        approx.Push(quantizer_.AdcDistance(table, codes_ + id * m_sub), id);
-      }
       auto top_approx = approx.TakeSorted();
       shortlist.clear();
       for (const auto& cand : top_approx) shortlist.push_back(cand.id);
 
-      // Stage 3: exact re-rank of the shortlist through the batched
-      // gather-by-id kernels (already filtered in stage 1).
+      // Exact re-rank of the shortlist through the batched gather-by-id
+      // kernels (already filtered in the float stage; fast-scan requests are
+      // unfiltered by construction).
       result.SetRow(q, RerankCandidatesScored(dist_, query, shortlist, k));
     }
   });

@@ -3,6 +3,22 @@
 // and exact re-ranking of the top scores. Swapping the partitioner between
 // nullptr (vanilla ScaNN: full ADC scan), K-means, and USP reproduces the
 // "ScaNN / K-means + ScaNN / USP + ScaNN" rows of Fig. 7.
+//
+// The ADC stage runs in one of two modes (quant/fastscan.h AdcMode):
+//   - float:     per-code walk of the float ADC table (the historical path).
+//   - fast-scan: 4-bit packed codes + quantized uint8 LUTs scored 32 codes
+//     per _mm256_shuffle_epi8 pass (dist/quant_kernels.h). Engages by
+//     default (kAuto) when codebook_size <= 16 and the request is
+//     unfiltered; filtered requests prune candidates below block
+//     granularity, so they keep the float path and its bit-identity
+//     contracts.
+// Both modes feed the same exact re-rank, so at full budget with
+// rerank_budget >= the candidate count the results are exact either way.
+//
+// Metrics: squared L2 (the historical default), inner product (ADC ranks by
+// negated dot-product tables), and cosine (codes encode the unit-normalized
+// base; ADC ranks by negated dot against the normalized query). Exact rerank
+// always runs under the index metric through DistanceComputer.
 #ifndef USP_QUANT_SCANN_INDEX_H_
 #define USP_QUANT_SCANN_INDEX_H_
 
@@ -13,6 +29,7 @@
 #include "core/partition_index.h"
 #include "dist/distance_computer.h"
 #include "index/index.h"
+#include "quant/fastscan.h"
 #include "quant/pq.h"
 
 namespace usp {
@@ -20,23 +37,37 @@ namespace usp {
 /// Search knobs of the ScaNN-like pipeline.
 struct ScannIndexConfig {
   size_t rerank_budget = 100;  ///< exact-distance re-ranks per query
+  /// ADC execution mode. A runtime knob, not persisted: loaded indexes run
+  /// kAuto. See quant/fastscan.h.
+  AdcMode adc = AdcMode::kAuto;
 };
 
 /// Immutable index. Base matrix and partitioner must outlive the index.
 class ScannIndex : public Index {
  public:
   /// `partitioner == nullptr` means exhaustive ADC scan (vanilla ScaNN).
-  /// Encodes the base with `quantizer` and assigns residency bins.
+  /// Encodes the base with `quantizer` (the unit-normalized base under
+  /// kCosine — train the quantizer on normalized data in that case) and
+  /// assigns residency bins. `assignments`, when non-null, overrides the
+  /// partitioner's own AssignBins (IVF-IP keeps L2 list residency while the
+  /// partitioner scores probes by dot product).
   ScannIndex(const Matrix* base, const BinScorer* partitioner,
-             ProductQuantizer quantizer, ScannIndexConfig config);
+             ProductQuantizer quantizer, ScannIndexConfig config,
+             Metric metric = Metric::kSquaredL2,
+             const std::vector<uint32_t>* assignments = nullptr);
 
   /// Rehydrates from deserialized state: `codes` points at the (n x M) PQ
   /// code bytes (external storage, e.g. an mmap'd container section, which
   /// must outlive the index) and `assignments` are the saved residency bins
-  /// (empty when the index has no partition).
+  /// (empty when the index has no partition). `packed`, when non-null, points
+  /// at the bucket-grouped fast-scan blocks (kPqPackedCodes section, same
+  /// lifetime rules as `codes`); when null and codebook_size <= 16 the blocks
+  /// are rebuilt from `codes`.
   ScannIndex(MatrixView base, const BinScorer* partitioner,
              ProductQuantizer quantizer, ScannIndexConfig config,
-             const uint8_t* codes, const std::vector<uint32_t>& assignments);
+             const uint8_t* codes, const std::vector<uint32_t>& assignments,
+             Metric metric = Metric::kSquaredL2,
+             const uint8_t* packed = nullptr);
 
   /// k-NN search: probe the `options.budget` best bins, ADC-score their
   /// points, then exact-rerank the best `rerank_budget` candidates. An
@@ -51,7 +82,7 @@ class ScannIndex : public Index {
 
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return base_.rows(); }
-  Metric metric() const override { return Metric::kSquaredL2; }
+  Metric metric() const override { return metric_; }
   IndexType type() const override { return IndexType::kScann; }
   MatrixView base_view() const override { return base_; }
 
@@ -61,6 +92,10 @@ class ScannIndex : public Index {
 
   const ProductQuantizer& quantizer() const { return quantizer_; }
   bool has_partition() const { return partitioner_ != nullptr; }
+  /// True when the fast-scan blocks are built (codebook_size <= 16 and the
+  /// config does not pin the float path); unfiltered requests then score
+  /// through the pq4 shuffle kernel.
+  bool has_fast_scan() const { return packed_ != nullptr; }
 
   // Serialization accessors.
   const ScannIndexConfig& config() const { return config_; }
@@ -68,6 +103,10 @@ class ScannIndex : public Index {
   const BinScorer* partitioner() const { return partitioner_; }
   const uint8_t* codes() const { return codes_; }
   const std::vector<std::vector<uint32_t>>& buckets() const { return buckets_; }
+  /// Bucket-grouped fast-scan blocks (nullptr when has_fast_scan() is
+  /// false); PackedBytes() is their size.
+  const uint8_t* packed_codes() const { return packed_; }
+  size_t PackedBytes() const;
 
   /// Flattened residency assignments (inverse of `buckets`); empty when the
   /// index has no partition.
@@ -75,15 +114,26 @@ class ScannIndex : public Index {
 
  private:
   void BuildBuckets(const std::vector<uint32_t>& assignments);
+  void SetUpFastScan(const uint8_t* packed);
+  /// Float ADC table whose per-code sum ranks candidates under the index
+  /// metric: squared-L2 subdistances for L2, negated dot products for
+  /// IP/cosine. `prepared_query` must come from dist_.PrepareQuery.
+  std::vector<float> BuildMetricTable(const float* prepared_query) const;
 
   MatrixView base_;
   const BinScorer* partitioner_;
-  DistanceComputer dist_;  ///< exact rerank (squared L2)
+  Metric metric_;
+  DistanceComputer dist_;  ///< exact rerank under metric_
   ProductQuantizer quantizer_;
   ScannIndexConfig config_;
   std::vector<uint8_t> owned_codes_;  ///< empty when codes are external
   const uint8_t* codes_ = nullptr;    ///< (n x M) PQ codes
   std::vector<std::vector<uint32_t>> buckets_;  ///< empty when no partition
+  std::vector<uint8_t> owned_packed_;  ///< empty when packed is external
+  const uint8_t* packed_ = nullptr;    ///< fast-scan blocks; null = float only
+  /// Per bucket, the first block of its packed group (one trailing entry
+  /// with the total block count); {0, total} when partition-free.
+  std::vector<size_t> bucket_block_offsets_;
 };
 
 }  // namespace usp

@@ -1,0 +1,182 @@
+#include "quant/sq8_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/quant_kernels.h"
+#include "index/query_planner.h"
+#include "knn/brute_force.h"
+#include "knn/top_k.h"
+#include "tensor/ops.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+namespace {
+// Rows scored per kernel call: bounds the per-thread u32 score buffer while
+// keeping calls long enough to amortize dispatch.
+constexpr size_t kScanChunk = 4096;
+}  // namespace
+
+Sq8Index::Sq8Index(const Matrix* base, Sq8IndexConfig config)
+    : base_(*base), config_(config), dist_(MatrixView(*base), config.metric) {
+  const size_t n = base_.rows(), d = base_.cols();
+  if (config_.metric == Metric::kCosine) {
+    // Codes quantize the unit sphere; queries are normalized before encoding.
+    Matrix normalized = base->Clone();
+    NormalizeRows(&normalized);
+    TrainRanges(MatrixView(normalized));
+    owned_codes_.resize(n * d);
+    ParallelFor(n, 256, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        EncodeVector(normalized.Row(i), owned_codes_.data() + i * d);
+      }
+    });
+  } else {
+    TrainRanges(base_);
+    owned_codes_.resize(n * d);
+    ParallelFor(n, 256, [&](size_t begin, size_t end, size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        EncodeVector(base_.Row(i), owned_codes_.data() + i * d);
+      }
+    });
+  }
+  codes_ = owned_codes_.data();
+}
+
+Sq8Index::Sq8Index(MatrixView base, Sq8IndexConfig config,
+                   std::vector<float> mins, std::vector<float> scales,
+                   const uint8_t* codes)
+    : base_(base),
+      config_(config),
+      dist_(base, config.metric),
+      mins_(std::move(mins)),
+      scales_(std::move(scales)),
+      codes_(codes) {
+  USP_CHECK(codes_ != nullptr);
+  USP_CHECK(mins_.size() == base_.cols());
+  USP_CHECK(scales_.size() == base_.cols());
+}
+
+void Sq8Index::TrainRanges(MatrixView rows) {
+  const size_t n = rows.rows(), d = rows.cols();
+  USP_CHECK(n > 0);
+  mins_.assign(d, 0.0f);
+  scales_.assign(d, 0.0f);
+  std::vector<float> maxs(d);
+  for (size_t j = 0; j < d; ++j) mins_[j] = maxs[j] = rows.Row(0)[j];
+  for (size_t i = 1; i < n; ++i) {
+    const float* row = rows.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      mins_[j] = std::min(mins_[j], row[j]);
+      maxs[j] = std::max(maxs[j], row[j]);
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    scales_[j] = (maxs[j] - mins_[j]) / 255.0f;
+  }
+}
+
+void Sq8Index::EncodeVector(const float* x, uint8_t* out) const {
+  const size_t d = base_.cols();
+  for (size_t j = 0; j < d; ++j) {
+    if (scales_[j] <= 0.0f) {
+      out[j] = 0;
+      continue;
+    }
+    const long code = std::lround((x[j] - mins_[j]) / scales_[j]);
+    out[j] = static_cast<uint8_t>(std::min<long>(std::max<long>(code, 0), 255));
+  }
+}
+
+void Sq8Index::DecodeVector(const uint8_t* code, float* out) const {
+  const size_t d = base_.cols();
+  for (size_t j = 0; j < d; ++j) {
+    out[j] = mins_[j] + scales_[j] * static_cast<float>(code[j]);
+  }
+}
+
+BatchSearchResult Sq8Index::SearchBatch(const SearchRequest& request) const {
+  // Planner hook: a sparse selector is cheaper by exact brute force over the
+  // allowed rows than by a full quantized scan plus rerank.
+  if (auto planned = MaybeReroute(*this, request)) return std::move(*planned);
+  const MatrixView queries = request.queries;
+  const SearchOptions& options = request.options;
+  const size_t k = options.k;
+  const size_t nq = queries.rows();
+  const size_t n = base_.rows(), d = base_.cols();
+  BatchSearchResult result;
+  result.Prepare(nq, options);
+
+  const QuantKernels& kq = GetQuantKernels();
+  const bool use_l2 = config_.metric == Metric::kSquaredL2;
+
+  ParallelFor(nq, 4, options.num_threads, [&](size_t begin, size_t end,
+                                              size_t) {
+    std::vector<float> query_scratch;
+    std::vector<uint8_t> qcode(d);
+    std::vector<uint32_t> proxy_scores(kScanChunk);
+    std::vector<uint32_t> shortlist;
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = queries.Row(q);
+      const float* prepared = dist_.PrepareQuery(query, &query_scratch);
+      EncodeVector(prepared, qcode.data());
+
+      TopK approx(std::max(k, config_.rerank_budget));
+      size_t scored = 0, dropped = 0;
+      if (options.filter == nullptr) {
+        // Chunked exhaustive scan through the block kernels.
+        for (size_t first = 0; first < n; first += kScanChunk) {
+          const size_t count = std::min(kScanChunk, n - first);
+          if (use_l2) {
+            kq.sq8_scan_l2(qcode.data(), codes_ + first * d, count, d,
+                           proxy_scores.data());
+            for (size_t r = 0; r < count; ++r) {
+              approx.Push(static_cast<float>(proxy_scores[r]),
+                          static_cast<uint32_t>(first + r));
+            }
+          } else {
+            kq.sq8_scan_dot(qcode.data(), codes_ + first * d, count, d,
+                            proxy_scores.data());
+            for (size_t r = 0; r < count; ++r) {
+              approx.Push(-static_cast<float>(proxy_scores[r]),
+                          static_cast<uint32_t>(first + r));
+            }
+          }
+        }
+        scored = n;
+      } else {
+        // Selector pushdown: disallowed rows cost no kernel work.
+        for (size_t i = 0; i < n; ++i) {
+          const uint32_t id = static_cast<uint32_t>(i);
+          if (!options.filter->is_member(id)) {
+            ++dropped;
+            continue;
+          }
+          const uint8_t* row = codes_ + i * d;
+          const float proxy =
+              use_l2 ? static_cast<float>(kq.sq8_l2(qcode.data(), row, d))
+                     : -static_cast<float>(kq.sq8_dot(qcode.data(), row, d));
+          approx.Push(proxy, id);
+          ++scored;
+        }
+      }
+      result.candidate_counts[q] = static_cast<uint32_t>(scored);
+      if (result.stats) {
+        result.stats->candidates_scored[q] = static_cast<uint32_t>(scored);
+        result.stats->filtered_out[q] = static_cast<uint32_t>(dropped);
+      }
+
+      auto top_approx = approx.TakeSorted();
+      shortlist.clear();
+      for (const auto& cand : top_approx) shortlist.push_back(cand.id);
+
+      // Exact fp32 re-rank of the shortlist (already filtered above).
+      result.SetRow(q, RerankCandidatesScored(dist_, query, shortlist, k));
+    }
+  });
+  return result;
+}
+
+}  // namespace usp

@@ -7,9 +7,20 @@
 #include "index/query_planner.h"
 #include "ivf/ivf.h"
 #include "knn/brute_force.h"
+#include "quant/sq8_index.h"
 #include "util/thread_pool.h"
 
 namespace usp {
+
+SegmentBuilder Sq8SegmentBuilder(size_t rerank_budget) {
+  return [rerank_budget](const Matrix& base,
+                         Metric metric) -> std::unique_ptr<Index> {
+    Sq8IndexConfig config;
+    config.metric = metric;
+    config.rerank_budget = rerank_budget;
+    return std::make_unique<Sq8Index>(&base, config);
+  };
+}
 
 DynamicIndex::DynamicIndex(size_t dim, DynamicIndexConfig config)
     : dim_(dim), config_(std::move(config)) {

@@ -47,6 +47,13 @@ namespace usp {
 using SegmentBuilder =
     std::function<std::unique_ptr<Index>(const Matrix& base, Metric metric)>;
 
+/// SegmentBuilder that seals write segments to SQ8 (quant/sq8_index.h):
+/// 4x-compressed int8 codes scanned by the quantized kernels with exact fp32
+/// re-rank, under any metric. Drop-in for DynamicIndexConfig::segment_builder
+/// when sealed segments should trade a little recall headroom for memory and
+/// scan speed.
+SegmentBuilder Sq8SegmentBuilder(size_t rerank_budget = 100);
+
 /// Serving-layer knobs.
 struct DynamicIndexConfig {
   Metric metric = Metric::kSquaredL2;

@@ -4,10 +4,12 @@
 #ifndef USP_USP_H_
 #define USP_USP_H_
 
-// Distance kernels and metrics (runtime-dispatched SIMD).
+// Distance kernels and metrics (runtime-dispatched SIMD), float and
+// quantized (pq4 fast-scan, int8 sq8).
 #include "dist/distance_computer.h"
 #include "dist/distance_kernels.h"
 #include "dist/metric.h"
+#include "dist/quant_kernels.h"
 
 // Unified index interface (SearchRequest/SearchOptions, predicate-filtered
 // search via IdSelector, selectivity-aware query planning) + versioned
@@ -46,7 +48,9 @@
 #include "graphpart/regression_lsh.h"
 #include "hnsw/hnsw.h"
 #include "ivf/ivf.h"
+#include "quant/fastscan.h"
 #include "quant/scann_index.h"
+#include "quant/sq8_index.h"
 
 // Clustering mode (Table 5).
 #include "cluster/dbscan.h"

@@ -418,11 +418,18 @@ TEST(AutoIndexTest, DecisionTableMatchesDocumentedRules) {
   EXPECT_EQ(c.type, IndexType::kIvfFlat);
   EXPECT_EQ(c.ivf.nlist, 1u);
 
-  // Non-L2 metrics only run end to end on IVF-Flat.
+  // Mid-size non-L2: IVF-Flat (HNSW is L2-only).
   c = ChooseIndexType(50000, 128, Metric::kCosine);
   EXPECT_EQ(c.type, IndexType::kIvfFlat);
   EXPECT_EQ(c.ivf.metric, Metric::kCosine);
   EXPECT_GT(c.ivf.nlist, 1u);
+
+  // Large non-L2: IVF-PQ is metric-complete, so compression wins at scale.
+  c = ChooseIndexType(500000, 96, Metric::kInnerProduct);
+  EXPECT_EQ(c.type, IndexType::kIvfPq);
+  EXPECT_EQ(c.ivf.metric, Metric::kInnerProduct);
+  c = ChooseIndexType(500000, 96, Metric::kCosine);
+  EXPECT_EQ(c.type, IndexType::kIvfPq);
 
   // Low-dim L2: list scans beat graphs.
   c = ChooseIndexType(50000, 8, Metric::kSquaredL2);

@@ -1,0 +1,142 @@
+// Tests for the SQ8 int8 index (quant/sq8_index.h): encode/decode geometry,
+// full-budget exactness against brute force under every metric, the recall
+// floor at practical rerank budgets, filtered-search exactness, and sealing
+// DynamicIndex write segments through Sq8SegmentBuilder.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/partition_index.h"
+#include "dataset/workload.h"
+#include "index/id_selector.h"
+#include "knn/brute_force.h"
+#include "quant/sq8_index.h"
+#include "serve/dynamic_index.h"
+
+namespace usp {
+namespace {
+
+const Workload& Sq8Workload() {
+  static const Workload* w = [] {
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::kGaussian;
+    spec.num_base = 1500;
+    spec.num_queries = 60;
+    spec.gt_k = 10;
+    spec.seed = 55;
+    return new Workload(MakeWorkload(spec));
+  }();
+  return *w;
+}
+
+TEST(Sq8Test, EncodeDecodeStaysWithinHalfStep) {
+  const Workload& w = Sq8Workload();
+  Sq8Index index(&w.base);
+  std::vector<uint8_t> code(index.dim());
+  std::vector<float> decoded(index.dim());
+  for (const size_t row : {0u, 7u, 1499u}) {
+    index.EncodeVector(w.base.Row(row), code.data());
+    index.DecodeVector(code.data(), decoded.data());
+    for (size_t d = 0; d < index.dim(); ++d) {
+      // The decoded midpoint sits within half a quantization step of the
+      // original (in-range by construction: ranges are trained on the base).
+      const float step = index.scales()[d];
+      EXPECT_NEAR(decoded[d], w.base.Row(row)[d], step / 2.0f + 1e-6f)
+          << "row=" << row << " dim=" << d;
+    }
+  }
+}
+
+TEST(Sq8Test, CodesMatchEncodeVector) {
+  const Workload& w = Sq8Workload();
+  Sq8Index index(&w.base);
+  std::vector<uint8_t> code(index.dim());
+  index.EncodeVector(w.base.Row(42), code.data());
+  const uint8_t* stored = index.codes() + 42 * index.dim();
+  for (size_t d = 0; d < index.dim(); ++d) {
+    EXPECT_EQ(stored[d], code[d]) << d;
+  }
+}
+
+TEST(Sq8Test, FullBudgetIsExactUnderEveryMetric) {
+  // With rerank_budget >= size() every row reaches the exact fp32 rerank, so
+  // the quantized proxy only orders the shortlist — results must equal brute
+  // force exactly.
+  const Workload& w = Sq8Workload();
+  for (const Metric metric :
+       {Metric::kSquaredL2, Metric::kInnerProduct, Metric::kCosine}) {
+    Sq8IndexConfig config;
+    config.metric = metric;
+    config.rerank_budget = w.base.rows();
+    Sq8Index index(&w.base, config);
+    const auto got = index.SearchBatch(w.queries, 10, 1);
+    const KnnResult want = BruteForceKnn(w.base, w.queries, 10, metric);
+    EXPECT_EQ(got.ids, want.indices) << MetricName(metric);
+  }
+}
+
+TEST(Sq8Test, DefaultBudgetRecallFloor) {
+  const Workload& w = Sq8Workload();
+  for (const Metric metric :
+       {Metric::kSquaredL2, Metric::kInnerProduct, Metric::kCosine}) {
+    Sq8IndexConfig config;
+    config.metric = metric;
+    Sq8Index index(&w.base, config);  // rerank_budget = 100
+    const KnnResult truth = BruteForceKnn(w.base, w.queries, 10, metric);
+    const auto got = index.SearchBatch(w.queries, 10, 1);
+    const double recall = KnnAccuracy(got, truth.indices, truth.k);
+    // 8-bit codes at 100 reranks over 1500 rows: the proxy scan has to place
+    // nearly every true neighbor in the shortlist.
+    EXPECT_GE(recall, 0.9) << MetricName(metric) << " recall " << recall;
+  }
+}
+
+TEST(Sq8Test, FilteredSearchIsExactOverAllowedSubset) {
+  const Workload& w = Sq8Workload();
+  Sq8IndexConfig config;
+  config.rerank_budget = w.base.rows();
+  Sq8Index index(&w.base, config);
+  IdSelectorRange filter(200, 700);
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = 10;
+  request.options.filter = &filter;
+  const auto got = index.SearchBatch(request);
+  const KnnResult want =
+      BruteForceKnn(w.base, w.queries, 10, Metric::kSquaredL2, &filter);
+  EXPECT_EQ(got.ids, want.indices);
+}
+
+TEST(Sq8Test, ThreadShardingIsDeterministic) {
+  const Workload& w = Sq8Workload();
+  Sq8Index index(&w.base);
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = 10;
+  request.options.num_threads = 1;
+  const auto serial = index.SearchBatch(request);
+  request.options.num_threads = 0;
+  const auto pooled = index.SearchBatch(request);
+  EXPECT_EQ(serial.ids, pooled.ids);
+}
+
+TEST(Sq8Test, DynamicIndexSealsToSq8Segments) {
+  const Workload& w = Sq8Workload();
+  DynamicIndexConfig config;
+  config.metric = Metric::kSquaredL2;
+  config.segment_builder = Sq8SegmentBuilder(/*rerank_budget=*/400);
+  DynamicIndex dynamic(w.base.cols(), config);
+  const size_t n = 600;
+  dynamic.AddBatch(MatrixView(w.base.data(), n, w.base.cols()));
+  dynamic.Seal();
+
+  const MatrixView head(w.base.data(), n, w.base.cols());
+  const KnnResult truth = BruteForceKnn(head, w.queries, 10);
+  const auto got = dynamic.SearchBatch(w.queries, 10, 1);
+  const double recall = KnnAccuracy(got, truth.indices, truth.k);
+  EXPECT_GE(recall, 0.95) << "sealed-SQ8 recall " << recall;
+}
+
+}  // namespace
+}  // namespace usp
