@@ -1,0 +1,311 @@
+// Out-of-core scale benchmark for serve/out_of_core_builder.h. Builds an
+// IVF-Flat index from a 1M-point synthetic .fvecs base that is generated,
+// trained on, and encoded chunk by chunk — the full fp32 matrix never exists
+// in this process — then serves it through the mmap path and sweeps nprobe
+// for recall@10 vs QPS. Written machine-readable to BENCH_scale.json
+// (override the path with argv[1]; conventions in docs/BENCHMARKS.md):
+//
+//   1. generate — chunk-wise Gaussian base to disk (FvecsWriter).
+//   2. build    — disk-direct OutOfCoreBuilder run; reports wall time and
+//                 the getrusage peak-RSS delta, measured before any
+//                 ground-truth or mmap work touches the base. The headline
+//                 acceptance number: rss_fraction_of_base must stay < 0.25.
+//   3. truth    — streaming exact top-10 (per-chunk BruteForceKnn, merged),
+//                 still O(chunk) memory.
+//   4. sweep    — recall@10 and QPS per nprobe through MmapIndex; the
+//                 acceptance flag records whether any budget reaches 0.9.
+//
+// The base is a Gaussian mixture (USP_BENCH_SCALE_CLUSTERS centers, unit
+// noise) generated chunk by chunk; queries perturb base rows so ground-truth
+// neighbors are meaningful. Scale knobs: USP_BENCH_SCALE_N (default
+// 1000000), USP_BENCH_SCALE_DIM (64), USP_BENCH_SCALE_CLUSTERS (1024),
+// USP_BENCH_SCALE_NLIST (1024), USP_BENCH_SCALE_CHUNK (16384),
+// USP_BENCH_SCALE_EPOCHS (3), USP_BENCH_SCALE_SAMPLE (32768),
+// USP_BENCH_SCALE_QUERIES (100), USP_BENCH_SCALE_REPS (2). The CI smoke run
+// uses USP_BENCH_SCALE_N=200000. The exit code reports whether the run
+// completed; the acceptance flags live in the JSON.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataset/fvecs_stream.h"
+#include "index/serialize.h"
+#include "knn/brute_force.h"
+#include "serve/out_of_core_builder.h"
+#include "tensor/matrix.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace usp::bench {
+namespace {
+
+constexpr size_t kTopK = 10;
+
+size_t PeakRssKb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<size_t>(usage.ru_maxrss);
+}
+
+/// Exact top-k over the fvecs base without loading it: per-chunk brute force
+/// merged into a running top-k per query.
+KnnResult StreamingGroundTruth(const std::string& fvecs_path,
+                               const Matrix& queries, size_t chunk_rows) {
+  KnnResult truth;
+  truth.k = kTopK;
+  const size_t nq = queries.rows();
+  std::vector<std::vector<std::pair<float, uint32_t>>> best(nq);
+
+  auto reader = FvecsReader::Open(fvecs_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "ground truth: %s\n",
+                 reader.status().ToString().c_str());
+    return truth;
+  }
+  size_t row_base = 0;
+  for (;;) {
+    auto chunk = reader.value().NextChunk(chunk_rows);
+    if (!chunk.ok() || chunk.value().rows() == 0) break;
+    const KnnResult local =
+        BruteForceKnn(chunk.value(), queries, std::min(kTopK, chunk.value().rows()));
+    for (size_t q = 0; q < nq; ++q) {
+      auto& heap = best[q];
+      for (size_t j = 0; j < local.k; ++j) {
+        heap.emplace_back(local.distances[q * local.k + j],
+                          static_cast<uint32_t>(row_base) + local.Row(q)[j]);
+      }
+      std::sort(heap.begin(), heap.end());
+      if (heap.size() > kTopK) heap.resize(kTopK);
+    }
+    row_base += chunk.value().rows();
+  }
+  truth.indices.resize(nq * kTopK);
+  truth.distances.resize(nq * kTopK);
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t j = 0; j < best[q].size(); ++j) {
+      truth.indices[q * kTopK + j] = best[q][j].second;
+      truth.distances[q * kTopK + j] = best[q][j].first;
+    }
+  }
+  return truth;
+}
+
+double RecallAt10(const BatchSearchResult& result, const KnnResult& truth) {
+  size_t hits = 0, want = 0;
+  for (size_t q = 0; q * truth.k < truth.indices.size(); ++q) {
+    want += truth.k;
+    for (size_t j = 0; j < result.k; ++j) {
+      const uint32_t id = result.Row(q)[j];
+      for (size_t t = 0; t < truth.k; ++t) {
+        if (truth.Row(q)[t] == id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return want == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(want);
+}
+
+struct SweepPoint {
+  size_t budget;
+  double recall;
+  double qps;
+  double ns_per_query;
+};
+
+int Run(const char* out_path) {
+  const size_t n = static_cast<size_t>(EnvInt("USP_BENCH_SCALE_N", 1000000));
+  const size_t dim = static_cast<size_t>(EnvInt("USP_BENCH_SCALE_DIM", 64));
+  const size_t clusters =
+      static_cast<size_t>(EnvInt("USP_BENCH_SCALE_CLUSTERS", 1024));
+  const size_t nlist =
+      static_cast<size_t>(EnvInt("USP_BENCH_SCALE_NLIST", 1024));
+  const size_t chunk =
+      static_cast<size_t>(EnvInt("USP_BENCH_SCALE_CHUNK", 16384));
+  const size_t epochs =
+      static_cast<size_t>(EnvInt("USP_BENCH_SCALE_EPOCHS", 3));
+  const size_t sample =
+      static_cast<size_t>(EnvInt("USP_BENCH_SCALE_SAMPLE", 32768));
+  const size_t nq =
+      static_cast<size_t>(EnvInt("USP_BENCH_SCALE_QUERIES", 100));
+  const size_t reps = static_cast<size_t>(EnvInt("USP_BENCH_SCALE_REPS", 2));
+
+  const std::string fvecs_path = std::string(out_path) + ".base.fvecs";
+  const std::string index_path = std::string(out_path) + ".index.usp";
+  const uint64_t base_bytes =
+      static_cast<uint64_t>(n) * dim * sizeof(float);
+
+  // Phase 1: chunk-wise mixture generation straight to disk. Centers are
+  // N(0, spread^2) rows, points add unit Gaussian noise — clustered enough
+  // for IVF to be meaningful, overlapping enough to need real probing.
+  const float spread = 0.7f;
+  Rng center_rng(43);
+  Matrix centers = Matrix::RandomGaussian(clusters, dim, &center_rng);
+  for (size_t i = 0; i < centers.size(); ++i) centers.data()[i] *= spread;
+  const auto mixture_chunk = [&](size_t count, Rng* rng) {
+    Matrix rows = Matrix::RandomGaussian(count, dim, rng);
+    for (size_t i = 0; i < count; ++i) {
+      const float* c = centers.Row(rng->UniformInt(clusters));
+      float* x = rows.Row(i);
+      for (size_t j = 0; j < dim; ++j) x[j] += c[j];
+    }
+    return rows;
+  };
+
+  WallTimer gen_timer;
+  {
+    Rng rng(42);
+    FvecsWriter writer(fvecs_path);
+    for (size_t done = 0; done < n; done += chunk) {
+      const size_t count = std::min(chunk, n - done);
+      if (!writer.Append(mixture_chunk(count, &rng)).ok()) {
+        std::fprintf(stderr, "cannot write %s\n", fvecs_path.c_str());
+        return 1;
+      }
+    }
+    if (!writer.Close().ok()) return 1;
+  }
+  const double gen_seconds = gen_timer.ElapsedSeconds();
+  std::printf("generate: %zu x %zu (%.0f MB) in %.1fs\n", n, dim,
+              static_cast<double>(base_bytes) / 1e6, gen_seconds);
+
+  // Phase 2: the out-of-core build, RSS-instrumented. Nothing before this
+  // point has touched more than one chunk at a time.
+  OutOfCoreConfig config;
+  config.kind = OutOfCoreKind::kIvfFlat;
+  config.chunk_rows = chunk;
+  config.nlist = nlist;
+  config.train_epochs = epochs;
+  config.sample_rows = sample;
+  config.seed = 42;
+
+  const size_t rss_before_kb = PeakRssKb();
+  WallTimer build_timer;
+  auto stats = OutOfCoreBuilder(config).Build(fvecs_path, index_path);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  const size_t rss_after_kb = PeakRssKb();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "build: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const size_t rss_delta_kb = rss_after_kb - rss_before_kb;
+  const double rss_fraction =
+      static_cast<double>(rss_delta_kb) * 1024.0 /
+      static_cast<double>(base_bytes);
+  std::printf(
+      "build: %.1fs, file %.0f MB, peak-RSS delta %zu KiB (%.1f%% of base), "
+      "nlist %zu, epochs %zu, lists [%zu, %zu] (%zu empty)\n",
+      build_seconds, static_cast<double>(stats.value().file_size) / 1e6,
+      rss_delta_kb, rss_fraction * 100.0, stats.value().nlist,
+      stats.value().epochs_run, stats.value().min_list,
+      stats.value().max_list, stats.value().empty_lists);
+
+  // Phase 3: streaming exact ground truth against mixture-drawn queries.
+  Rng qrng(7);
+  const Matrix queries = mixture_chunk(nq, &qrng);
+  WallTimer gt_timer;
+  const KnnResult truth = StreamingGroundTruth(fvecs_path, queries, chunk);
+  std::printf("truth: %zu queries in %.1fs\n", nq, gt_timer.ElapsedSeconds());
+
+  // Phase 4: serve through the mmap path, sweeping nprobe.
+  auto index = MmapIndex(index_path);
+  if (!index.ok()) {
+    std::fprintf(stderr, "mmap: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<SweepPoint> sweep;
+  double best_recall = 0.0;
+  for (size_t budget :
+       {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{16}, size_t{32},
+        size_t{64}, size_t{128}, size_t{256}}) {
+    if (budget > stats.value().nlist) break;
+    SearchRequest request;
+    request.queries = queries;
+    request.options.k = kTopK;
+    request.options.budget = budget;
+    BatchSearchResult result;
+    double seconds = 1e100;
+    for (size_t r = 0; r < reps; ++r) {
+      WallTimer timer;
+      result = index.value()->SearchBatch(request);
+      seconds = std::min(seconds, timer.ElapsedSeconds());
+    }
+    SweepPoint point;
+    point.budget = budget;
+    point.recall = RecallAt10(result, truth);
+    point.qps = static_cast<double>(nq) / seconds;
+    point.ns_per_query = seconds * 1e9 / static_cast<double>(nq);
+    sweep.push_back(point);
+    best_recall = std::max(best_recall, point.recall);
+    std::printf("sweep: nprobe=%-4zu recall@10=%.4f  %10.0f ns/query (%.0f qps)\n",
+                budget, point.recall, point.ns_per_query, point.qps);
+  }
+
+  const bool rss_ok = rss_fraction < 0.25;
+  const bool recall_ok = best_recall >= 0.9;
+  std::printf("acceptance: rss_fraction=%.3f (<0.25: %s), best recall=%.4f "
+              "(>=0.9: %s)\n",
+              rss_fraction, rss_ok ? "yes" : "NO", best_recall,
+              recall_ok ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"config\": {\"points\": %zu, \"dim\": %zu, "
+               "\"base_bytes\": %llu, \"nlist\": %zu, \"chunk_rows\": %zu, "
+               "\"train_epochs\": %zu, \"sample_rows\": %zu, \"queries\": "
+               "%zu, \"k\": %zu},\n",
+               n, dim, static_cast<unsigned long long>(base_bytes), nlist,
+               chunk, epochs, sample, nq, kTopK);
+  std::fprintf(f,
+               "  \"build\": {\"seconds\": %.2f, \"generate_seconds\": %.2f, "
+               "\"file_bytes\": %llu, \"peak_rss_delta_kib\": %zu, "
+               "\"rss_fraction_of_base\": %.4f, \"nlist\": %zu, "
+               "\"epochs_run\": %zu, \"train_inertia\": %.1f, \"chunks\": "
+               "%zu, \"min_list\": %zu, \"max_list\": %zu, \"empty_lists\": "
+               "%zu},\n",
+               build_seconds, gen_seconds,
+               static_cast<unsigned long long>(stats.value().file_size),
+               rss_delta_kb, rss_fraction, stats.value().nlist,
+               stats.value().epochs_run, stats.value().train_inertia,
+               stats.value().chunks, stats.value().min_list,
+               stats.value().max_list, stats.value().empty_lists);
+  std::fprintf(f, "  \"mmap_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(f,
+                 "    {\"nprobe\": %zu, \"recall_at_10\": %.4f, \"qps\": "
+                 "%.1f, \"ns_per_query\": %.1f}%s\n",
+                 p.budget, p.recall, p.qps, p.ns_per_query,
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"acceptance\": {\"rss_under_quarter_of_base\": %s, "
+               "\"best_recall_at_10\": %.4f, \"recall_target_met\": %s}\n}\n",
+               rss_ok ? "true" : "false", best_recall,
+               recall_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  std::remove(fvecs_path.c_str());
+  std::remove(index_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace usp::bench
+
+int main(int argc, char** argv) {
+  return usp::bench::Run(argc > 1 ? argv[1] : "BENCH_scale.json");
+}

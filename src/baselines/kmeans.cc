@@ -12,11 +12,7 @@
 
 namespace usp {
 
-namespace {
-
-// k-means++: first center uniform, then each next center sampled proportional
-// to squared distance from the nearest chosen center.
-Matrix KMeansPlusPlusInit(const Matrix& data, size_t k, Rng* rng) {
+Matrix KMeansPlusPlusInit(MatrixView data, size_t k, Rng* rng) {
   const size_t n = data.rows(), d = data.cols();
   Matrix centroids(k, d);
   const DistanceKernels& kd = GetDistanceKernels();
@@ -51,6 +47,33 @@ Matrix KMeansPlusPlusInit(const Matrix& data, size_t k, Rng* rng) {
   return centroids;
 }
 
+namespace {
+
+// Assignment step shared by the streaming paths: nearest centroid per chunk
+// row via the 1-vs-many block kernel, deterministic strict-< argmin (lowest
+// index wins ties) — the exact loop of RunKMeans' assignment phase.
+void AssignChunk(MatrixView chunk, const Matrix& centroids, uint32_t* assign,
+                 float* point_dist) {
+  const size_t m = chunk.rows(), d = chunk.cols(), k = centroids.rows();
+  const DistanceKernels& kd = GetDistanceKernels();
+  ParallelFor(m, 64, [&](size_t begin, size_t end, size_t) {
+    std::vector<float> dist(k);
+    for (size_t i = begin; i < end; ++i) {
+      kd.score_block_l2(chunk.Row(i), centroids.data(), k, d, dist.data());
+      float best = std::numeric_limits<float>::max();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        if (dist[c] < best) {
+          best = dist[c];
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      assign[i] = best_c;
+      point_dist[i] = best;
+    }
+  });
+}
+
 }  // namespace
 
 KMeansResult RunKMeans(const Matrix& data, const KMeansConfig& config) {
@@ -70,24 +93,8 @@ KMeansResult RunKMeans(const Matrix& data, const KMeansConfig& config) {
     // Assignment step (parallel): 1-vs-many scan over the contiguous
     // centroid rows, then a deterministic argmin (strict < keeps the lowest
     // index on ties, matching the historical per-centroid loop).
-    const DistanceKernels& kd = GetDistanceKernels();
-    ParallelFor(n, 64, [&](size_t begin, size_t end, size_t) {
-      std::vector<float> dist(k);
-      for (size_t i = begin; i < end; ++i) {
-        kd.score_block_l2(data.Row(i), result.centroids.data(), k, d,
-                          dist.data());
-        float best = std::numeric_limits<float>::max();
-        uint32_t best_c = 0;
-        for (size_t c = 0; c < k; ++c) {
-          if (dist[c] < best) {
-            best = dist[c];
-            best_c = static_cast<uint32_t>(c);
-          }
-        }
-        result.assignments[i] = best_c;
-        point_dist[i] = best;
-      }
-    });
+    AssignChunk(data, result.centroids, result.assignments.data(),
+                point_dist.data());
     double inertia = 0.0;
     for (size_t i = 0; i < n; ++i) inertia += point_dist[i];
     result.inertia = inertia;
@@ -127,6 +134,133 @@ KMeansResult RunKMeans(const Matrix& data, const KMeansConfig& config) {
     prev_inertia = inertia;
   }
   return result;
+}
+
+StatusOr<MiniBatchKMeansResult> RunMiniBatchKMeans(
+    ChunkStream* data, MatrixView seeding_sample,
+    const MiniBatchKMeansConfig& config) {
+  const size_t d = data->dim();
+  if (config.chunk_rows == 0) {
+    return Status::InvalidArgument("MiniBatchKMeansConfig::chunk_rows must be > 0");
+  }
+  if (config.epochs == 0) {
+    return Status::InvalidArgument("MiniBatchKMeansConfig::epochs must be > 0");
+  }
+  if (seeding_sample.rows() == 0 || seeding_sample.cols() != d) {
+    return Status::InvalidArgument(
+        "seeding sample must be non-empty and match the stream dimension");
+  }
+  const size_t k = std::min(config.num_clusters, seeding_sample.rows());
+  USP_CHECK(k >= 1);
+  Rng rng(config.seed);
+
+  MiniBatchKMeansResult result;
+  result.centroids = KMeansPlusPlusInit(seeding_sample, k, &rng);
+
+  Matrix sums(k, d);
+  std::vector<size_t> chunk_counts(k, 0);
+  std::vector<uint64_t> counts(k, 0);  ///< points absorbed this epoch
+  std::vector<uint32_t> assign;
+  std::vector<float> point_dist;
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    result.epochs_run = epoch + 1;
+    Status status = data->Reset();
+    if (!status.ok()) return status;
+    // Counts restart each epoch: the first chunk of every epoch fully adopts
+    // its chunk means (learning rate 1), later chunks blend in with weight
+    // proportional to their share of the epoch's points. With one chunk
+    // spanning the whole stream this update IS a Lloyd iteration, bit for
+    // bit — same kernels, same accumulation order, same reseed rule.
+    std::fill(counts.begin(), counts.end(), 0);
+    double inertia = 0.0;
+    for (;;) {
+      StatusOr<MatrixView> chunk_or = data->NextChunk(config.chunk_rows);
+      if (!chunk_or.ok()) return chunk_or.status();
+      const MatrixView chunk = chunk_or.value();
+      const size_t m = chunk.rows();
+      if (m == 0) break;
+      if (assign.size() < m) {
+        assign.resize(m);
+        point_dist.resize(m);
+      }
+      AssignChunk(chunk, result.centroids, assign.data(), point_dist.data());
+      for (size_t i = 0; i < m; ++i) inertia += point_dist[i];
+
+      sums.Fill(0.0f);
+      std::fill(chunk_counts.begin(), chunk_counts.end(), 0);
+      for (size_t i = 0; i < m; ++i) {
+        const uint32_t c = assign[i];
+        ++chunk_counts[c];
+        const float* x = chunk.Row(i);
+        float* s = sums.Row(c);
+        for (size_t j = 0; j < d; ++j) s[j] += x[j];
+      }
+      for (size_t c = 0; c < k; ++c) {
+        if (chunk_counts[c] == 0) {
+          if (counts[c] == 0) {
+            // A center no chunk has fed this epoch: reseed from the current
+            // chunk's worst-served point (RunKMeans' farthest-point rule).
+            size_t farthest = 0;
+            for (size_t i = 1; i < m; ++i) {
+              if (point_dist[i] > point_dist[farthest]) farthest = i;
+            }
+            std::memcpy(result.centroids.Row(c), chunk.Row(farthest),
+                        d * sizeof(float));
+            point_dist[farthest] = 0.0f;
+          }
+          continue;
+        }
+        const float inv = 1.0f / static_cast<float>(chunk_counts[c]);
+        float* dst = result.centroids.Row(c);
+        const float* s = sums.Row(c);
+        if (counts[c] == 0) {
+          // First feed of the epoch: adopt the chunk mean outright, with
+          // RunKMeans' exact arithmetic (sum * (1/count)).
+          for (size_t j = 0; j < d; ++j) dst[j] = s[j] * inv;
+        } else {
+          const float lr =
+              static_cast<float>(chunk_counts[c]) /
+              static_cast<float>(counts[c] + chunk_counts[c]);
+          for (size_t j = 0; j < d; ++j) dst[j] += lr * (s[j] * inv - dst[j]);
+        }
+        counts[c] += chunk_counts[c];
+      }
+    }
+    result.inertia = inertia;
+    if (prev_inertia < std::numeric_limits<double>::max() &&
+        prev_inertia - inertia <= config.tolerance * prev_inertia) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+StatusOr<double> StreamInertia(ChunkStream* data, const Matrix& centroids,
+                               size_t chunk_rows) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be > 0");
+  }
+  Status status = data->Reset();
+  if (!status.ok()) return status;
+  std::vector<uint32_t> assign;
+  std::vector<float> point_dist;
+  double inertia = 0.0;
+  for (;;) {
+    StatusOr<MatrixView> chunk_or = data->NextChunk(chunk_rows);
+    if (!chunk_or.ok()) return chunk_or.status();
+    const MatrixView chunk = chunk_or.value();
+    if (chunk.rows() == 0) break;
+    if (assign.size() < chunk.rows()) {
+      assign.resize(chunk.rows());
+      point_dist.resize(chunk.rows());
+    }
+    AssignChunk(chunk, centroids, assign.data(), point_dist.data());
+    for (size_t i = 0; i < chunk.rows(); ++i) inertia += point_dist[i];
+  }
+  return inertia;
 }
 
 KMeansPartitioner::KMeansPartitioner(const Matrix& data,

@@ -1,0 +1,194 @@
+#include "dataset/fvecs_stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace usp {
+
+namespace {
+
+// Rows pulled per sampler iteration. Internal granularity only: samplers act
+// row-wise, so their output is the same at any value.
+constexpr size_t kSamplerChunkRows = 4096;
+
+}  // namespace
+
+StatusOr<FvecsReader> FvecsReader::Open(const std::string& path) {
+  FvecsReader reader;
+  reader.path_ = path;
+  reader.file_.reset(std::fopen(path.c_str(), "rb"));
+  if (!reader.file_) return Status::IoError("cannot open " + path);
+  std::FILE* f = reader.file_.get();
+
+  int32_t dim = 0;
+  if (std::fread(&dim, sizeof(int32_t), 1, f) != 1) {
+    return Status::IoError("empty fvecs file " + path);
+  }
+  if (dim <= 0) return Status::IoError("bad dimension in " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("cannot seek in " + path);
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0) return Status::IoError("cannot seek in " + path);
+  const size_t record_bytes =
+      sizeof(int32_t) + static_cast<size_t>(dim) * sizeof(float);
+  if (static_cast<size_t>(file_size) % record_bytes != 0) {
+    // A whole-record grid is the cheapest full-file truncation check; ragged
+    // dimensions that happen to preserve the grid are caught per record in
+    // NextChunk.
+    return Status::IoError("truncated fvecs record in " + path);
+  }
+  reader.dim_ = static_cast<size_t>(dim);
+  reader.num_rows_ = static_cast<size_t>(file_size) / record_bytes;
+  Status status = reader.Reset();
+  if (!status.ok()) return status;
+  return reader;
+}
+
+Status FvecsReader::Reset() {
+  if (std::fseek(file_.get(), 0, SEEK_SET) != 0) {
+    return Status::IoError("cannot seek in " + path_);
+  }
+  cursor_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<MatrixView> FvecsReader::NextChunk(size_t max_rows) {
+  if (max_rows == 0) {
+    return Status::InvalidArgument("NextChunk needs max_rows > 0");
+  }
+  const size_t want = std::min(max_rows, num_rows_ - cursor_);
+  if (buffer_.size() < want * dim_) buffer_.resize(want * dim_);
+  std::FILE* f = file_.get();
+  for (size_t i = 0; i < want; ++i) {
+    int32_t this_dim = 0;
+    if (std::fread(&this_dim, sizeof(int32_t), 1, f) != 1) {
+      // Open sized the file as num_rows_ whole records; running out early
+      // means it shrank underneath us.
+      return Status::IoError("truncated fvecs record in " + path_);
+    }
+    if (this_dim <= 0) return Status::IoError("bad dimension in " + path_);
+    if (static_cast<size_t>(this_dim) != dim_) {
+      return Status::IoError("ragged fvecs records in " + path_);
+    }
+    if (std::fread(buffer_.data() + i * dim_, sizeof(float), dim_, f) !=
+        dim_) {
+      return Status::IoError("truncated fvecs record in " + path_);
+    }
+    ++cursor_;
+  }
+  return MatrixView(buffer_.data(), want, dim_);
+}
+
+StatusOr<MatrixView> MatrixStream::NextChunk(size_t max_rows) {
+  if (max_rows == 0) {
+    return Status::InvalidArgument("NextChunk needs max_rows > 0");
+  }
+  const size_t count = std::min(max_rows, data_.rows() - cursor_);
+  MatrixView chunk(count > 0 ? data_.Row(cursor_) : data_.data(), count,
+                   data_.cols());
+  cursor_ += count;
+  return chunk;
+}
+
+StatusOr<Matrix> ReservoirSample(ChunkStream* stream, size_t sample_rows,
+                                 uint64_t seed) {
+  if (sample_rows == 0) {
+    return Status::InvalidArgument("sample_rows must be > 0");
+  }
+  Status status = stream->Reset();
+  if (!status.ok()) return status;
+  const size_t d = stream->dim();
+  Matrix reservoir(std::min(sample_rows, stream->num_rows()), d);
+  Rng rng(seed);
+  size_t seen = 0;
+  for (;;) {
+    StatusOr<MatrixView> chunk = stream->NextChunk(kSamplerChunkRows);
+    if (!chunk.ok()) return chunk.status();
+    const MatrixView rows = chunk.value();
+    if (rows.rows() == 0) break;
+    for (size_t i = 0; i < rows.rows(); ++i, ++seen) {
+      if (seen < sample_rows) {
+        std::memcpy(reservoir.Row(seen), rows.Row(i), d * sizeof(float));
+      } else {
+        const uint64_t j = rng.UniformInt(seen + 1);
+        if (j < sample_rows) {
+          std::memcpy(reservoir.Row(j), rows.Row(i), d * sizeof(float));
+        }
+      }
+    }
+  }
+  if (seen == 0) return Status::InvalidArgument("cannot sample an empty stream");
+  return reservoir;
+}
+
+StatusOr<Matrix> StridedSample(ChunkStream* stream, size_t stride,
+                               size_t max_rows) {
+  if (stride == 0) return Status::InvalidArgument("stride must be > 0");
+  Status status = stream->Reset();
+  if (!status.ok()) return status;
+  const size_t d = stream->dim();
+  std::vector<float> picked;
+  size_t row = 0, taken = 0;
+  for (;;) {
+    StatusOr<MatrixView> chunk = stream->NextChunk(kSamplerChunkRows);
+    if (!chunk.ok()) return chunk.status();
+    const MatrixView rows = chunk.value();
+    if (rows.rows() == 0) break;
+    for (size_t i = 0; i < rows.rows(); ++i, ++row) {
+      if (row % stride != 0) continue;
+      if (max_rows > 0 && taken >= max_rows) break;
+      picked.insert(picked.end(), rows.Row(i), rows.Row(i) + d);
+      ++taken;
+    }
+    if (max_rows > 0 && taken >= max_rows) break;
+  }
+  if (taken == 0) return Status::InvalidArgument("cannot sample an empty stream");
+  return Matrix(taken, d, std::move(picked));
+}
+
+FvecsWriter::FvecsWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+}
+
+FvecsWriter::~FvecsWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FvecsWriter::Append(MatrixView rows) {
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open " + path_ + " for writing");
+  }
+  if (failed_) return Status::IoError("short write to " + path_);
+  if (rows.cols() == 0) {
+    return Status::InvalidArgument("cannot write 0-dimensional fvecs rows");
+  }
+  if (dim_ == 0) {
+    dim_ = rows.cols();
+  } else if (rows.cols() != dim_) {
+    return Status::InvalidArgument("ragged append to " + path_);
+  }
+  const int32_t dim = static_cast<int32_t>(dim_);
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    if (std::fwrite(&dim, sizeof(int32_t), 1, file_) != 1 ||
+        std::fwrite(rows.Row(i), sizeof(float), dim_, file_) != dim_) {
+      failed_ = true;
+      return Status::IoError("short write to " + path_);
+    }
+  }
+  return Status::Ok();
+}
+
+Status FvecsWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open " + path_ + " for writing");
+  }
+  const bool close_ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (failed_ || !close_ok) return Status::IoError("short write to " + path_);
+  return Status::Ok();
+}
+
+}  // namespace usp

@@ -1,0 +1,145 @@
+// Chunked, bounded-memory access to vector datasets. ChunkStream is the
+// abstraction the out-of-core pipeline (baselines/kmeans.h mini-batch
+// training, serve/out_of_core_builder.h) is written against: FvecsReader
+// streams a TEXMEX .fvecs file through a reused buffer, MatrixStream adapts
+// an in-memory matrix so the same pipeline can run on both sources with
+// identical chunk boundaries — the property the out-of-core bit-identity
+// tests rest on. The samplers draw training subsets row-wise, so the sample
+// a stream yields is independent of the chunk size it is read with.
+#ifndef USP_DATASET_FVECS_STREAM_H_
+#define USP_DATASET_FVECS_STREAM_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace usp {
+
+/// Sequential row-chunk source over a fixed-dimension dataset. One stream can
+/// be re-read (epochs) via Reset. NextChunk returns a view of up to max_rows
+/// rows valid until the next NextChunk/Reset call; a 0-row view means the
+/// stream is exhausted.
+class ChunkStream {
+ public:
+  virtual ~ChunkStream() = default;
+
+  /// Row dimensionality.
+  virtual size_t dim() const = 0;
+
+  /// Total rows in the stream (known up front for both backends).
+  virtual size_t num_rows() const = 0;
+
+  /// Rewinds to the first row.
+  virtual Status Reset() = 0;
+
+  /// Reads up to `max_rows` rows (> 0) into an internal reused buffer. The
+  /// returned view is invalidated by the next NextChunk/Reset. Returns a
+  /// 0-row view at end of stream, and a Status on malformed input (truncated
+  /// or ragged records discovered mid-chunk).
+  virtual StatusOr<MatrixView> NextChunk(size_t max_rows) = 0;
+};
+
+/// Streams an .fvecs file (per record: int32 dim then dim floats) chunk by
+/// chunk. Open validates the shape once — the dimension from the first
+/// record, the row count from the file size (a file truncated mid-record
+/// fails here) — and rows come out byte-identical to ReadFvecs
+/// (dataset/io.h). The read buffer is allocated to the largest chunk
+/// requested and reused, so memory stays O(chunk), never O(n).
+class FvecsReader : public ChunkStream {
+ public:
+  static StatusOr<FvecsReader> Open(const std::string& path);
+
+  FvecsReader(FvecsReader&&) = default;
+  FvecsReader& operator=(FvecsReader&&) = default;
+
+  size_t dim() const override { return dim_; }
+  size_t num_rows() const override { return num_rows_; }
+  const std::string& path() const { return path_; }
+
+  Status Reset() override;
+  StatusOr<MatrixView> NextChunk(size_t max_rows) override;
+
+ private:
+  FvecsReader() = default;
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  std::string path_;
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  size_t dim_ = 0;
+  size_t num_rows_ = 0;
+  size_t cursor_ = 0;           ///< rows consumed since Reset
+  std::vector<float> buffer_;   ///< reused chunk storage
+};
+
+/// In-memory ChunkStream over a MatrixView (which must outlive the stream).
+/// Chunks are zero-copy views into the matrix.
+class MatrixStream : public ChunkStream {
+ public:
+  explicit MatrixStream(MatrixView data) : data_(data) {}
+
+  size_t dim() const override { return data_.cols(); }
+  size_t num_rows() const override { return data_.rows(); }
+
+  Status Reset() override {
+    cursor_ = 0;
+    return Status::Ok();
+  }
+
+  StatusOr<MatrixView> NextChunk(size_t max_rows) override;
+
+ private:
+  MatrixView data_;
+  size_t cursor_ = 0;
+};
+
+/// Uniform sample of min(sample_rows, stream rows) rows via reservoir
+/// sampling (Algorithm R). Each row's fate depends only on its position and
+/// `seed`, never on chunk boundaries, so a disk stream and an in-memory
+/// stream over the same rows yield bit-identical samples. Rewinds the stream
+/// first; errors on an empty stream.
+StatusOr<Matrix> ReservoirSample(ChunkStream* stream, size_t sample_rows,
+                                 uint64_t seed);
+
+/// Every stride-th row (0, stride, 2*stride, ...), capped at `max_rows` rows
+/// (0 = uncapped). Deterministic and chunk-independent by construction.
+StatusOr<Matrix> StridedSample(ChunkStream* stream, size_t stride,
+                               size_t max_rows = 0);
+
+/// Appending .fvecs writer, the chunk-wise counterpart of WriteFvecs: large
+/// synthetic bases are generated chunk by chunk without ever materializing
+/// the full matrix. All appends must share one dimension; Close flushes.
+class FvecsWriter {
+ public:
+  explicit FvecsWriter(const std::string& path);
+  ~FvecsWriter();
+  FvecsWriter(const FvecsWriter&) = delete;
+  FvecsWriter& operator=(const FvecsWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  /// Appends `rows` as fvecs records.
+  Status Append(MatrixView rows);
+
+  /// Flushes and closes; returns the first error if any write failed.
+  Status Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+  size_t dim_ = 0;  ///< fixed by the first append
+};
+
+}  // namespace usp
+
+#endif  // USP_DATASET_FVECS_STREAM_H_

@@ -1,5 +1,6 @@
 #include "index/container.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace usp {
@@ -71,6 +72,123 @@ Status ContainerWriter::WriteTo(Writer* out, const std::string& name) {
     written = section.entry.offset + section.entry.size;
   }
   if (!ok) return Status::IoError("short write to " + name);
+  return Status::Ok();
+}
+
+StreamingContainerWriter::StreamingContainerWriter(IndexType type,
+                                                   Metric metric, uint64_t dim,
+                                                   uint64_t num_points) {
+  std::memset(&header_, 0, sizeof(header_));
+  std::memcpy(header_.magic, kContainerMagic, sizeof(kContainerMagic));
+  header_.version = kContainerVersion;
+  header_.index_type = static_cast<uint32_t>(type);
+  header_.metric = static_cast<uint32_t>(metric);
+  header_.dim = dim;
+  header_.num_points = num_points;
+}
+
+void StreamingContainerWriter::PlanSection(SectionTag tag, uint32_t ordinal,
+                                           uint64_t size) {
+  USP_CHECK(!started_);
+  sections_.push_back({static_cast<uint32_t>(tag), ordinal, 0, size});
+}
+
+Status StreamingContainerWriter::Start(Writer* out, const std::string& name) {
+  if (started_) {
+    return Status::FailedPrecondition("StreamingContainerWriter restarted");
+  }
+  out_ = out;
+  name_ = name;
+  // ContainerWriter::WriteTo's layout, verbatim: the two writers must place
+  // every byte identically.
+  header_.section_count = static_cast<uint32_t>(sections_.size());
+  uint64_t cursor =
+      sizeof(ContainerHeader) + sections_.size() * sizeof(SectionEntry);
+  for (SectionEntry& entry : sections_) {
+    cursor = AlignUp(cursor, kSectionAlignment);
+    entry.offset = cursor;
+    cursor += entry.size;
+  }
+  header_.file_size = cursor;
+
+  bool ok = out_->WritePod(header_);
+  for (const SectionEntry& entry : sections_) {
+    ok = ok && out_->WritePod(entry);
+  }
+  if (!ok) return Status::IoError("short write to " + name_);
+  written_ =
+      sizeof(ContainerHeader) + sections_.size() * sizeof(SectionEntry);
+  started_ = true;
+  return Status::Ok();
+}
+
+Status StreamingContainerWriter::Pad(uint64_t target) {
+  static constexpr char kPadding[kSectionAlignment] = {};
+  while (written_ < target) {
+    const uint64_t step =
+        std::min<uint64_t>(target - written_, kSectionAlignment);
+    if (!out_->Write(kPadding, step)) {
+      return Status::IoError("short write to " + name_);
+    }
+    written_ += step;
+  }
+  return Status::Ok();
+}
+
+Status StreamingContainerWriter::Append(const void* data, uint64_t size) {
+  if (!started_) {
+    return Status::FailedPrecondition("Append before Start on " + name_);
+  }
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    while (current_ < sections_.size() &&
+           section_written_ == sections_[current_].size) {
+      ++current_;
+      section_written_ = 0;
+    }
+    if (current_ == sections_.size()) {
+      return Status::InvalidArgument("payload bytes beyond planned sections in " +
+                                     name_);
+    }
+    const SectionEntry& entry = sections_[current_];
+    if (section_written_ == 0) {
+      Status status = Pad(entry.offset);
+      if (!status.ok()) return status;
+    }
+    const uint64_t take =
+        std::min<uint64_t>(size, entry.size - section_written_);
+    if (!out_->Write(bytes, take)) {
+      return Status::IoError("short write to " + name_);
+    }
+    bytes += take;
+    size -= take;
+    section_written_ += take;
+    written_ += take;
+  }
+  return Status::Ok();
+}
+
+Status StreamingContainerWriter::Finish() {
+  if (!started_) {
+    return Status::FailedPrecondition("Finish before Start on " + name_);
+  }
+  while (current_ < sections_.size() &&
+         section_written_ == sections_[current_].size) {
+    ++current_;
+    section_written_ = 0;
+  }
+  if (current_ != sections_.size()) {
+    const SectionEntry& entry = sections_[current_];
+    return Status::InvalidArgument(
+        SectionName(static_cast<SectionTag>(entry.tag), entry.ordinal) +
+        " in " + name_ + " is short: " + std::to_string(section_written_) +
+        " of " + std::to_string(entry.size) + " bytes appended");
+  }
+  // Trailing zero-size sections still claim an aligned offset; pad out to
+  // the declared file size so the bytes match ContainerWriter exactly.
+  Status status = Pad(header_.file_size);
+  if (!status.ok()) return status;
+  started_ = false;
   return Status::Ok();
 }
 

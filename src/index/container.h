@@ -121,6 +121,52 @@ class ContainerWriter {
   std::vector<PendingSection> sections_;
 };
 
+/// Writes a container front to back without ever holding a payload: section
+/// sizes are declared up front (PlanSection, in payload order), Start lays
+/// out the offsets and emits header + table, then payload bytes are streamed
+/// in with Append — split across as many calls as the producer likes, e.g.
+/// one call per base chunk. Given identical payload bytes the output file is
+/// byte-identical to ContainerWriter's, a property the out-of-core build
+/// path (serve/out_of_core_builder.h) turns into its bit-identity guarantee
+/// against SaveIndex. Finish verifies every declared byte arrived.
+class StreamingContainerWriter {
+ public:
+  StreamingContainerWriter(IndexType type, Metric metric, uint64_t dim,
+                           uint64_t num_points);
+
+  /// Declares the next section; call once per section, in the order payload
+  /// bytes will be appended. Must precede Start.
+  void PlanSection(SectionTag tag, uint32_t ordinal, uint64_t size);
+
+  /// Lays out section offsets (ContainerWriter's exact algorithm) and writes
+  /// the header and section table to `out`, which must stay valid through
+  /// Finish. `name` labels errors.
+  Status Start(Writer* out, const std::string& name);
+
+  /// Appends payload bytes in planned order. Alignment padding before each
+  /// section is inserted automatically; a call may span section boundaries.
+  Status Append(const void* data, uint64_t size);
+
+  /// Checks all planned payload bytes were appended and writes any trailing
+  /// alignment padding. The writer cannot be reused afterwards.
+  Status Finish();
+
+  /// Total container bytes; valid after Start.
+  uint64_t file_size() const { return header_.file_size; }
+
+ private:
+  Status Pad(uint64_t target);  ///< zero-fill from written_ to target
+
+  ContainerHeader header_;
+  std::vector<SectionEntry> sections_;
+  Writer* out_ = nullptr;
+  std::string name_;
+  bool started_ = false;
+  size_t current_ = 0;            ///< index of the section being filled
+  uint64_t section_written_ = 0;  ///< bytes appended into that section
+  uint64_t written_ = 0;          ///< absolute file position
+};
+
 /// A validated, opened container. In mmap mode (zero_copy() == true) section
 /// payloads can be viewed in place and stay valid for the reader's lifetime;
 /// in file mode they are copied out on request. All offsets/sizes are

@@ -1,0 +1,32 @@
+// POD kConfig section payloads shared by more than one container producer:
+// index/serialize.cc (SaveIndex/LoadIndex) and the disk-direct out-of-core
+// build path (serve/out_of_core_builder.cc) must write bit-identical records.
+// Layouts are part of the on-disk contract (docs/FORMAT.md): fixed-width
+// little-endian fields, no implicit padding — never reorder or resize, only
+// append on a version bump. Records used by a single producer stay local to
+// serialize.cc.
+#ifndef USP_INDEX_INDEX_RECORDS_H_
+#define USP_INDEX_INDEX_RECORDS_H_
+
+#include <cstdint>
+
+namespace usp {
+
+/// IVF-Flat kConfig payload (IndexType::kIvfFlat containers).
+struct IvfFlatConfigRecord {
+  uint64_t nlist;
+  uint64_t kmeans_iterations;
+  uint64_t seed;
+};
+static_assert(sizeof(IvfFlatConfigRecord) == 24, "on-disk contract");
+
+/// SQ8 kConfig payload (IndexType::kSq8 containers). The metric lives in the
+/// container header; per-dim mins/scales live in the kSq8Params section.
+struct Sq8ConfigRecord {
+  uint64_t rerank_budget;
+};
+static_assert(sizeof(Sq8ConfigRecord) == 8, "on-disk contract");
+
+}  // namespace usp
+
+#endif  // USP_INDEX_INDEX_RECORDS_H_

@@ -10,6 +10,7 @@
 #include "core/partitioner.h"
 #include "dist/quant_kernels.h"
 #include "hnsw/hnsw.h"
+#include "index/index_records.h"
 #include "ivf/ivf.h"
 #include "quant/scann_index.h"
 #include "quant/sq8_index.h"
@@ -39,12 +40,8 @@ struct PartitionConfigRecord {
 };
 static_assert(sizeof(PartitionConfigRecord) == 8, "on-disk contract");
 
-struct IvfFlatConfigRecord {
-  uint64_t nlist;
-  uint64_t kmeans_iterations;
-  uint64_t seed;
-};
-static_assert(sizeof(IvfFlatConfigRecord) == 24, "on-disk contract");
+// IvfFlatConfigRecord and Sq8ConfigRecord moved to index/index_records.h:
+// the out-of-core builder writes them too.
 
 struct IvfPqConfigRecord {
   uint64_t nlist;
@@ -60,13 +57,6 @@ struct ScannConfigRecord {
   uint32_t scorer_metric;
 };
 static_assert(sizeof(ScannConfigRecord) == 16, "on-disk contract");
-
-/// The SQ8 metric lives in the container header; per-dim mins/scales live in
-/// the kSq8Params section.
-struct Sq8ConfigRecord {
-  uint64_t rerank_budget;
-};
-static_assert(sizeof(Sq8ConfigRecord) == 8, "on-disk contract");
 
 struct HnswConfigRecord {
   uint64_t max_neighbors;

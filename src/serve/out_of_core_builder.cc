@@ -1,0 +1,576 @@
+#include "serve/out_of_core_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "baselines/kmeans.h"
+#include "index/container.h"
+#include "index/index_records.h"
+#include "ivf/ivf.h"
+#include "quant/sq8_index.h"
+#include "tensor/ops.h"
+#include "util/io.h"
+
+namespace usp {
+
+namespace {
+
+// Total ids buffered across all posting lists before spilling (4 MiB of
+// uint32). Divided evenly per list, so memory is flat in nlist.
+constexpr size_t kPostingBufferIds = 1u << 20;
+
+// Bytes per Append when relaying a temp file into a container section.
+constexpr size_t kRelayBytes = 1u << 20;
+
+/// Buffered append-only spill of per-list posting ids to one temp file per
+/// list. Files are opened only for the duration of a flush, so the open-fd
+/// count stays O(1) at any nlist. Reading one list back is the "one list" of
+/// the builder's RSS contract.
+class PostingSpill {
+ public:
+  PostingSpill(std::string prefix, size_t nlist)
+      : prefix_(std::move(prefix)),
+        buffers_(nlist),
+        counts_(nlist, 0),
+        per_list_cap_(std::max<size_t>(
+            64, kPostingBufferIds / std::max<size_t>(nlist, 1))) {}
+
+  ~PostingSpill() { RemoveFiles(); }
+
+  std::string ListPath(size_t list) const {
+    return prefix_ + std::to_string(list);
+  }
+
+  Status Add(uint32_t list, uint32_t id) {
+    std::vector<uint32_t>& buffer = buffers_[list];
+    buffer.push_back(id);
+    ++counts_[list];
+    if (buffer.size() >= per_list_cap_) return Flush(list);
+    return Status::Ok();
+  }
+
+  Status FlushAll() {
+    for (size_t list = 0; list < buffers_.size(); ++list) {
+      if (!buffers_[list].empty()) {
+        Status status = Flush(list);
+        if (!status.ok()) return status;
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Reads one flushed list back (ids in append = base-row order).
+  StatusOr<std::vector<uint32_t>> ReadList(size_t list) const {
+    std::vector<uint32_t> ids(counts_[list]);
+    if (ids.empty()) return ids;
+    std::FILE* f = std::fopen(ListPath(list).c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IoError("cannot open " + ListPath(list));
+    }
+    const size_t got = std::fread(ids.data(), sizeof(uint32_t), ids.size(), f);
+    std::fclose(f);
+    if (got != ids.size()) {
+      return Status::IoError("truncated posting spill " + ListPath(list));
+    }
+    return ids;
+  }
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  void RemoveFiles() {
+    for (size_t list = 0; list < buffers_.size(); ++list) {
+      if (counts_[list] > buffers_[list].size()) {
+        std::remove(ListPath(list).c_str());
+      }
+    }
+  }
+
+ private:
+  Status Flush(size_t list) {
+    std::vector<uint32_t>& buffer = buffers_[list];
+    std::FILE* f = std::fopen(ListPath(list).c_str(), "ab");
+    if (f == nullptr) {
+      return Status::IoError("cannot open " + ListPath(list) + " for writing");
+    }
+    const size_t put =
+        std::fwrite(buffer.data(), sizeof(uint32_t), buffer.size(), f);
+    const bool close_ok = std::fclose(f) == 0;
+    if (put != buffer.size() || !close_ok) {
+      return Status::IoError("short write to " + ListPath(list));
+    }
+    buffer.clear();
+    return Status::Ok();
+  }
+
+  std::string prefix_;
+  std::vector<std::vector<uint32_t>> buffers_;
+  std::vector<uint64_t> counts_;  ///< total ids added per list
+  size_t per_list_cap_;
+};
+
+/// The trained coarse model of an IVF build: the exact centroid payload to
+/// persist plus the scorer residency assignment runs through.
+struct IvfModel {
+  Matrix centroids;  ///< bytes of the kCentroids section
+  std::unique_ptr<KMeansPartitioner> assigner;
+  bool assign_normalized = false;  ///< cosine: assign over unit rows
+  double train_inertia = 0.0;
+  size_t epochs_run = 0;
+};
+
+/// ChunkStream decorator yielding unit-normalized copies of the inner
+/// stream's chunks (spherical k-means training under kCosine).
+class NormalizingStream : public ChunkStream {
+ public:
+  explicit NormalizingStream(ChunkStream* inner) : inner_(inner) {}
+
+  size_t dim() const override { return inner_->dim(); }
+  size_t num_rows() const override { return inner_->num_rows(); }
+  Status Reset() override { return inner_->Reset(); }
+
+  StatusOr<MatrixView> NextChunk(size_t max_rows) override {
+    StatusOr<MatrixView> chunk = inner_->NextChunk(max_rows);
+    if (!chunk.ok()) return chunk;
+    buffer_ = chunk.value().Clone();
+    NormalizeRows(&buffer_);
+    return MatrixView(buffer_);
+  }
+
+ private:
+  ChunkStream* inner_;
+  Matrix buffer_;
+};
+
+StatusOr<IvfModel> TrainIvf(ChunkStream* base, const OutOfCoreConfig& config) {
+  StatusOr<Matrix> sample =
+      ReservoirSample(base, config.sample_rows, config.seed);
+  if (!sample.ok()) return sample.status();
+  const bool cosine = config.metric == Metric::kCosine;
+  if (cosine) NormalizeRows(&sample.value());
+
+  MiniBatchKMeansConfig mc;
+  mc.num_clusters = config.nlist;
+  mc.epochs = config.train_epochs;
+  mc.chunk_rows = config.chunk_rows;
+  mc.tolerance = config.tolerance;
+  mc.seed = config.seed;
+  NormalizingStream normalized(base);
+  ChunkStream* train_stream = cosine ? &normalized : base;
+  StatusOr<MiniBatchKMeansResult> trained =
+      RunMiniBatchKMeans(train_stream, sample.value(), mc);
+  if (!trained.ok()) return trained.status();
+
+  IvfModel model;
+  model.train_inertia = trained.value().inertia;
+  model.epochs_run = trained.value().epochs_run;
+  model.assign_normalized = cosine;
+  if (cosine) {
+    // Mirror the in-memory cosine IVF: unit-normalized centroids are both
+    // the residency scorer and the persisted payload.
+    model.assigner = std::make_unique<KMeansPartitioner>(
+        std::move(trained.value().centroids), Metric::kCosine);
+    model.centroids = model.assigner->centroids().Clone();
+  } else {
+    // L2 and IP both keep L2 list residency (standard IVF-IP); the metric
+    // only changes probe/rerank behavior at load time.
+    model.centroids = std::move(trained.value().centroids);
+    model.assigner =
+        std::make_unique<KMeansPartitioner>(KMeansPartitioner::FromTrainedCentroids(
+            model.centroids.Clone(), Metric::kSquaredL2));
+  }
+  return model;
+}
+
+/// One pass over the base: assigns every chunk through the model's scorer
+/// and hands (raw chunk, assignments, first row id) to `fn`, which returns a
+/// Status. Bit-deterministic for a given chunk size, which is why the
+/// disk-direct and in-memory paths share it.
+template <typename Fn>
+Status ForEachAssignedChunk(ChunkStream* base, const IvfModel& model,
+                            size_t chunk_rows, Fn&& fn) {
+  Status status = base->Reset();
+  if (!status.ok()) return status;
+  // AssignBins materializes a rows x nlist score matrix, so assignment runs
+  // in fixed sub-blocks: the score buffer stays O(block * nlist) however
+  // large the streaming chunk is. The block size is a constant — part of the
+  // deterministic pipeline both build paths share, never config-dependent.
+  constexpr size_t kAssignBlockRows = 4096;
+  size_t row_base = 0;
+  for (;;) {
+    StatusOr<MatrixView> chunk_or = base->NextChunk(chunk_rows);
+    if (!chunk_or.ok()) return chunk_or.status();
+    const MatrixView chunk = chunk_or.value();
+    if (chunk.rows() == 0) break;
+    Matrix normalized;
+    MatrixView assign_rows = chunk;
+    if (model.assign_normalized) {
+      normalized = chunk.Clone();
+      NormalizeRows(&normalized);
+      assign_rows = MatrixView(normalized);
+    }
+    std::vector<uint32_t> assignments(chunk.rows());
+    for (size_t start = 0; start < assign_rows.rows();
+         start += kAssignBlockRows) {
+      const size_t count =
+          std::min(kAssignBlockRows, assign_rows.rows() - start);
+      const MatrixView block(assign_rows.Row(start), count,
+                             assign_rows.cols());
+      const std::vector<uint32_t> bins = model.assigner->AssignBins(block);
+      std::copy(bins.begin(), bins.end(), assignments.begin() + start);
+    }
+    status = fn(chunk, assignments, row_base);
+    if (!status.ok()) return status;
+    row_base += chunk.rows();
+  }
+  return Status::Ok();
+}
+
+/// Streaming min/max range fit with Sq8Index::TrainRanges' arithmetic.
+struct Sq8Ranges {
+  std::vector<float> mins, maxs, scales;
+  bool initialized = false;
+
+  void Accumulate(MatrixView chunk) {
+    const size_t d = chunk.cols();
+    size_t first = 0;
+    if (!initialized && chunk.rows() > 0) {
+      mins.assign(chunk.Row(0), chunk.Row(0) + d);
+      maxs = mins;
+      initialized = true;
+      first = 1;
+    }
+    for (size_t i = first; i < chunk.rows(); ++i) {
+      const float* row = chunk.Row(i);
+      for (size_t j = 0; j < d; ++j) {
+        mins[j] = std::min(mins[j], row[j]);
+        maxs[j] = std::max(maxs[j], row[j]);
+      }
+    }
+  }
+
+  void FinishScales() {
+    scales.resize(mins.size());
+    for (size_t j = 0; j < mins.size(); ++j) {
+      scales[j] = (maxs[j] - mins[j]) / 255.0f;
+    }
+  }
+};
+
+// Sq8Index::EncodeVector's exact arithmetic — the streamed codes must match
+// the in-memory encoder bit for bit.
+void EncodeSq8Row(const Sq8Ranges& ranges, const float* x, size_t d,
+                  uint8_t* out) {
+  for (size_t j = 0; j < d; ++j) {
+    if (ranges.scales[j] <= 0.0f) {
+      out[j] = 0;
+      continue;
+    }
+    const long code = std::lround((x[j] - ranges.mins[j]) / ranges.scales[j]);
+    out[j] =
+        static_cast<uint8_t>(std::min<long>(std::max<long>(code, 0), 255));
+  }
+}
+
+/// Relays an entire temp file into the current container section.
+Status RelayFile(const std::string& path, StreamingContainerWriter* writer) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::vector<uint8_t> buffer(kRelayBytes);
+  Status status = Status::Ok();
+  for (;;) {
+    const size_t got = std::fread(buffer.data(), 1, buffer.size(), f);
+    if (got == 0) {
+      if (std::ferror(f) != 0) status = Status::IoError("short read of " + path);
+      break;
+    }
+    status = writer->Append(buffer.data(), got);
+    if (!status.ok()) break;
+  }
+  std::fclose(f);
+  return status;
+}
+
+StatusOr<OutOfCoreBuildStats> BuildIvfFlat(ChunkStream* base,
+                                           const std::string& index_path,
+                                           const OutOfCoreConfig& config) {
+  StatusOr<IvfModel> model = TrainIvf(base, config);
+  if (!model.ok()) return model.status();
+  const uint64_t n = base->num_rows();
+  const uint64_t d = base->dim();
+  const size_t nlist = model.value().centroids.rows();
+
+  IvfFlatConfigRecord record{};
+  record.nlist = nlist;
+  record.kmeans_iterations = config.train_epochs;
+  record.seed = config.seed;
+
+  // SaveIvfFlat's exact section order; all sizes are known before the encode
+  // pass starts, so the container streams out front to back.
+  StreamingContainerWriter writer(IndexType::kIvfFlat, config.metric, d, n);
+  writer.PlanSection(SectionTag::kConfig, 0, sizeof(record));
+  writer.PlanSection(SectionTag::kCentroids, 0,
+                     model.value().centroids.size() * sizeof(float));
+  writer.PlanSection(SectionTag::kBaseVectors, 0, n * d * sizeof(float));
+  writer.PlanSection(SectionTag::kAssignments, 0, n * sizeof(uint32_t));
+
+  FileWriter out(index_path);
+  if (!out.ok()) {
+    return Status::IoError("cannot open " + index_path + " for writing");
+  }
+  Status status = writer.Start(&out, index_path);
+  if (!status.ok()) return status;
+  status = writer.Append(&record, sizeof(record));
+  if (!status.ok()) return status;
+  status = writer.Append(model.value().centroids.data(),
+                         model.value().centroids.size() * sizeof(float));
+  if (!status.ok()) return status;
+
+  // Encode pass: base rows go straight into the container; assignments spill
+  // row-ordered to one temp file (relayed into kAssignments afterwards) and
+  // id-per-list to the posting spill.
+  const std::string assign_path = index_path + ".assign.tmp";
+  PostingSpill postings(index_path + ".list.tmp.", nlist);
+  {
+    std::FILE* assign_file = std::fopen(assign_path.c_str(), "wb");
+    if (assign_file == nullptr) {
+      return Status::IoError("cannot open " + assign_path + " for writing");
+    }
+    size_t chunks = 0;
+    status = ForEachAssignedChunk(
+        base, model.value(), config.chunk_rows,
+        [&](MatrixView chunk, const std::vector<uint32_t>& assignments,
+            size_t row_base) {
+          ++chunks;
+          Status st =
+              writer.Append(chunk.data(), chunk.size() * sizeof(float));
+          if (!st.ok()) return st;
+          if (std::fwrite(assignments.data(), sizeof(uint32_t),
+                          assignments.size(),
+                          assign_file) != assignments.size()) {
+            return Status::IoError("short write to " + assign_path);
+          }
+          for (size_t i = 0; i < assignments.size(); ++i) {
+            st = postings.Add(assignments[i],
+                              static_cast<uint32_t>(row_base + i));
+            if (!st.ok()) return st;
+          }
+          return Status::Ok();
+        });
+    const bool close_ok = std::fclose(assign_file) == 0;
+    if (status.ok() && !close_ok) {
+      status = Status::IoError("short write to " + assign_path);
+    }
+    if (!status.ok()) {
+      std::remove(assign_path.c_str());
+      return status;
+    }
+
+    status = RelayFile(assign_path, &writer);
+    std::remove(assign_path.c_str());
+    if (!status.ok()) return status;
+    status = writer.Finish();
+    if (!status.ok()) return status;
+    if (!out.Close()) return Status::IoError("short write to " + index_path);
+
+    OutOfCoreBuildStats stats;
+    stats.rows = n;
+    stats.dim = d;
+    stats.chunks = chunks;
+    stats.file_size = writer.file_size();
+    stats.nlist = nlist;
+    stats.epochs_run = model.value().epochs_run;
+    stats.train_inertia = model.value().train_inertia;
+
+    // List-balance stats plus an integrity probe of the spill: the largest
+    // list is read back whole (the RSS contract's "one list") and must hold
+    // exactly its count of strictly increasing base rows.
+    status = postings.FlushAll();
+    if (!status.ok()) return status;
+    const std::vector<uint64_t>& counts = postings.counts();
+    size_t largest = 0;
+    uint64_t total = 0;
+    stats.min_list = std::numeric_limits<size_t>::max();
+    for (size_t list = 0; list < counts.size(); ++list) {
+      total += counts[list];
+      if (counts[list] == 0) ++stats.empty_lists;
+      stats.min_list = std::min<size_t>(stats.min_list, counts[list]);
+      stats.max_list = std::max<size_t>(stats.max_list, counts[list]);
+      if (counts[list] > counts[largest]) largest = list;
+    }
+    if (total != n) {
+      return Status::Internal("posting spill lost rows in " + index_path);
+    }
+    StatusOr<std::vector<uint32_t>> list = postings.ReadList(largest);
+    if (!list.ok()) return list.status();
+    for (size_t i = 0; i < list.value().size(); ++i) {
+      const uint32_t id = list.value()[i];
+      if (id >= n || (i > 0 && id <= list.value()[i - 1])) {
+        return Status::Internal("posting spill corrupt for list " +
+                                std::to_string(largest) + " of " + index_path);
+      }
+    }
+    return stats;
+  }
+}
+
+StatusOr<OutOfCoreBuildStats> BuildSq8(ChunkStream* base,
+                                       const std::string& index_path,
+                                       const OutOfCoreConfig& config) {
+  const uint64_t n = base->num_rows();
+  const uint64_t d = base->dim();
+  const bool cosine = config.metric == Metric::kCosine;
+
+  Sq8ConfigRecord record{};
+  record.rerank_budget = config.rerank_budget;
+
+  // SaveSq8's exact section order.
+  StreamingContainerWriter writer(IndexType::kSq8, config.metric, d, n);
+  writer.PlanSection(SectionTag::kConfig, 0, sizeof(record));
+  writer.PlanSection(SectionTag::kBaseVectors, 0, n * d * sizeof(float));
+  writer.PlanSection(SectionTag::kSq8Params, 0, 2 * d * sizeof(float));
+  writer.PlanSection(SectionTag::kSq8Codes, 0, n * d);
+
+  FileWriter out(index_path);
+  if (!out.ok()) {
+    return Status::IoError("cannot open " + index_path + " for writing");
+  }
+  Status status = writer.Start(&out, index_path);
+  if (!status.ok()) return status;
+  status = writer.Append(&record, sizeof(record));
+  if (!status.ok()) return status;
+
+  // Pass 1: raw rows into kBaseVectors while the range fit accumulates
+  // (over unit-normalized copies under cosine, like the in-memory trainer).
+  status = base->Reset();
+  if (!status.ok()) return status;
+  Sq8Ranges ranges;
+  size_t chunks = 0;
+  for (;;) {
+    StatusOr<MatrixView> chunk_or = base->NextChunk(config.chunk_rows);
+    if (!chunk_or.ok()) return chunk_or.status();
+    const MatrixView chunk = chunk_or.value();
+    if (chunk.rows() == 0) break;
+    ++chunks;
+    status = writer.Append(chunk.data(), chunk.size() * sizeof(float));
+    if (!status.ok()) return status;
+    if (cosine) {
+      Matrix normalized = chunk.Clone();
+      NormalizeRows(&normalized);
+      ranges.Accumulate(normalized);
+    } else {
+      ranges.Accumulate(chunk);
+    }
+  }
+  if (!ranges.initialized) {
+    return Status::InvalidArgument("cannot build an SQ8 index from 0 rows");
+  }
+  ranges.FinishScales();
+  status = writer.Append(ranges.mins.data(), d * sizeof(float));
+  if (!status.ok()) return status;
+  status = writer.Append(ranges.scales.data(), d * sizeof(float));
+  if (!status.ok()) return status;
+
+  // Pass 2: re-stream and encode.
+  status = base->Reset();
+  if (!status.ok()) return status;
+  std::vector<uint8_t> codes;
+  for (;;) {
+    StatusOr<MatrixView> chunk_or = base->NextChunk(config.chunk_rows);
+    if (!chunk_or.ok()) return chunk_or.status();
+    MatrixView chunk = chunk_or.value();
+    if (chunk.rows() == 0) break;
+    Matrix normalized;
+    if (cosine) {
+      normalized = chunk.Clone();
+      NormalizeRows(&normalized);
+      chunk = MatrixView(normalized);
+    }
+    codes.resize(chunk.size());
+    for (size_t i = 0; i < chunk.rows(); ++i) {
+      EncodeSq8Row(ranges, chunk.Row(i), d, codes.data() + i * d);
+    }
+    status = writer.Append(codes.data(), chunk.size());
+    if (!status.ok()) return status;
+  }
+  status = writer.Finish();
+  if (!status.ok()) return status;
+  if (!out.Close()) return Status::IoError("short write to " + index_path);
+
+  OutOfCoreBuildStats stats;
+  stats.rows = n;
+  stats.dim = d;
+  stats.chunks = chunks;
+  stats.file_size = writer.file_size();
+  return stats;
+}
+
+}  // namespace
+
+StatusOr<OutOfCoreBuildStats> OutOfCoreBuilder::Build(
+    const std::string& fvecs_path, const std::string& index_path) const {
+  StatusOr<FvecsReader> reader = FvecsReader::Open(fvecs_path);
+  if (!reader.ok()) return reader.status();
+  return BuildFromStream(&reader.value(), index_path);
+}
+
+StatusOr<OutOfCoreBuildStats> OutOfCoreBuilder::BuildFromStream(
+    ChunkStream* base, const std::string& index_path) const {
+  if (base->num_rows() == 0 || base->dim() == 0) {
+    return Status::InvalidArgument("cannot build an index from an empty base");
+  }
+  if (config_.chunk_rows == 0) {
+    return Status::InvalidArgument("OutOfCoreConfig::chunk_rows must be > 0");
+  }
+  StatusOr<OutOfCoreBuildStats> stats =
+      config_.kind == OutOfCoreKind::kIvfFlat
+          ? BuildIvfFlat(base, index_path, config_)
+          : BuildSq8(base, index_path, config_);
+  if (!stats.ok()) std::remove(index_path.c_str());
+  return stats;
+}
+
+StatusOr<std::unique_ptr<Index>> OutOfCoreBuilder::BuildInMemory(
+    const Matrix& base) const {
+  if (base.rows() == 0 || base.cols() == 0) {
+    return Status::InvalidArgument("cannot build an index from an empty base");
+  }
+  if (config_.chunk_rows == 0) {
+    return Status::InvalidArgument("OutOfCoreConfig::chunk_rows must be > 0");
+  }
+  if (config_.kind == OutOfCoreKind::kSq8) {
+    // The in-memory trainer already matches the streamed ranges/codes bit
+    // for bit (same row order, same arithmetic).
+    Sq8IndexConfig sc;
+    sc.metric = config_.metric;
+    sc.rerank_budget = config_.rerank_budget;
+    return std::unique_ptr<Index>(std::make_unique<Sq8Index>(&base, sc));
+  }
+  MatrixStream stream(base);
+  StatusOr<IvfModel> model = TrainIvf(&stream, config_);
+  if (!model.ok()) return model.status();
+  std::vector<uint32_t> assignments(base.rows());
+  Status status = ForEachAssignedChunk(
+      &stream, model.value(), config_.chunk_rows,
+      [&](MatrixView chunk, const std::vector<uint32_t>& chunk_assignments,
+          size_t row_base) {
+        std::memcpy(assignments.data() + row_base, chunk_assignments.data(),
+                    chunk_assignments.size() * sizeof(uint32_t));
+        (void)chunk;
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  IvfConfig config;
+  config.nlist = model.value().centroids.rows();
+  config.kmeans_iterations = config_.train_epochs;
+  config.seed = config_.seed;
+  config.metric = config_.metric;
+  return std::unique_ptr<Index>(std::make_unique<IvfFlatIndex>(
+      MatrixView(base), config, std::move(model.value().centroids),
+      std::move(assignments)));
+}
+
+}  // namespace usp

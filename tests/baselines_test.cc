@@ -2,7 +2,9 @@
 // properties, and the partition-tree family (all Fig. 6 split rules).
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,8 @@
 #include "baselines/kmeans.h"
 #include "baselines/partition_tree.h"
 #include "core/partition_index.h"
+#include "dataset/fvecs_stream.h"
+#include "dataset/io.h"
 #include "dataset/synthetic.h"
 #include "dataset/workload.h"
 #include "tensor/ops.h"
@@ -82,6 +86,131 @@ TEST(KMeansTest, KLargerThanNClamps) {
   config.num_clusters = 50;
   const KMeansResult result = RunKMeans(data, config);
   EXPECT_EQ(result.centroids.rows(), 5u);
+}
+
+TEST(MiniBatchKMeansTest, OneEpochWholeStreamChunkIsALloydIteration) {
+  // The mini-batch trainer's anchor contract: seeded from the full dataset
+  // with a chunk spanning the whole stream, one epoch must be bit-identical
+  // to one Lloyd iteration — same k-means++ draws, same kernels, same
+  // accumulation order, same empty-cluster reseed.
+  const LabeledDataset ds = MakeGaussianMixture(300, 8, 6, 15.0f, 1.0f, 31);
+  KMeansConfig lc;
+  lc.num_clusters = 10;
+  lc.max_iterations = 1;
+  lc.seed = 31;
+  const KMeansResult lloyd = RunKMeans(ds.points, lc);
+
+  MiniBatchKMeansConfig mc;
+  mc.num_clusters = 10;
+  mc.epochs = 1;
+  mc.chunk_rows = 1000;  // > n: one chunk per epoch
+  mc.seed = 31;
+  MatrixStream stream(ds.points);
+  auto mini = RunMiniBatchKMeans(&stream, ds.points, mc);
+  ASSERT_TRUE(mini.ok()) << mini.status().ToString();
+
+  EXPECT_EQ(mini.value().epochs_run, 1u);
+  EXPECT_EQ(mini.value().inertia, lloyd.inertia);
+  ASSERT_EQ(mini.value().centroids.rows(), lloyd.centroids.rows());
+  for (size_t i = 0; i < lloyd.centroids.size(); ++i) {
+    ASSERT_EQ(mini.value().centroids.data()[i], lloyd.centroids.data()[i])
+        << "centroid float " << i << " diverged";
+  }
+}
+
+TEST(MiniBatchKMeansTest, MultiEpochWholeStreamChunkMatchesLloyd) {
+  // Same equivalence across epochs: per-epoch count resets make epoch t a
+  // Lloyd iteration t, including the early-stop rule, so a multi-epoch run
+  // tracks multi-iteration Lloyd bit for bit.
+  const LabeledDataset ds = MakeGaussianMixture(400, 6, 8, 10.0f, 1.5f, 32);
+  KMeansConfig lc;
+  lc.num_clusters = 12;
+  lc.max_iterations = 7;
+  lc.tolerance = 1e-6;
+  lc.seed = 32;
+  const KMeansResult lloyd = RunKMeans(ds.points, lc);
+
+  MiniBatchKMeansConfig mc;
+  mc.num_clusters = 12;
+  mc.epochs = 7;
+  mc.chunk_rows = ds.points.rows();
+  mc.tolerance = 1e-6;
+  mc.seed = 32;
+  MatrixStream stream(ds.points);
+  auto mini = RunMiniBatchKMeans(&stream, ds.points, mc);
+  ASSERT_TRUE(mini.ok()) << mini.status().ToString();
+
+  EXPECT_EQ(mini.value().epochs_run, lloyd.iterations);
+  EXPECT_EQ(mini.value().inertia, lloyd.inertia);
+  for (size_t i = 0; i < lloyd.centroids.size(); ++i) {
+    ASSERT_EQ(mini.value().centroids.data()[i], lloyd.centroids.data()[i]);
+  }
+}
+
+TEST(MiniBatchKMeansTest, ChunkedObjectiveWithinFactorOfBatchLloyd) {
+  // Genuinely chunked training (8 chunks/epoch, sample seeding) is an
+  // approximation; pin how loose it is allowed to get. Both objectives are
+  // measured with StreamInertia over the same stream so the comparison is
+  // apples to apples.
+  const LabeledDataset ds = MakeGaussianMixture(4096, 16, 32, 8.0f, 1.0f, 33);
+  KMeansConfig lc;
+  lc.num_clusters = 32;
+  lc.max_iterations = 10;
+  lc.seed = 33;
+  const KMeansResult lloyd = RunKMeans(ds.points, lc);
+
+  MiniBatchKMeansConfig mc;
+  mc.num_clusters = 32;
+  mc.epochs = 10;
+  mc.chunk_rows = 512;
+  mc.seed = 33;
+  MatrixStream stream(ds.points);
+  auto sample = ReservoirSample(&stream, 1024, 33);
+  ASSERT_TRUE(sample.ok());
+  auto mini = RunMiniBatchKMeans(&stream, sample.value(), mc);
+  ASSERT_TRUE(mini.ok()) << mini.status().ToString();
+
+  auto mini_obj = StreamInertia(&stream, mini.value().centroids, 512);
+  auto lloyd_obj = StreamInertia(&stream, lloyd.centroids, 512);
+  ASSERT_TRUE(mini_obj.ok());
+  ASSERT_TRUE(lloyd_obj.ok());
+  EXPECT_GT(mini_obj.value(), 0.0);
+  EXPECT_LE(mini_obj.value(), 1.25 * lloyd_obj.value())
+      << "mini-batch " << mini_obj.value() << " vs Lloyd "
+      << lloyd_obj.value();
+}
+
+TEST(MiniBatchKMeansTest, DiskStreamMatchesMatrixStream) {
+  // The trainer sees only the ChunkStream interface; the same rows through
+  // an .fvecs reader must give bit-identical centroids.
+  const LabeledDataset ds = MakeGaussianMixture(700, 5, 4, 12.0f, 1.0f, 34);
+  const std::string path = testing::TempDir() + "/minibatch_train.fvecs";
+  ASSERT_TRUE(WriteFvecs(path, ds.points).ok());
+  auto reader = FvecsReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  MatrixStream mem(ds.points);
+
+  MiniBatchKMeansConfig mc;
+  mc.num_clusters = 8;
+  mc.epochs = 4;
+  mc.chunk_rows = 128;
+  mc.seed = 34;
+  auto sample_disk = ReservoirSample(&reader.value(), 256, 34);
+  auto sample_mem = ReservoirSample(&mem, 256, 34);
+  ASSERT_TRUE(sample_disk.ok());
+  ASSERT_TRUE(sample_mem.ok());
+  auto from_disk = RunMiniBatchKMeans(&reader.value(), sample_disk.value(), mc);
+  auto from_mem = RunMiniBatchKMeans(&mem, sample_mem.value(), mc);
+  ASSERT_TRUE(from_disk.ok()) << from_disk.status().ToString();
+  ASSERT_TRUE(from_mem.ok());
+
+  EXPECT_EQ(from_disk.value().inertia, from_mem.value().inertia);
+  EXPECT_EQ(from_disk.value().epochs_run, from_mem.value().epochs_run);
+  for (size_t i = 0; i < from_mem.value().centroids.size(); ++i) {
+    ASSERT_EQ(from_disk.value().centroids.data()[i],
+              from_mem.value().centroids.data()[i]);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(KMeansPartitionerTest, ScoreArgmaxMatchesNearestCentroid) {

@@ -1,12 +1,16 @@
 // Tests for dataset/: generator shapes/properties, fvecs/ivecs round trips,
 // and workload construction invariants.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <set>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "dataset/fvecs_stream.h"
 #include "dataset/io.h"
 #include "dataset/synthetic.h"
 #include "dataset/workload.h"
@@ -240,6 +244,222 @@ TEST(IoTest, ShortIvecsRecordFails) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
   std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, ChunkedReadMatchesReadFvecs) {
+  // The core FvecsReader contract: concatenating NextChunk results is
+  // byte-identical to ReadFvecs, whatever the chunk size — including sizes
+  // that don't divide the row count and sizes larger than the file.
+  Rng rng(21);
+  const size_t rows = 53;
+  const Matrix original = Matrix::RandomGaussian(rows, 9, &rng);
+  const std::string path = TempPath("stream_equiv.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, original).ok());
+  auto whole = ReadFvecs(path);
+  ASSERT_TRUE(whole.ok());
+
+  for (size_t chunk_rows : {size_t{1}, size_t{7}, rows, rows + 1}) {
+    auto reader = FvecsReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader.value().dim(), 9u);
+    EXPECT_EQ(reader.value().num_rows(), rows);
+    std::vector<float> gathered;
+    size_t chunks = 0;
+    for (;;) {
+      auto chunk = reader.value().NextChunk(chunk_rows);
+      ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+      if (chunk.value().rows() == 0) break;
+      ASSERT_LE(chunk.value().rows(), chunk_rows);
+      gathered.insert(gathered.end(), chunk.value().data(),
+                      chunk.value().data() + chunk.value().size());
+      ++chunks;
+    }
+    EXPECT_EQ(chunks, (rows + chunk_rows - 1) / chunk_rows);
+    ASSERT_EQ(gathered.size(), whole.value().size());
+    EXPECT_EQ(std::memcmp(gathered.data(), whole.value().data(),
+                          gathered.size() * sizeof(float)),
+              0)
+        << "chunk_rows=" << chunk_rows;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, ResetRewindsToFirstRow) {
+  Rng rng(22);
+  const Matrix original = Matrix::RandomGaussian(10, 4, &rng);
+  const std::string path = TempPath("stream_reset.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, original).ok());
+  auto reader = FvecsReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto first = reader.value().NextChunk(6);
+  ASSERT_TRUE(first.ok());
+  const Matrix before = first.value().Clone();
+  ASSERT_TRUE(reader.value().Reset().ok());
+  auto again = reader.value().NextChunk(6);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().rows(), 6u);
+  EXPECT_EQ(std::memcmp(again.value().data(), before.data(),
+                        before.size() * sizeof(float)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, OpenFailsOnEmptyAndMissingFiles) {
+  auto missing = FvecsReader::Open(TempPath("stream_missing.fvecs"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+
+  const std::string path = TempPath("stream_empty.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  auto empty = FvecsReader::Open(path);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, OpenFailsOnFileTruncatedMidRecord) {
+  // A record header promising 7 floats followed by only 3 breaks the
+  // whole-record grid, so the reader refuses at Open — before any chunk is
+  // handed out.
+  const std::string path = TempPath("stream_truncated.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 7;
+  const float partial[3] = {1.0f, 2.0f, 3.0f};
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(partial, sizeof(float), 3, f);
+  std::fclose(f);
+  auto reader = FvecsReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, RaggedRecordMidChunkFailsFromNextChunk) {
+  // Record 2 claims dim=2 but is padded so the file still lies on the
+  // 16-byte dim=3 record grid: Open cannot tell, so the per-record dimension
+  // check in NextChunk has to catch it.
+  const std::string path = TempPath("stream_ragged.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const float values[3] = {1.0f, 2.0f, 3.0f};
+  int32_t dim = 3;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 3, f);
+  dim = 2;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  std::fwrite(values, sizeof(float), 2, f);
+  const float pad = 0.0f;
+  std::fwrite(&pad, sizeof(float), 1, f);
+  std::fclose(f);
+
+  auto reader = FvecsReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ(reader.value().num_rows(), 2u);
+  auto chunk = reader.value().NextChunk(2);
+  ASSERT_FALSE(chunk.ok());
+  EXPECT_EQ(chunk.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, MatrixStreamYieldsSameChunksAsReader) {
+  Rng rng(23);
+  const Matrix original = Matrix::RandomGaussian(31, 5, &rng);
+  const std::string path = TempPath("stream_matrix.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, original).ok());
+  auto reader = FvecsReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  MatrixStream mem(original);
+  for (;;) {
+    auto disk = reader.value().NextChunk(8);
+    auto ram = mem.NextChunk(8);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE(ram.ok());
+    ASSERT_EQ(disk.value().rows(), ram.value().rows());
+    if (disk.value().rows() == 0) break;
+    EXPECT_EQ(std::memcmp(disk.value().data(), ram.value().data(),
+                          disk.value().size() * sizeof(float)),
+              0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, ReservoirSampleIsChunkAndBackendIndependent) {
+  // A row's fate depends only on its position and the seed, so the same rows
+  // sampled through a disk reader and an in-memory stream — internally read
+  // with different chunkings — must produce bit-identical reservoirs.
+  Rng rng(24);
+  const Matrix original = Matrix::RandomGaussian(500, 6, &rng);
+  const std::string path = TempPath("stream_sample.fvecs");
+  ASSERT_TRUE(WriteFvecs(path, original).ok());
+  auto reader = FvecsReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  MatrixStream mem(original);
+
+  auto from_disk = ReservoirSample(&reader.value(), 64, 99);
+  auto from_ram = ReservoirSample(&mem, 64, 99);
+  ASSERT_TRUE(from_disk.ok());
+  ASSERT_TRUE(from_ram.ok());
+  ASSERT_EQ(from_disk.value().rows(), 64u);
+  EXPECT_EQ(std::memcmp(from_disk.value().data(), from_ram.value().data(),
+                        from_disk.value().size() * sizeof(float)),
+            0);
+
+  // Oversampling returns every row in order.
+  auto all = ReservoirSample(&mem, 1000, 7);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().rows(), 500u);
+  EXPECT_EQ(std::memcmp(all.value().data(), original.data(),
+                        original.size() * sizeof(float)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(FvecsStreamTest, StridedSampleTakesEveryStrideThRow) {
+  Rng rng(25);
+  const Matrix original = Matrix::RandomGaussian(20, 3, &rng);
+  MatrixStream mem(original);
+  auto sampled = StridedSample(&mem, 7);
+  ASSERT_TRUE(sampled.ok());
+  ASSERT_EQ(sampled.value().rows(), 3u);  // rows 0, 7, 14
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::memcmp(sampled.value().Row(i), original.Row(i * 7),
+                          3 * sizeof(float)),
+              0);
+  }
+  auto capped = StridedSample(&mem, 7, 2);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped.value().rows(), 2u);
+}
+
+TEST(FvecsStreamTest, ChunkedWriterMatchesWriteFvecs) {
+  Rng rng(26);
+  const Matrix original = Matrix::RandomGaussian(40, 5, &rng);
+  const std::string whole_path = TempPath("writer_whole.fvecs");
+  const std::string chunked_path = TempPath("writer_chunked.fvecs");
+  ASSERT_TRUE(WriteFvecs(whole_path, original).ok());
+  {
+    FvecsWriter writer(chunked_path);
+    ASSERT_TRUE(writer.ok());
+    for (size_t start = 0; start < 40; start += 9) {
+      const size_t count = std::min<size_t>(9, 40 - start);
+      ASSERT_TRUE(
+          writer.Append(MatrixView(original.Row(start), count, 5)).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto whole = ReadFvecs(whole_path);
+  auto chunked = ReadFvecs(chunked_path);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(chunked.ok());
+  ASSERT_EQ(chunked.value().rows(), 40u);
+  EXPECT_EQ(std::memcmp(whole.value().data(), chunked.value().data(),
+                        whole.value().size() * sizeof(float)),
+            0);
+  std::remove(whole_path.c_str());
+  std::remove(chunked_path.c_str());
 }
 
 TEST(WorkloadTest, SplitsBaseAndQueries) {
