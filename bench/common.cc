@@ -1,6 +1,9 @@
 #include "bench/common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <numeric>
 
 #include "util/env.h"
 
@@ -61,6 +64,27 @@ void PrintSeries(const std::string& figure, const std::string& dataset,
 
 void PrintKeyValue(const std::string& label, const std::string& value) {
   std::printf("  %-48s %s\n", label.c_str(), value.c_str());
+}
+
+double Percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(values.size()));
+  const size_t index =
+      std::min(values.size() - 1,
+               static_cast<size_t>(std::max(rank - 1.0, 0.0)));
+  return values[index];
+}
+
+LatencySummary SummarizeLatencies(std::vector<double>& values) {
+  LatencySummary summary;
+  if (values.empty()) return summary;
+  summary.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+                 static_cast<double>(values.size());
+  summary.p50 = Percentile(values, 50);
+  summary.p95 = Percentile(values, 95);
+  summary.p99 = Percentile(values, 99);
+  return summary;
 }
 
 std::vector<SweepPoint> SweepScorer(const Workload& w, const BinScorer& scorer,

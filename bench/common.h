@@ -38,6 +38,21 @@ void PrintSeries(const std::string& figure, const std::string& dataset,
 /// Prints a one-line summary row: "<label>: <value>".
 void PrintKeyValue(const std::string& label, const std::string& value);
 
+/// Nearest-rank percentile of `values` for p in [0, 100]; sorts the vector
+/// in place. Returns 0 for an empty vector.
+double Percentile(std::vector<double>& values, double p);
+
+/// p50/p95/p99/mean of a latency sample, all in the sample's own unit.
+struct LatencySummary {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double mean = 0;
+};
+
+/// Summarizes a latency sample (sorts `values` in place).
+LatencySummary SummarizeLatencies(std::vector<double>& values);
+
 /// Builds a PartitionIndex over `scorer`, sweeps probe counts up to the bin
 /// count, and returns the accuracy/candidates curve (10-NN).
 std::vector<SweepPoint> SweepScorer(const Workload& w, const BinScorer& scorer,

@@ -50,8 +50,13 @@ enum class SectionTag : uint32_t {
   kHnswLevels = 10,  ///< num_points int32 node levels
   kHnswLinks = 11,   ///< per node, per level: uint32 count + count uint32 ids
   kWeights = 12,     ///< num_points float32 ensemble training weights
-  // Dynamic-index (serve/dynamic_index.h) sections, container version 2:
-  kManifest = 13,     ///< per-sealed-segment table (DynamicSegmentEntry)
+  // Dynamic-index (serve/dynamic_index.h) sections, container version 2.
+  // Sharded containers (serve/sharded_index.h, type tag kSharded, no version
+  // bump — the new type tag gates readers) reuse kManifest (ShardManifestEntry
+  // rows), kSegmentBlob (ordinal j: embedded container of shard j) and kIdMap
+  // (ordinal j: shard-local id -> global id):
+  kManifest = 13,     ///< per-sealed-segment table (DynamicSegmentEntry) or
+                      ///< per-shard table (ShardManifestEntry)
   kSegmentBlob = 14,  ///< ordinal j: embedded full container of segment j
   kIdMap = 15,        ///< ordinal j: segment-local row -> global id (uint32);
                       ///< ordinal num_sealed is the write segment's map

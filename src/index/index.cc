@@ -65,6 +65,8 @@ const char* IndexTypeName(IndexType type) {
       return "dynamic";
     case IndexType::kSq8:
       return "sq8";
+    case IndexType::kSharded:
+      return "sharded";
   }
   return "unknown";
 }

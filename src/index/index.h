@@ -175,6 +175,7 @@ enum class IndexType : uint32_t {
   kUspEnsemble = 6,  ///< UspEnsemble
   kDynamic = 7,      ///< DynamicIndex (serve/dynamic_index.h)
   kSq8 = 8,          ///< Sq8Index (quant/sq8_index.h)
+  kSharded = 9,      ///< ShardedIndex (serve/sharded_index.h)
 };
 
 /// Human-readable name of a type tag ("partition", "ivf_flat", ...);

@@ -15,6 +15,7 @@
 #include "quant/scann_index.h"
 #include "quant/sq8_index.h"
 #include "serve/dynamic_index.h"
+#include "serve/sharded_index.h"
 #include "util/io.h"
 
 namespace usp {
@@ -120,6 +121,24 @@ struct DynamicSegmentEntry {
   uint32_t reserved;
 };
 static_assert(sizeof(DynamicSegmentEntry) == 16, "on-disk contract");
+
+struct ShardedConfigRecord {
+  uint64_t next_global_id;
+  uint64_t num_shards;
+};
+static_assert(sizeof(ShardedConfigRecord) == 16, "on-disk contract");
+
+/// One kManifest row describing a shard (payload in the kSegmentBlob /
+/// kIdMap sections of the same ordinal). index_type 0 marks an absent shard
+/// (its hash partition received no rows): no blob, no id map.
+struct ShardManifestEntry {
+  uint64_t rows;        ///< live rows (sub-index size())
+  uint64_t id_entries;  ///< local_to_global length (> rows when a dynamic
+                        ///< shard carries tombstoned ids)
+  uint32_t index_type;  ///< IndexType tag of the embedded container; 0 absent
+  uint32_t reserved;
+};
+static_assert(sizeof(ShardManifestEntry) == 24, "on-disk contract");
 
 UspTrainRecord PackTrainConfig(const UspTrainConfig& c) {
   UspTrainRecord r{};
@@ -463,6 +482,56 @@ Status SaveDynamic(const DynamicIndex& index, Writer* out,
     }
     writer.AddSection(SectionTag::kTombstones, 0, bitmap.data(),
                       bitmap.size() * sizeof(uint64_t));
+    return writer.WriteTo(out, name);
+  });
+}
+
+Status SaveSharded(const ShardedIndex& index, Writer* out,
+                   const std::string& name) {
+  // The frozen state pins the placement (shard set, id maps, next id); each
+  // embedded SerializeIndex then snapshots its own shard under the shard's
+  // lock (a dynamic shard's background seal/compact reorganizes rows but
+  // never changes ids or the live count, so the manifest stays consistent).
+  return index.WithFrozenState([&](const ShardedIndex::FrozenState& state)
+                                   -> Status {
+    uint64_t total_rows = 0;
+    for (const ShardedIndex::Shard& shard : state.shards) {
+      if (shard.index != nullptr) total_rows += shard.index->size();
+    }
+    ContainerWriter writer(IndexType::kSharded, index.metric(), index.dim(),
+                           total_rows);
+
+    ShardedConfigRecord config{};
+    config.next_global_id = state.next_global_id;
+    config.num_shards = state.shards.size();
+    writer.AddSection(SectionTag::kConfig, 0, &config, sizeof(config));
+
+    std::vector<ShardManifestEntry> manifest;
+    manifest.reserve(state.shards.size());
+    for (const ShardedIndex::Shard& shard : state.shards) {
+      ShardManifestEntry entry{};
+      if (shard.index != nullptr) {
+        entry.rows = shard.index->size();
+        entry.id_entries = shard.local_to_global.size();
+        entry.index_type = static_cast<uint32_t>(shard.index->type());
+      }
+      manifest.push_back(entry);
+    }
+    writer.AddSection(SectionTag::kManifest, 0, manifest.data(),
+                      manifest.size() * sizeof(ShardManifestEntry));
+
+    for (size_t j = 0; j < state.shards.size(); ++j) {
+      const ShardedIndex::Shard& shard = state.shards[j];
+      if (shard.index == nullptr) continue;  // absent: manifest row only
+      StatusOr<std::string> blob = SerializeIndex(*shard.index);
+      if (!blob.ok()) return blob.status();
+      writer.AddOwnedSection(SectionTag::kSegmentBlob,
+                             static_cast<uint32_t>(j),
+                             std::move(blob).value());
+      writer.AddSection(SectionTag::kIdMap, static_cast<uint32_t>(j),
+                        shard.local_to_global.data(),
+                        shard.local_to_global.size() * sizeof(uint32_t));
+    }
     return writer.WriteTo(out, name);
   });
 }
@@ -1263,6 +1332,120 @@ StatusOr<std::unique_ptr<Index>> LoadDynamic(
   return FinishBundle(std::move(bundle));
 }
 
+StatusOr<std::unique_ptr<Index>> LoadSharded(
+    std::unique_ptr<ContainerReader> container) {
+  auto bundle = std::make_unique<IndexBundle>();
+  bundle->container = std::move(container);
+  ContainerReader* c = bundle->container.get();
+  const std::string& path = c->path();
+  Status status = CheckMetricValue(c->header().metric, path);
+  if (!status.ok()) return status;
+  const Metric metric = static_cast<Metric>(c->header().metric);
+  const uint64_t dim = c->header().dim;
+  if (dim == 0 || dim > (1ULL << 24)) {
+    return Status::InvalidArgument("implausible index shape in " + path);
+  }
+
+  ShardedConfigRecord record{};
+  status = c->ReadSection(SectionTag::kConfig, 0, &record, sizeof(record));
+  if (!status.ok()) return status;
+  if (record.num_shards == 0 || record.num_shards > 4096 ||
+      record.next_global_id > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("corrupt sharded config in " + path);
+  }
+
+  std::vector<ShardManifestEntry> manifest(record.num_shards);
+  status = c->ReadSection(SectionTag::kManifest, 0, manifest.data(),
+                          record.num_shards * sizeof(ShardManifestEntry));
+  if (!status.ok()) return status;
+
+  // Uniqueness of global ids across shards; every validation below fails
+  // with a Status (never an allocation or a crash) before the rehydrate
+  // constructor's own invariant checks run.
+  std::vector<bool> seen(record.next_global_id, false);
+  std::vector<ShardedIndex::Shard> shards(record.num_shards);
+  uint64_t total_rows = 0;
+  for (uint32_t j = 0; j < record.num_shards; ++j) {
+    ShardedIndex::Shard& shard = shards[j];
+    if (manifest[j].index_type == 0) {
+      if (manifest[j].rows != 0 || manifest[j].id_entries != 0) {
+        return Status::InvalidArgument("corrupt sharded manifest in " + path);
+      }
+      continue;  // absent shard
+    }
+    if (manifest[j].id_entries < manifest[j].rows ||
+        manifest[j].id_entries > record.next_global_id) {
+      return Status::InvalidArgument("corrupt sharded manifest in " + path);
+    }
+    StatusOr<std::vector<uint8_t>> blob =
+        c->ReadSectionBytes(SectionTag::kSegmentBlob, j);
+    if (!blob.ok()) return blob.status();
+    StatusOr<std::unique_ptr<ContainerReader>> sub = ContainerReader::OpenMem(
+        std::move(blob).value(), path + " [shard " + std::to_string(j) + "]");
+    if (!sub.ok()) return sub.status();
+    // Shards may be any type including kDynamic (a mutable sharded index
+    // round-trips as mutable); only another router is rejected — nesting
+    // would break the one-level embedding.
+    if (sub.value()->header().index_type != manifest[j].index_type ||
+        manifest[j].index_type ==
+            static_cast<uint32_t>(IndexType::kSharded)) {
+      return Status::InvalidArgument("corrupt sharded manifest in " + path);
+    }
+    StatusOr<std::unique_ptr<Index>> shard_index =
+        OpenIndexFromContainer(std::move(sub).value());
+    if (!shard_index.ok()) return shard_index.status();
+    shard.index = std::move(shard_index).value();
+    if (shard.index->dim() != dim || shard.index->metric() != metric ||
+        shard.index->size() != manifest[j].rows) {
+      return Status::InvalidArgument("corrupt sharded manifest in " + path);
+    }
+    // Re-acquire the mutation handle: a dynamic shard stays mutable after
+    // load. The const_cast is sound — the loaded wrapper owns the object
+    // non-const and DynamicIndex's mutators are thread-safe.
+    shard.dynamic = dynamic_cast<DynamicIndex*>(
+        const_cast<Index*>(&shard.index->underlying()));
+    if (shard.dynamic != nullptr) {
+      // A dynamic shard's local ids span [0, next_global_id); every one
+      // needs a global mapping or a remapped result could index past the
+      // table.
+      if (manifest[j].id_entries != shard.dynamic->next_global_id()) {
+        return Status::InvalidArgument("corrupt sharded id map in " + path);
+      }
+    } else if (manifest[j].id_entries != manifest[j].rows) {
+      return Status::InvalidArgument("corrupt sharded id map in " + path);
+    }
+    StatusOr<std::vector<uint32_t>> ids =
+        ReadU32Section(c, SectionTag::kIdMap, j, manifest[j].id_entries);
+    if (!ids.ok()) return ids.status();
+    shard.local_to_global = std::move(ids).value();
+    uint32_t prev = 0;
+    for (size_t i = 0; i < shard.local_to_global.size(); ++i) {
+      const uint32_t gid = shard.local_to_global[i];
+      // Ascending (which also implies per-shard uniqueness), hash-consistent
+      // placement, and cross-shard uniqueness — the rehydrate constructor's
+      // invariants, enforced here as Status.
+      if (gid >= record.next_global_id || (i > 0 && gid <= prev) ||
+          ShardedIndex::Place(gid, record.num_shards) != j || seen[gid]) {
+        return Status::InvalidArgument("corrupt sharded id map in " + path);
+      }
+      seen[gid] = true;
+      prev = gid;
+    }
+    total_rows += manifest[j].rows;
+  }
+  if (c->header().num_points != total_rows) {
+    return Status::InvalidArgument("corrupt sharded manifest in " + path);
+  }
+
+  ShardedIndexConfig config;
+  config.metric = metric;
+  config.num_shards = static_cast<size_t>(record.num_shards);
+  bundle->index = std::make_unique<ShardedIndex>(
+      static_cast<size_t>(dim), std::move(config), std::move(shards),
+      static_cast<uint32_t>(record.next_global_id));
+  return FinishBundle(std::move(bundle));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -1280,6 +1463,7 @@ const std::vector<IndexLoaderEntry>& IndexLoaderRegistry() {
           {IndexType::kUspEnsemble, "usp_ensemble", &LoadEnsemble},
           {IndexType::kDynamic, "dynamic", &LoadDynamic},
           {IndexType::kSq8, "sq8", &LoadSq8},
+          {IndexType::kSharded, "sharded", &LoadSharded},
       };
   return *registry;
 }
@@ -1315,6 +1499,9 @@ Status SaveIndexTo(const Index& index, Writer* out,
                          name);
     case IndexType::kSq8:
       return SaveSq8(static_cast<const Sq8Index&>(concrete), out, name);
+    case IndexType::kSharded:
+      return SaveSharded(static_cast<const ShardedIndex&>(concrete), out,
+                         name);
   }
   return Status::InvalidArgument("unknown index type");
 }

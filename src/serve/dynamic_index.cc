@@ -163,9 +163,11 @@ uint32_t DynamicIndex::AddSealedSegment(std::unique_ptr<Index> segment,
   USP_CHECK(segment != nullptr);
   USP_CHECK(segment->dim() == dim_);
   USP_CHECK(segment->metric() == config_.metric);
-  // Segments must be static types: nesting a DynamicIndex would break
-  // compaction (no base_view) and the one-level container embedding.
+  // Segments must be static types: nesting a DynamicIndex or a ShardedIndex
+  // would break compaction (no base_view) and the one-level container
+  // embedding.
   USP_CHECK(segment->type() != IndexType::kDynamic);
+  USP_CHECK(segment->type() != IndexType::kSharded);
   const size_t n = segment->size();
   USP_CHECK(n > 0);
   auto seg = std::make_unique<SealedSegment>();

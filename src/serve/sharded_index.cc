@@ -1,0 +1,383 @@
+#include "serve/sharded_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "index/query_planner.h"
+#include "ivf/ivf.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+uint32_t ShardedIndex::Place(uint32_t global_id, size_t num_shards) {
+  // Fibonacci multiplicative hash: cheap, stateless, and spreads the dense
+  // ids Add assigns evenly instead of striping them (id % N would put every
+  // N-th insert on the same shard — fine for load, terrible for locality
+  // experiments). Part of the on-disk contract: the loader revalidates saved
+  // placements against this function.
+  uint32_t h = global_id * 2654435761u;
+  h ^= h >> 16;
+  return h % static_cast<uint32_t>(num_shards);
+}
+
+ShardedIndex::ShardedIndex(size_t dim, ShardedIndexConfig config)
+    : dim_(dim), config_(std::move(config)) {
+  USP_CHECK(dim_ > 0);
+  USP_CHECK(config_.num_shards > 0);
+  shards_.resize(config_.num_shards);
+  for (Shard& shard : shards_) {
+    DynamicIndexConfig shard_config = config_.shard_config;
+    shard_config.metric = config_.metric;
+    auto dynamic = std::make_unique<DynamicIndex>(dim_, shard_config);
+    shard.dynamic = dynamic.get();
+    shard.index = std::move(dynamic);
+  }
+}
+
+ShardedIndex::ShardedIndex(MatrixView base, ShardedIndexConfig config)
+    : dim_(base.cols()), config_(std::move(config)) {
+  USP_CHECK(dim_ > 0);
+  USP_CHECK(config_.num_shards > 0);
+  USP_CHECK(base.rows() < kInvalidId);
+  const size_t n = base.rows();
+  next_id_ = static_cast<uint32_t>(n);
+  shards_.resize(config_.num_shards);
+  placement_.resize(n, ShardRef{kUnplaced, 0});
+
+  // Hash-partition the base rows. Row order is preserved within each shard,
+  // so every shard's local_to_global is ascending — the monotonicity the
+  // cross-shard tie-break relies on (see SearchBatch).
+  std::vector<std::vector<float>> rows(config_.num_shards);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t gid = static_cast<uint32_t>(i);
+    const uint32_t s = Place(gid, config_.num_shards);
+    placement_[i] = ShardRef{
+        s, static_cast<uint32_t>(shards_[s].local_to_global.size())};
+    shards_[s].local_to_global.push_back(gid);
+    rows[s].insert(rows[s].end(), base.Row(i), base.Row(i) + dim_);
+  }
+  for (size_t s = 0; s < config_.num_shards; ++s) {
+    Shard& shard = shards_[s];
+    if (shard.local_to_global.empty()) continue;  // absent shard
+    shard.storage =
+        Matrix(shard.local_to_global.size(), dim_, std::move(rows[s]));
+    shard.index = BuildShard(shard.storage);
+  }
+}
+
+ShardedIndex::ShardedIndex(size_t dim, ShardedIndexConfig config,
+                           std::vector<Shard> shards,
+                           uint32_t next_global_id)
+    : dim_(dim), config_(std::move(config)), next_id_(next_global_id) {
+  USP_CHECK(dim_ > 0);
+  USP_CHECK(!shards.empty());
+  shards_ = std::move(shards);
+  placement_.resize(next_id_, ShardRef{kUnplaced, 0});
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    if (shard.index != nullptr) {
+      USP_CHECK(shard.index->dim() == dim_);
+      USP_CHECK(shard.index->metric() == config_.metric);
+    } else {
+      USP_CHECK(shard.local_to_global.empty());
+    }
+    uint32_t prev = 0;
+    for (size_t i = 0; i < shard.local_to_global.size(); ++i) {
+      const uint32_t gid = shard.local_to_global[i];
+      USP_CHECK(gid < next_id_);
+      // Ascending ids keep the per-shard tie-break (local order) identical
+      // to the global-id tie-break a single index would apply; duplicates
+      // across shards are impossible because each gid hashes to one shard.
+      USP_CHECK(i == 0 || gid > prev);
+      prev = gid;
+      USP_CHECK(Place(gid, shards_.size()) == s);
+      USP_CHECK(placement_[gid].shard == kUnplaced);
+      placement_[gid] = ShardRef{static_cast<uint32_t>(s),
+                                 static_cast<uint32_t>(i)};
+    }
+  }
+}
+
+std::unique_ptr<Index> ShardedIndex::BuildShard(const Matrix& base) const {
+  std::unique_ptr<Index> index;
+  if (config_.shard_builder) {
+    index = config_.shard_builder(base, config_.metric);
+  } else {
+    IvfConfig ivf;
+    ivf.metric = config_.metric;
+    const size_t n = base.rows();
+    ivf.nlist = std::max<size_t>(
+        1, std::min(n, static_cast<size_t>(
+                           std::lround(std::sqrt(static_cast<double>(n))))));
+    index = std::make_unique<IvfFlatIndex>(&base, ivf);
+  }
+  USP_CHECK(index != nullptr);
+  USP_CHECK(index->dim() == dim_);
+  USP_CHECK(index->metric() == config_.metric);
+  USP_CHECK(index->size() == base.rows());
+  // Nesting another router would break the one-level container embedding.
+  USP_CHECK(index->type() != IndexType::kSharded &&
+            index->type() != IndexType::kDynamic);
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Mutation.
+// ---------------------------------------------------------------------------
+
+bool ShardedIndex::is_mutable() const {
+  for (const Shard& shard : shards_) {
+    if (shard.dynamic == nullptr) return false;
+  }
+  return true;
+}
+
+uint32_t ShardedIndex::Add(const float* vector) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  USP_CHECK(next_id_ < kInvalidId);
+  const uint32_t gid = next_id_++;
+  const uint32_t s = Place(gid, shards_.size());
+  Shard& shard = shards_[s];
+  USP_CHECK(shard.dynamic != nullptr);  // mutable configuration only
+  const uint32_t local = shard.dynamic->Add(vector);
+  USP_CHECK(local == shard.local_to_global.size());
+  shard.local_to_global.push_back(gid);
+  placement_.push_back(ShardRef{s, local});
+  return gid;
+}
+
+std::vector<uint32_t> ShardedIndex::AddBatch(MatrixView vectors) {
+  USP_CHECK(vectors.empty() || vectors.cols() == dim_);
+  std::vector<uint32_t> ids;
+  ids.reserve(vectors.rows());
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  USP_CHECK(vectors.rows() <= kInvalidId - next_id_);
+
+  // Group rows by target shard so each shard sees one AddBatch (one lock
+  // acquisition and one contiguous run of shard-local ids per shard).
+  std::vector<std::vector<float>> rows(shards_.size());
+  std::vector<std::vector<uint32_t>> gids(shards_.size());
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    const uint32_t gid = next_id_++;
+    const uint32_t s = Place(gid, shards_.size());
+    rows[s].insert(rows[s].end(), vectors.Row(i), vectors.Row(i) + dim_);
+    gids[s].push_back(gid);
+    ids.push_back(gid);
+  }
+  placement_.resize(next_id_, ShardRef{kUnplaced, 0});
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (gids[s].empty()) continue;
+    Shard& shard = shards_[s];
+    USP_CHECK(shard.dynamic != nullptr);
+    const MatrixView view(rows[s].data(), gids[s].size(), dim_);
+    const std::vector<uint32_t> locals = shard.dynamic->AddBatch(view);
+    for (size_t i = 0; i < locals.size(); ++i) {
+      USP_CHECK(locals[i] == shard.local_to_global.size());
+      shard.local_to_global.push_back(gids[s][i]);
+      placement_[gids[s][i]] =
+          ShardRef{static_cast<uint32_t>(s), locals[i]};
+    }
+  }
+  return ids;
+}
+
+bool ShardedIndex::Delete(uint32_t global_id) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (global_id >= placement_.size()) return false;
+  const ShardRef ref = placement_[global_id];
+  if (ref.shard == kUnplaced) return false;
+  Shard& shard = shards_[ref.shard];
+  USP_CHECK(shard.dynamic != nullptr);  // mutable configuration only
+  return shard.dynamic->Delete(ref.local);
+}
+
+bool ShardedIndex::Contains(uint32_t global_id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (global_id >= placement_.size()) return false;
+  const ShardRef ref = placement_[global_id];
+  if (ref.shard == kUnplaced) return false;
+  const Shard& shard = shards_[ref.shard];
+  return shard.dynamic == nullptr || shard.dynamic->Contains(ref.local);
+}
+
+// ---------------------------------------------------------------------------
+// Search.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Lazy per-shard view of the caller's global selector: shard-local id i is
+/// allowed iff its global id passes the filter. Evaluated per candidate the
+/// shard actually visits (never an eager O(shard) translation); reads
+/// local_to_global safely because the search holds the placement lock shared
+/// for the whole fan-out.
+class LocalShardSelector final : public IdSelector {
+ public:
+  LocalShardSelector(const IdSelector* global,
+                     const std::vector<uint32_t>& local_to_global)
+      : global_(global), local_to_global_(local_to_global) {}
+
+  bool is_member(uint32_t local) const override {
+    return global_->is_member(local_to_global_[local]);
+  }
+
+ private:
+  const IdSelector* global_;
+  const std::vector<uint32_t>& local_to_global_;
+};
+}  // namespace
+
+BatchSearchResult ShardedIndex::SearchBatch(const SearchRequest& request) const {
+  // Planner hook. Like DynamicIndex, the router has no base_view, so the top
+  // level only chooses between pushdown and post-filter; under pushdown the
+  // filter fans out per shard (keeping options.plan), and each shard
+  // re-plans its own sub-request against its translated selector.
+  if (auto planned = MaybeReroute(*this, request)) return std::move(*planned);
+  const MatrixView queries = request.queries;
+  const SearchOptions& options = request.options;
+  const IdSelector* filter = options.filter;
+  const size_t k = options.k;
+  USP_CHECK(queries.empty() || queries.cols() == dim_);
+  const size_t nq = queries.rows();
+  BatchSearchResult result;
+  result.Prepare(nq, options);
+  if (nq == 0 || k == 0) return result;
+
+  // The placement lock is held shared across the whole fan-out + merge, so
+  // local_to_global and the shard set cannot change under us. Shard-internal
+  // mutation (a concurrent Add on another shard) queues behind its own
+  // shard's lock, not this batch.
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+
+  std::vector<size_t> live;
+  live.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].index != nullptr && shards_[s].index->size() > 0) {
+      live.push_back(s);
+    }
+  }
+
+  // Thread budget: options.num_threads caps the total; each shard's
+  // sub-request gets an equal slice (at least 1 = serial). Results are
+  // bit-identical at every setting — each shard's SearchBatch already
+  // guarantees that, and the merge below is per-query deterministic.
+  const size_t nt = options.num_threads;
+  const bool parallel_shards = nt != 1 && live.size() > 1;
+  size_t per_shard = 1;
+  if (nt != 1) {
+    const size_t total =
+        nt == 0 ? ThreadPool::Global().num_threads() : nt;
+    per_shard = std::max<size_t>(1, total / std::max<size_t>(1, live.size()));
+  }
+
+  std::vector<BatchSearchResult> hits(live.size());
+  auto search_shard = [&](size_t i) {
+    const Shard& shard = shards_[live[i]];
+    SearchRequest sub;
+    sub.queries = queries;
+    sub.options = options;
+    sub.options.num_threads = per_shard;
+    sub.options.k = std::min(shard.index->size(), k);
+    if (filter == nullptr) {
+      hits[i] = shard.index->SearchBatch(sub);
+    } else {
+      // The local view is only consulted during this synchronous sub-search.
+      const LocalShardSelector local(filter, shard.local_to_global);
+      sub.options.filter = &local;
+      hits[i] = shard.index->SearchBatch(sub);
+    }
+  };
+  if (parallel_shards) {
+    ParallelInvoke(live.size(), search_shard);
+  } else {
+    for (size_t i = 0; i < live.size(); ++i) search_shard(i);
+  }
+
+  // Gather: per-query TopK merge on (exact distance, global id) — the same
+  // contract as DynamicIndex's per-segment merge, so the merged row equals
+  // what a single index over the union would produce. Per-shard rows are
+  // already deduplicated and tombstone-free (each shard owns its ids and
+  // filters its own deletes), so no drops happen here.
+  ParallelFor(nq, 8, options.num_threads,
+              [&](size_t begin, size_t end, size_t) {
+    for (size_t q = begin; q < end; ++q) {
+      TopK heap(k);
+      size_t candidates = 0;
+      for (size_t i = 0; i < live.size(); ++i) {
+        const BatchSearchResult& batch = hits[i];
+        const std::vector<uint32_t>& to_global =
+            shards_[live[i]].local_to_global;
+        candidates += batch.candidate_counts[q];
+        const uint32_t* ids = batch.Row(q);
+        const float* dists = batch.DistanceRow(q);
+        for (size_t j = 0; j < batch.k; ++j) {
+          if (ids[j] == kInvalidId) break;  // padding: no more hits
+          heap.Push(dists[j], to_global[ids[j]]);
+        }
+      }
+      result.candidate_counts[q] = static_cast<uint32_t>(candidates);
+      result.SetRow(q, heap.TakeSorted());
+      if (result.stats) {
+        // Eq.4-style budget accounting must survive the fan-out: sum every
+        // per-shard counter so S(R) still means "exact-distance work per
+        // query" across the whole sharded index.
+        uint32_t bins = 0, fout = 0, visited = 0;
+        for (const BatchSearchResult& batch : hits) {
+          if (!batch.stats) continue;
+          bins += batch.stats->bins_probed[q];
+          fout += batch.stats->filtered_out[q];
+          visited += batch.stats->nodes_visited[q];
+        }
+        result.stats->candidates_scored[q] = result.candidate_counts[q];
+        result.stats->bins_probed[q] = bins;
+        result.stats->filtered_out[q] = fout;
+        result.stats->nodes_visited[q] = visited;
+      }
+    }
+  });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+size_t ShardedIndex::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.index != nullptr) total += shard.index->size();
+  }
+  return total;
+}
+
+size_t ShardedIndex::EstimateCandidates(size_t budget) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.index != nullptr) {
+      total += shard.index->EstimateCandidates(budget);
+    }
+  }
+  return total;
+}
+
+size_t ShardedIndex::shard_size(size_t s) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  USP_CHECK(s < shards_.size());
+  return shards_[s].index == nullptr ? 0 : shards_[s].index->size();
+}
+
+uint32_t ShardedIndex::next_global_id() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return next_id_;
+}
+
+Status ShardedIndex::WithFrozenState(
+    const std::function<Status(const FrozenState&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const FrozenState state{next_id_, shards_};
+  return fn(state);
+}
+
+}  // namespace usp

@@ -24,6 +24,10 @@
 // Mutable serving layer (LSM-style segments, tombstone deletes, compaction).
 #include "serve/dynamic_index.h"
 
+// Scale-out serving: sharded scatter-gather + async micro-batching front-end.
+#include "serve/batching_executor.h"
+#include "serve/sharded_index.h"
+
 // Core contribution (EDBT 2023 paper).
 #include "core/bin_scorer.h"
 #include "core/ensemble.h"

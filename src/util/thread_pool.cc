@@ -129,4 +129,48 @@ void ParallelFor(size_t count, size_t grain, size_t num_threads,
   call->done.wait(lock, [&] { return call->finished == real_chunks; });
 }
 
+void ParallelInvoke(size_t count, const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.num_threads() <= 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Same work-claiming shape as ParallelFor, but each claimed unit is one
+  // whole task rather than a range chunk. Tasks may themselves run
+  // ParallelFor: from a worker they are pool-resident tasks (supported), and
+  // from the caller they are ordinary call-stack invocations. What would be
+  // unsupported is a *ParallelFor body* spawning nested parallelism — a task
+  // here is not a ParallelFor body, so the contract holds.
+  struct Call {
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t finished = 0;
+  };
+  auto call = std::make_shared<Call>();
+  auto run_tasks = [call, &body, count] {
+    for (;;) {
+      const size_t i = call->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+      std::unique_lock<std::mutex> lock(call->mutex);
+      if (++call->finished == count) call->done.notify_all();
+    }
+  };
+  // As in ParallelFor, `body` is captured by reference: pool tasks only touch
+  // it while holding an unclaimed index, which implies the caller is still
+  // blocked in the wait below. Submit at most count-1 helpers.
+  const size_t helpers = std::min(count - 1, pool.num_threads());
+  for (size_t i = 0; i < helpers; ++i) pool.Submit(run_tasks);
+  run_tasks();
+  std::unique_lock<std::mutex> lock(call->mutex);
+  call->done.wait(lock, [&] { return call->finished == count; });
+}
+
 }  // namespace usp

@@ -72,6 +72,21 @@ void ParallelFor(size_t count, size_t grain,
 void ParallelFor(size_t count, size_t grain, size_t num_threads,
                  const std::function<void(size_t, size_t, size_t)>& body);
 
+/// Runs `count` independent heterogeneous tasks (`body(i)` for i in
+/// [0, count)) across the global pool and returns when all have finished.
+/// This is the scatter-gather primitive of the sharded serving layer
+/// (serve/sharded_index.h): unlike ParallelFor — whose body must be a cheap
+/// range loop — each ParallelInvoke task may itself call ParallelFor (tasks
+/// run either as pool-submitted closures or on the calling thread, both
+/// supported ParallelFor contexts). Execution is work-claiming like
+/// ParallelFor: the caller claims unstarted tasks alongside the workers and
+/// never blocks on a queue position, so ParallelInvoke is safe to call from a
+/// task already running on the pool (e.g. a coalesced batch executed by
+/// BatchingExecutor) even when every worker is busy — the caller just runs
+/// all `count` tasks itself. Nesting ParallelInvoke inside a ParallelInvoke
+/// task is likewise safe.
+void ParallelInvoke(size_t count, const std::function<void(size_t)>& body);
+
 }  // namespace usp
 
 #endif  // USP_UTIL_THREAD_POOL_H_

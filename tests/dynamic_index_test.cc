@@ -62,6 +62,46 @@ TEST(DynamicIndexTest, EmptyIndexReturnsPaddingOnly) {
   EXPECT_EQ(index.size(), 0u);
 }
 
+TEST(DynamicIndexTest, StatsAggregateAcrossSegments) {
+  // Regression for the fan-out stats contract (shared with ShardedIndex):
+  // per-query stats must be SUMS over every segment touched, and at full
+  // budget scored + filtered_out must account for every live row.
+  const Workload& w = DynWorkload();
+  const size_t n = w.base.rows();
+  DynamicIndex index(w.base.cols());
+  // Half the rows sealed into an IVF segment, half served from the write
+  // segment, so aggregation spans both search paths.
+  index.AddBatch(MatrixView(w.base.data(), n / 2, w.base.cols()));
+  index.Seal();
+  index.AddBatch(
+      MatrixView(w.base.Row(n / 2), n - n / 2, w.base.cols()));
+
+  SearchRequest request;
+  request.queries = w.queries;
+  request.options.k = 10;
+  request.options.budget = kFullBudget;
+  request.options.stats = true;
+  BatchSearchResult got = index.SearchBatch(request);
+  ASSERT_TRUE(got.stats.has_value());
+  for (size_t q = 0; q < w.queries.rows(); ++q) {
+    EXPECT_EQ(got.candidate_counts[q], n) << "q=" << q;
+    EXPECT_EQ(got.stats->candidates_scored[q], got.candidate_counts[q]);
+    EXPECT_GT(got.stats->bins_probed[q], 0u);
+  }
+
+  // Filtered pushdown: every live row is either scored or filtered out.
+  IdSelectorRange filter(50, 250);
+  request.options.filter = &filter;
+  request.options.plan = PlanMode::kForcePushdown;
+  got = index.SearchBatch(request);
+  ASSERT_TRUE(got.stats.has_value());
+  for (size_t q = 0; q < w.queries.rows(); ++q) {
+    EXPECT_EQ(got.stats->candidates_scored[q], 200u) << "q=" << q;
+    EXPECT_EQ(got.stats->candidates_scored[q] + got.stats->filtered_out[q], n)
+        << "q=" << q;
+  }
+}
+
 TEST(DynamicIndexTest, WriteSegmentSearchIsExact) {
   const Workload& w = DynWorkload();
   DynamicIndex index(w.base.cols());

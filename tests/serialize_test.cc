@@ -450,7 +450,7 @@ TEST(IndexContainerTest, EnsembleRoundTrips) {
 }
 
 TEST(IndexContainerTest, RegistryCoversEveryType) {
-  EXPECT_EQ(IndexLoaderRegistry().size(), 8u);
+  EXPECT_EQ(IndexLoaderRegistry().size(), 9u);
   for (const IndexLoaderEntry& entry : IndexLoaderRegistry()) {
     EXPECT_EQ(FindIndexLoader(static_cast<uint32_t>(entry.type)), &entry);
     EXPECT_STREQ(IndexTypeName(entry.type), entry.name);

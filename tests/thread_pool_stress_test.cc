@@ -194,5 +194,56 @@ TEST(ThreadPoolStressTest, ParallelForSingleThreadRunsOnCallingThread) {
   EXPECT_TRUE(same_thread.load());
 }
 
+TEST(ParallelInvokeTest, RunsEveryTaskExactlyOnce) {
+  for (size_t count : {size_t{0}, size_t{1}, size_t{3}, size_t{64},
+                       size_t{500}}) {
+    std::vector<std::atomic<uint32_t>> hits(count);
+    for (auto& h : hits) h.store(0);
+    ParallelInvoke(count, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "task " << i << " of " << count;
+    }
+  }
+}
+
+TEST(ParallelInvokeTest, TasksMayRunNestedParallelFor) {
+  // The shard fan-out pattern: heterogeneous outer tasks each running their
+  // own ParallelFor on the shared pool. Work-claiming means this completes
+  // even when every pool worker is busy with outer tasks — the classic
+  // nested-parallelism deadlock this design exists to avoid.
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 2000;
+  std::vector<std::atomic<uint32_t>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  ParallelInvoke(kOuter, [&](size_t task) {
+    ParallelFor(kInner, 64, /*num_threads=*/0,
+                [&, task](size_t begin, size_t end, size_t) {
+                  for (size_t i = begin; i < end; ++i) {
+                    hits[task * kInner + i].fetch_add(1);
+                  }
+                });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "slot " << i;
+  }
+}
+
+TEST(ParallelInvokeTest, SingleTaskRunsOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  ParallelInvoke(1, [&](size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ParallelInvokeTest, NestedInvokeFromPoolTaskCompletes) {
+  // ParallelInvoke called from inside a ParallelInvoke task must not
+  // deadlock either (the caller claims unstarted tasks itself).
+  std::atomic<uint32_t> total{0};
+  ParallelInvoke(8, [&](size_t) {
+    ParallelInvoke(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
 }  // namespace
 }  // namespace usp
