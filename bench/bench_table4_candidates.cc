@@ -75,6 +75,33 @@ void Run() {
   };
   report("Neural LSH", nlsh_c, "33%");
   report("K-means", km_c, "38%");
+
+  // Multi-label ablation (workload subsystem): soften Neural LSH's one-hot
+  // targets with the bins of each point's top-m k-NN-graph neighbors
+  // (NeuralLshConfig::label_top_m) and re-measure |C| at the same accuracy.
+  std::printf(
+      "\n=== Multi-label ablation: Neural LSH |C| @ %.0f%%, top-m neighbor "
+      "bins in the target ===\n",
+      100 * kTargetAccuracy);
+  std::printf("  %-22s %14s %26s\n", "labels", "|C| @ 85%",
+              "vs single-label");
+  std::printf("  %-22s %14.0f %26s\n", "single-label (m=0)", nlsh_c, "-");
+  for (const size_t top_m : {1, 3, 5}) {
+    NeuralLshConfig ml_config = nlsh_config;
+    ml_config.label_top_m = top_m;
+    NeuralLsh ml(ml_config);
+    ml.Train(w.base, w.knn_matrix);
+    const double ml_c =
+        CandidatesAtAccuracy(SweepScorer(w, ml, kBins), kTargetAccuracy);
+    char name[32];
+    std::snprintf(name, sizeof(name), "multi-label (m=%zu)", top_m);
+    if (ml_c < 0 || nlsh_c < 0) {
+      std::printf("  %-22s %14s %26s\n", name, "unreached", "-");
+    } else {
+      std::printf("  %-22s %14.0f %25.0f%%\n", name, ml_c,
+                  100.0 * (1.0 - ml_c / nlsh_c));
+    }
+  }
 }
 
 }  // namespace

@@ -151,6 +151,60 @@ BatchSearchResult UspEnsemble::SearchBatch(const SearchRequest& request) const {
   return result;
 }
 
+RadiusResult UspEnsemble::RadiusSearchBatch(const RadiusRequest& request) const {
+  USP_CHECK(!base_.empty() && !models_.empty());
+  const MatrixView queries = request.queries;
+  const size_t num_probes = request.options.budget;
+  const size_t e = models_.size();
+
+  std::vector<Matrix> scores;
+  scores.reserve(e);
+  for (const auto& model : models_) {
+    scores.push_back(model->ScoreBins(queries));
+  }
+
+  return CollectRadiusRows(
+      queries.rows(), request.options, [&](size_t q, RadiusResult* result) {
+        std::vector<uint32_t> candidates, merged;
+        size_t probes = 0;
+        if (config_.combine == EnsembleCombine::kBestConfidence) {
+          size_t best_model = 0;
+          float best_conf = -1.0f;
+          for (size_t j = 0; j < e; ++j) {
+            const float* row = scores[j].Row(q);
+            const float conf = *std::max_element(row, row + scores[j].cols());
+            if (conf > best_conf) {
+              best_conf = conf;
+              best_model = j;
+            }
+          }
+          indexes_[best_model]->CollectCandidates(scores[best_model].Row(q),
+                                                  num_probes, &merged);
+          probes = std::min(num_probes, indexes_[best_model]->num_bins());
+        } else {
+          // Overlapping per-model probes may repeat ids;
+          // RangeFilterCandidates dedupes before scoring.
+          for (size_t j = 0; j < e; ++j) {
+            indexes_[j]->CollectCandidates(scores[j].Row(q), num_probes,
+                                           &candidates);
+            probes += std::min(num_probes, indexes_[j]->num_bins());
+            merged.insert(merged.end(), candidates.begin(), candidates.end());
+          }
+        }
+        RadiusRowCounts counts;
+        auto hits = RangeFilterCandidates(*dist_, queries.Row(q), &merged,
+                                          request.radius,
+                                          request.options.filter, &counts);
+        result->candidate_counts[q] = counts.scored;
+        if (result->stats) {
+          result->stats->candidates_scored[q] = counts.scored;
+          result->stats->bins_probed[q] = static_cast<uint32_t>(probes);
+          result->stats->filtered_out[q] = counts.filtered_out;
+        }
+        return hits;
+      });
+}
+
 size_t UspEnsemble::ParameterCount() const {
   size_t total = 0;
   for (const auto& model : models_) total += model->ParameterCount();

@@ -60,6 +60,13 @@ class UspEnsemble : public Index {
   using Index::SearchBatch;
   BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
+  /// Radius search: collect candidates exactly as SearchBatch does (the most
+  /// confident model's probed bins, or the all-model union), then
+  /// range-filter by exact distance. At full budget every model probes every
+  /// bin, so the candidate set covers the base and the result is bit-identical
+  /// to BruteForceRadius.
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override;
+
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return base_.rows(); }
   Metric metric() const override { return Metric::kSquaredL2; }

@@ -1,5 +1,6 @@
 #include "core/loss.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/ops.h"
@@ -34,6 +35,28 @@ Matrix BuildSoftNeighborBinTargets(const Matrix& neighbor_probs,
     for (size_t j = 0; j < num_neighbors; ++j) {
       const float* src = neighbor_probs.Row(i * num_neighbors + j);
       for (size_t b = 0; b < m; ++b) row[b] += unit * src[b];
+    }
+  }
+  return targets;
+}
+
+Matrix BuildMultiLabelBinTargets(const std::vector<uint32_t>& labels,
+                                 const std::vector<uint32_t>& point_ids,
+                                 const uint32_t* knn_indices, size_t knn_k,
+                                 size_t top_m, size_t num_bins) {
+  const size_t use = std::min(top_m, knn_k);
+  USP_CHECK(use == 0 || knn_indices != nullptr);
+  Matrix targets(point_ids.size(), num_bins);
+  const float unit = 1.0f / static_cast<float>(1 + use);
+  for (size_t i = 0; i < point_ids.size(); ++i) {
+    const uint32_t id = point_ids[i];
+    USP_CHECK(id < labels.size() && labels[id] < num_bins);
+    float* row = targets.Row(i);
+    row[labels[id]] += unit;
+    for (size_t t = 0; t < use; ++t) {
+      const uint32_t nb = knn_indices[id * knn_k + t];
+      USP_CHECK(nb < labels.size() && labels[nb] < num_bins);
+      row[labels[nb]] += unit;
     }
   }
   return targets;

@@ -49,6 +49,20 @@ Matrix BuildNeighborBinTargets(const std::vector<uint32_t>& neighbor_bins,
 Matrix BuildSoftNeighborBinTargets(const Matrix& neighbor_probs,
                                    size_t batch_size, size_t num_neighbors);
 
+/// Multi-label supervised targets (the workload-subsystem ablation,
+/// graphpart/neural_lsh.h label_top_m): for batch point i with global id
+/// point_ids[i], a normalized histogram over the point's own partition bin
+/// plus the bins of its first min(top_m, knn_k) k-NN-graph neighbors —
+/// "where do I and my closest graph neighbors live". top_m == 0 reduces
+/// exactly to the historical one-hot row over labels[point_ids[i]] (pure
+/// supervised CE; knn_indices may then be nullptr). `knn_indices` is the
+/// row-major (n x knn_k) neighbor matrix (KnnResult::indices layout); every
+/// referenced label must be < num_bins. Rows sum to 1.
+Matrix BuildMultiLabelBinTargets(const std::vector<uint32_t>& labels,
+                                 const std::vector<uint32_t>& point_ids,
+                                 const uint32_t* knn_indices, size_t knn_k,
+                                 size_t top_m, size_t num_bins);
+
 /// Evaluates the USP loss on a batch and writes dLoss/dLogits.
 ///
 /// `logits`: (B x m) raw model outputs.

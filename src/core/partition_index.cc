@@ -69,6 +69,29 @@ BatchSearchResult PartitionIndex::SearchBatch(
                                request.options);
 }
 
+RadiusResult PartitionIndex::RadiusSearchBatch(
+    const RadiusRequest& request) const {
+  const Matrix scores = ScoreQueries(request.queries);
+  const size_t probes = std::min(request.options.budget, buckets_.size());
+  return CollectRadiusRows(
+      request.queries.rows(), request.options,
+      [&](size_t q, RadiusResult* result) {
+        std::vector<uint32_t> candidates;
+        CollectCandidates(scores.Row(q), probes, &candidates);
+        RadiusRowCounts counts;
+        auto hits = RangeFilterCandidates(dist_, request.queries.Row(q),
+                                          &candidates, request.radius,
+                                          request.options.filter, &counts);
+        result->candidate_counts[q] = counts.scored;
+        if (result->stats) {
+          result->stats->candidates_scored[q] = counts.scored;
+          result->stats->bins_probed[q] = static_cast<uint32_t>(probes);
+          result->stats->filtered_out[q] = counts.filtered_out;
+        }
+        return hits;
+      });
+}
+
 size_t PartitionIndex::EstimateCandidates(size_t budget) const {
   if (buckets_.empty()) return size();
   const size_t probes = std::min(std::max<size_t>(budget, 1), buckets_.size());

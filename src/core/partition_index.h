@@ -57,6 +57,12 @@ class PartitionIndex : public Index {
   using Index::SearchBatch;
   BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
+  /// Radius search: gather candidates from the `options.budget` best bins,
+  /// then range-filter them by exact distance (workload/radius.h). At full
+  /// budget every bin is probed, so the result is bit-identical to
+  /// BruteForceRadius over the allowed base.
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override;
+
   /// Same but with externally computed scores (one scoring, many sweeps).
   BatchSearchResult SearchBatchWithScores(MatrixView queries,
                                           const Matrix& scores,

@@ -58,10 +58,10 @@ void NeuralLsh::Train(const Matrix& data, const KnnResult& knn_matrix) {
       if (end - begin < 2) continue;
       std::vector<uint32_t> ids(order.begin() + begin, order.begin() + end);
       Matrix batch = data.GatherRows(ids);
-      Matrix targets(ids.size(), m);
-      for (size_t i = 0; i < ids.size(); ++i) {
-        targets(i, labels_[ids[i]]) = 1.0f;
-      }
+      // label_top_m == 0 produces the historical one-hot rows bit for bit.
+      Matrix targets = BuildMultiLabelBinTargets(
+          labels_, ids, knn_matrix.indices.data(), knn_matrix.k,
+          config_.label_top_m, m);
       Matrix logits = model_.Forward(batch, /*training=*/true);
       UspLoss(logits, targets, nullptr, loss_config, &grad_logits);
       optimizer.ZeroGrad();

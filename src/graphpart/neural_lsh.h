@@ -27,6 +27,16 @@ struct NeuralLshConfig {
   float learning_rate = 1e-3f;
   uint64_t seed = 1;
   BalancedPartitionConfig partition;
+
+  /// Multi-label training ablation (core/loss.h
+  /// BuildMultiLabelBinTargets): each point's target is a normalized
+  /// histogram over its own partition bin plus the bins of its top
+  /// `label_top_m` k-NN-graph neighbors, softening the one-hot labels with
+  /// the same neighborhood signal the unsupervised USP loss trains on. 0
+  /// (the default) is the historical single-label one-hot pipeline —
+  /// training is bit-identical to before the knob existed. Capped at the
+  /// k-NN matrix's k. bench_table4_candidates sweeps m in {1, 3, 5}.
+  size_t label_top_m = 0;
 };
 
 /// Trained Neural LSH index model (BinScorer over its m bins).

@@ -150,6 +150,66 @@ std::vector<HnswIndex::Scored> HnswIndex::SearchLayer(
   return result;  // ascending by distance
 }
 
+std::vector<HnswIndex::Scored> HnswIndex::RadiusLayer(
+    const float* query, uint32_t entry, size_t ef, float radius,
+    const IdSelector* filter, LayerStats* stats) const {
+  const size_t d = base_.cols();
+  const DistanceKernels& kd = GetDistanceKernels();
+  std::vector<uint8_t> visited(base_.rows(), 0);
+
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, FartherFirst>
+      frontier;
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, CloserFirst>
+      best;  // ef-bounded beam of allowed nodes, as in SearchLayer
+  std::vector<Scored> hits;
+
+  const float entry_dist = kd.squared_l2(query, base_.Row(entry), d);
+  if (stats != nullptr) {
+    ++stats->evaluations;
+    ++stats->visited;
+  }
+  visited[entry] = 1;
+  frontier.push({entry_dist, entry});
+  if (filter == nullptr || filter->is_member(entry)) {
+    best.push({entry_dist, entry});
+    if (entry_dist <= radius) hits.push_back({entry_dist, entry});
+  } else if (stats != nullptr) {
+    ++stats->filtered_out;
+  }
+
+  while (!frontier.empty()) {
+    const auto [dist, node] = frontier.top();
+    frontier.pop();
+    // Stop only once the closest frontier node is both outside the radius
+    // and worse than a full beam: the radius term keeps in-range regions
+    // expanding no matter how small ef is.
+    if (dist > radius && best.size() >= ef && dist > best.top().first) break;
+    for (uint32_t nb : LinksAt(node, 0)) {
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float nb_dist = kd.squared_l2(query, base_.Row(nb), d);
+      const bool allowed = filter == nullptr || filter->is_member(nb);
+      if (stats != nullptr) {
+        ++stats->evaluations;
+        ++stats->visited;
+        if (!allowed) ++stats->filtered_out;
+      }
+      if (nb_dist <= radius || best.size() < ef ||
+          nb_dist < best.top().first) {
+        frontier.push({nb_dist, nb});
+        if (allowed) {
+          if (nb_dist <= radius) hits.push_back({nb_dist, nb});
+          best.push({nb_dist, nb});
+          if (best.size() > ef) best.pop();
+        }
+      }
+    }
+  }
+  return hits;
+}
+
 void HnswIndex::Build(const Matrix& base) {
   base_ = MatrixView(base);
   const size_t n = base.rows();
@@ -331,6 +391,57 @@ BatchSearchResult HnswIndex::SearchBatch(const SearchRequest& request) const {
     }
   });
   return result;
+}
+
+RadiusResult HnswIndex::RadiusSearchBatch(const RadiusRequest& request) const {
+  USP_CHECK(!base_.empty() && max_level_ >= 0);
+  const MatrixView queries = request.queries;
+  const DistanceKernels& kd = GetDistanceKernels();
+  const size_t ef = std::max<size_t>(request.options.budget, 1);
+  return CollectRadiusRows(
+      queries.rows(), request.options, [&](size_t q, RadiusResult* result) {
+        // Greedy descent ignores the filter, exactly as in SearchBatch.
+        size_t evals = 0;
+        uint32_t current = entry_point_;
+        const size_t d = base_.cols();
+        float current_dist =
+            kd.squared_l2(queries.Row(q), base_.Row(current), d);
+        ++evals;
+        for (int l = max_level_; l >= 1; --l) {
+          bool improved = true;
+          while (improved) {
+            improved = false;
+            for (uint32_t nb : LinksAt(current, l)) {
+              const float dist =
+                  kd.squared_l2(queries.Row(q), base_.Row(nb), d);
+              ++evals;
+              if (dist < current_dist) {
+                current_dist = dist;
+                current = nb;
+                improved = true;
+              }
+            }
+          }
+        }
+        LayerStats layer_stats;
+        const auto found =
+            RadiusLayer(queries.Row(q), current, ef, request.radius,
+                        request.options.filter, &layer_stats);
+        std::vector<Neighbor> hits;
+        hits.reserve(found.size());
+        for (const auto& s : found) hits.push_back(Neighbor{s.distance, s.id});
+        std::sort(hits.begin(), hits.end());
+        result->candidate_counts[q] =
+            static_cast<uint32_t>(evals + layer_stats.evaluations);
+        if (result->stats) {
+          result->stats->candidates_scored[q] = result->candidate_counts[q];
+          result->stats->filtered_out[q] =
+              static_cast<uint32_t>(layer_stats.filtered_out);
+          result->stats->nodes_visited[q] =
+              static_cast<uint32_t>(layer_stats.visited);
+        }
+        return hits;
+      });
 }
 
 }  // namespace usp

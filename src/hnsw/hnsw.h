@@ -63,6 +63,17 @@ class HnswIndex : public Index {
   using Index::SearchBatch;
   BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
+  /// Radius search: the usual greedy descent to the base layer, then a
+  /// best-first expansion that keeps growing while the frontier holds nodes
+  /// within `radius` — the ef beam (`options.budget`) only bounds effort
+  /// *outside* the radius, so every node whose distance is within the radius
+  /// and reachable through in-range or beam-admitted nodes is found. At full
+  /// budget the whole connected component is traversed, making the result
+  /// bit-identical to BruteForceRadius (the traversal scores with the same
+  /// squared-L2 kernel as ScoreRange). Filter semantics are
+  /// visit-but-don't-return, exactly as in SearchBatch.
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override;
+
   size_t dim() const override { return base_.cols(); }
   size_t size() const override { return node_levels_.size(); }
   Metric metric() const override { return Metric::kSquaredL2; }
@@ -105,6 +116,15 @@ class HnswIndex : public Index {
   };
   std::vector<Scored> SearchLayer(const float* query, uint32_t entry,
                                   size_t ef, int level,
+                                  const IdSelector* filter,
+                                  LayerStats* stats) const;
+  // Radius variant of SearchLayer on the base layer: returns every *allowed*
+  // visited node with distance <= radius (unsorted). The beam keeps the
+  // ef-bounded expansion of SearchLayer; in-range nodes additionally always
+  // enter the frontier and override the termination bound, so a full-budget
+  // call degenerates to a component traversal.
+  std::vector<Scored> RadiusLayer(const float* query, uint32_t entry,
+                                  size_t ef, float radius,
                                   const IdSelector* filter,
                                   LayerStats* stats) const;
   std::vector<uint32_t>& LinksAt(uint32_t node, int level) {

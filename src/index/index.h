@@ -21,6 +21,7 @@
 #include "index/id_selector.h"
 #include "knn/top_k.h"
 #include "tensor/matrix.h"
+#include "workload/radius.h"
 
 namespace usp {
 
@@ -99,32 +100,9 @@ struct SearchRequest {
   SearchOptions options;
 };
 
-/// Optional per-query instrumentation (SearchOptions::stats), sized one entry
-/// per query. Lets callers close the recall/latency loop per query instead of
-/// batch-averaging through MeanCandidates().
-struct SearchStats {
-  /// Candidates actually scored by exact/ADC distance, post-filter — the
-  /// per-query |C(q)| of Eq. 4. Matches candidate_counts entry for entry.
-  std::vector<uint32_t> candidates_scored;
-
-  /// Bins/lists probed (partition-based types; summed across models for
-  /// ensembles and across segments for DynamicIndex; 0 for partition-free
-  /// scans and HNSW).
-  std::vector<uint32_t> bins_probed;
-
-  /// Candidates dropped by the selector before scoring (for HNSW: visited
-  /// base-layer nodes the selector kept out of the result set; for
-  /// DynamicIndex: also tombstoned hits dropped at the merge).
-  std::vector<uint32_t> filtered_out;
-
-  /// HNSW only: base-layer nodes visited during graph traversal (0
-  /// elsewhere). candidates_scored additionally includes the upper-layer
-  /// greedy-descent evaluations, so it can exceed this count.
-  std::vector<uint32_t> nodes_visited;
-
-  /// Sizes every counter to `num_queries` zeroed entries.
-  void Allocate(size_t num_queries);
-};
+// SearchStats lives in workload/radius.h (included above): RadiusResult
+// embeds it by value, and this header includes radius.h for the radius query
+// surface, so the definition sits on the radius side of the include edge.
 
 /// Search output for a batch of queries.
 struct BatchSearchResult {
@@ -210,6 +188,29 @@ class Index {
     request.options.budget = budget;
     request.options.num_threads = num_threads;
     return SearchBatch(request);
+  }
+
+  /// Batched radius (range) search: for every query, all indexed points with
+  /// minimized-form distance <= request.radius (inclusive), as a CSR
+  /// RadiusResult with rows sorted by ascending (distance, id) — see
+  /// workload/radius.h. At full budget (the RadiusOptions default) the result
+  /// is bit-identical — offsets, ids, distances — to BruteForceRadius over
+  /// base_view() restricted to the filter, including through Dynamic/Sharded
+  /// fan-out with tombstones (tests/radius_search_test.cc); lower budgets
+  /// trade recall for probing cost exactly as in k-NN search. The base
+  /// implementation brute-forces base_view() and requires a non-empty view;
+  /// every shipped index type overrides it with its native traversal.
+  virtual RadiusResult RadiusSearchBatch(const RadiusRequest& request) const;
+
+  /// Positional convenience shim over the request form, mirroring
+  /// SearchBatch's shim.
+  RadiusResult RadiusSearch(MatrixView queries, float radius,
+                            const RadiusOptions& options = {}) const {
+    RadiusRequest request;
+    request.queries = queries;
+    request.radius = radius;
+    request.options = options;
+    return RadiusSearchBatch(request);
   }
 
   /// Single-query convenience: returns up to k neighbor ids, ascending by

@@ -566,6 +566,9 @@ class LoadedIndex : public Index {
   BatchSearchResult SearchBatch(const SearchRequest& request) const override {
     return bundle_->index->SearchBatch(request);
   }
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override {
+    return bundle_->index->RadiusSearchBatch(request);
+  }
   std::vector<uint32_t> Search(const float* query, size_t k,
                                size_t budget) const override {
     return bundle_->index->Search(query, k, budget);

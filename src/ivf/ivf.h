@@ -72,6 +72,13 @@ class IvfFlatIndex : public Index {
   using Index::SearchBatch;
   BatchSearchResult SearchBatch(const SearchRequest& request) const override;
 
+  /// Radius search over the probed lists: delegates to the inner
+  /// PartitionIndex, which shares this index's base view and metric, so the
+  /// full-budget bit-identity contract carries over unchanged.
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override {
+    return index_->RadiusSearchBatch(request);
+  }
+
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
   const PartitionIndex& partition() const { return *index_; }
   const IvfConfig& config() const { return config_; }
@@ -125,6 +132,14 @@ class IvfPqIndex : public Index {
   /// still uses the pool's GEMM); results are identical at every setting.
   using Index::SearchBatch;
   BatchSearchResult SearchBatch(const SearchRequest& request) const override;
+
+  /// Radius search over the probed lists. Delegates to the inner ScannIndex,
+  /// which skips the ADC stage entirely for range queries (every gathered
+  /// candidate is exact-scored — the radius cut needs true distances), so
+  /// the result matches the flat types bit for bit at full budget.
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override {
+    return index_->RadiusSearchBatch(request);
+  }
 
   const KMeansPartitioner& coarse_quantizer() const { return *coarse_; }
   const ScannIndex& scann() const { return *index_; }

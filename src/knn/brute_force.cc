@@ -154,6 +154,67 @@ KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
   return KnnImplMetric(base, queries, k, metric, filter, num_threads);
 }
 
+RadiusResult BruteForceRadius(MatrixView base, MatrixView queries,
+                              float radius, Metric metric,
+                              const IdSelector* filter, size_t num_threads) {
+  USP_CHECK(base.cols() == queries.cols());
+  const size_t nq = queries.rows(), nb = base.rows();
+
+  const DistanceComputer dist(base, metric);
+  std::vector<uint32_t> allowed;
+  if (filter != nullptr) {
+    for (size_t b = 0; b < nb; ++b) {
+      const uint32_t id = static_cast<uint32_t>(b);
+      if (filter->is_member(id)) allowed.push_back(id);
+    }
+  }
+  const size_t scanned = filter == nullptr ? nb : allowed.size();
+  const uint32_t dropped = static_cast<uint32_t>(nb - scanned);
+
+  RadiusOptions options;
+  options.num_threads = num_threads;
+  options.filter = filter;
+  return CollectRadiusRows(
+      nq, options, [&](size_t q, RadiusResult* result) {
+        std::vector<float> scores(kBaseBlock);
+        std::vector<float> scratch;
+        const float* prepared = dist.PrepareQuery(queries.Row(q), &scratch);
+        std::vector<Neighbor> hits;
+        if (filter == nullptr) {
+          for (size_t b0 = 0; b0 < nb; b0 += kBaseBlock) {
+            const size_t count = std::min(nb - b0, kBaseBlock);
+            dist.ScoreRange(prepared, static_cast<uint32_t>(b0), count,
+                            scores.data());
+            for (size_t b = 0; b < count; ++b) {
+              if (scores[b] <= radius) {
+                hits.push_back(Neighbor{scores[b], static_cast<uint32_t>(b0 + b)});
+              }
+            }
+          }
+        } else {
+          for (size_t a0 = 0; a0 < allowed.size(); a0 += kBaseBlock) {
+            const size_t count = std::min(allowed.size() - a0, kBaseBlock);
+            dist.ScoreIds(prepared, allowed.data() + a0, count, scores.data());
+            for (size_t i = 0; i < count; ++i) {
+              if (scores[i] <= radius) {
+                hits.push_back(Neighbor{scores[i], allowed[a0 + i]});
+              }
+            }
+          }
+        }
+        // ScoreRange/ScoreIds walk ids in ascending order and distances only
+        // break ties by id, so `hits` needs an explicit sort by (distance, id)
+        // like every other radius row.
+        std::sort(hits.begin(), hits.end());
+        result->candidate_counts[q] = static_cast<uint32_t>(scanned);
+        if (result->stats) {
+          result->stats->candidates_scored[q] = static_cast<uint32_t>(scanned);
+          result->stats->filtered_out[q] = dropped;
+        }
+        return hits;
+      });
+}
+
 KnnResult BuildKnnMatrix(const Matrix& data, size_t k) {
   USP_CHECK(k < data.rows());
   return KnnImpl(data, data, k, /*exclude_identity=*/true);

@@ -12,6 +12,7 @@
 #include "index/id_selector.h"
 #include "knn/top_k.h"
 #include "tensor/matrix.h"
+#include "workload/radius.h"
 
 namespace usp {
 
@@ -57,6 +58,22 @@ KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
 KnnResult BruteForceKnn(MatrixView base, MatrixView queries, size_t k,
                         Metric metric, const IdSelector* filter,
                         size_t num_threads = 0);
+
+/// Exact radius (range) search: for every query, all base rows whose
+/// minimized-form distance is <= radius (inclusive), as a CSR RadiusResult
+/// with rows sorted by ascending (distance, id). This is the reference every
+/// Index::RadiusSearchBatch implementation is pinned against at full budget
+/// (tests/radius_search_test.cc): unfiltered scans go through ScoreRange and
+/// filtered scans materialize the allowed ids once and gather-score them
+/// through ScoreIds — the same per-row kernels as the index types' range
+/// filter — so bit-identity holds for offsets, ids, AND distances. (The L2
+/// norm-trick tiles of BruteForceKnn round differently and are deliberately
+/// not used here.) candidate_counts reports rows scored per query (the
+/// allowed count under a filter).
+RadiusResult BruteForceRadius(MatrixView base, MatrixView queries,
+                              float radius, Metric metric,
+                              const IdSelector* filter = nullptr,
+                              size_t num_threads = 0);
 
 /// k'-NN matrix of the dataset against itself with self-matches excluded
 /// (row i never contains i). This is Fig. 2 of the paper.

@@ -288,4 +288,51 @@ BatchSearchResult ScannIndex::SearchBatch(const SearchRequest& request) const {
   return result;
 }
 
+RadiusResult ScannIndex::RadiusSearchBatch(const RadiusRequest& request) const {
+  const MatrixView queries = request.queries;
+  Matrix scores;
+  if (partitioner_ != nullptr) {
+    scores = partitioner_->ScoreBins(queries);
+  }
+  const size_t probes =
+      partitioner_ == nullptr
+          ? 0
+          : std::min(request.options.budget, buckets_.size());
+
+  return CollectRadiusRows(
+      queries.rows(), request.options, [&](size_t q, RadiusResult* result) {
+        std::vector<uint32_t> candidates;
+        if (partitioner_ == nullptr) {
+          candidates.resize(base_.rows());
+          std::iota(candidates.begin(), candidates.end(), 0u);
+        } else {
+          // Same probe order as SearchBatch: bins by descending score,
+          // ties by bin id.
+          const float* s = scores.Row(q);
+          std::vector<uint32_t> order(buckets_.size());
+          std::iota(order.begin(), order.end(), 0u);
+          std::partial_sort(order.begin(), order.begin() + probes, order.end(),
+                            [&](uint32_t a, uint32_t b) {
+                              if (s[a] != s[b]) return s[a] > s[b];
+                              return a < b;
+                            });
+          for (size_t p = 0; p < probes; ++p) {
+            const auto& bucket = buckets_[order[p]];
+            candidates.insert(candidates.end(), bucket.begin(), bucket.end());
+          }
+        }
+        RadiusRowCounts counts;
+        auto hits = RangeFilterCandidates(dist_, queries.Row(q), &candidates,
+                                          request.radius,
+                                          request.options.filter, &counts);
+        result->candidate_counts[q] = counts.scored;
+        if (result->stats) {
+          result->stats->candidates_scored[q] = counts.scored;
+          result->stats->bins_probed[q] = static_cast<uint32_t>(probes);
+          result->stats->filtered_out[q] = counts.filtered_out;
+        }
+        return hits;
+      });
+}
+
 }  // namespace usp

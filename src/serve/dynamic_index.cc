@@ -190,6 +190,34 @@ uint32_t DynamicIndex::AddSealedSegment(std::unique_ptr<Index> segment,
   return first;
 }
 
+StatusOr<uint32_t> DynamicIndex::AddSealedSegmentFromContainer(
+    const std::string& path, LoadMode mode) {
+  auto opened = OpenIndex(path, mode);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<Index> segment = std::move(opened).value();
+  // Files are user input: validate with Status errors (AddSealedSegment's
+  // USP_CHECKs are for programmer errors) before any state changes.
+  if (segment->dim() != dim_) {
+    return Status::InvalidArgument("segment dim " +
+                                   std::to_string(segment->dim()) +
+                                   " != index dim " + std::to_string(dim_));
+  }
+  if (segment->metric() != config_.metric) {
+    return Status::InvalidArgument("segment metric does not match the index");
+  }
+  const IndexType type = segment->type();
+  if (type == IndexType::kDynamic || type == IndexType::kSharded) {
+    return Status::FailedPrecondition(
+        "dynamic/sharded containers cannot nest as sealed segments");
+  }
+  if (segment->size() == 0) {
+    return Status::FailedPrecondition("container indexes no vectors");
+  }
+  // The loaded wrapper owns its storage (heap buffers or the mapping), so no
+  // separate storage matrix transfers.
+  return AddSealedSegment(std::move(segment));
+}
+
 // ---------------------------------------------------------------------------
 // Maintenance.
 // ---------------------------------------------------------------------------
@@ -555,6 +583,126 @@ BatchSearchResult DynamicIndex::SearchBatch(const SearchRequest& request) const 
     }
   });
   return result;
+}
+
+RadiusResult DynamicIndex::RadiusSearchBatch(
+    const RadiusRequest& request) const {
+  const MatrixView queries = request.queries;
+  const RadiusOptions& options = request.options;
+  const IdSelector* filter = options.filter;
+  USP_CHECK(queries.empty() || queries.cols() == dim_);
+  const size_t nq = queries.rows();
+
+  // Shared lock across the whole fan-out + merge, as in SearchBatch.
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+
+  struct SegmentHits {
+    RadiusResult rows;
+    const std::vector<uint32_t>* global_ids;
+  };
+  std::vector<SegmentHits> per_segment;
+  per_segment.reserve(sealed_.size());
+
+  for (const auto& seg : sealed_) {
+    RadiusRequest sub;
+    sub.queries = queries;
+    sub.radius = request.radius;
+    sub.options = options;
+    if (filter == nullptr) {
+      // Unlike top-k, radius rows carry *every* in-range hit, so no
+      // tombstone over-fetch is needed: tombstoned hits drop at the merge
+      // without ever hiding deeper live ones.
+      per_segment.push_back(
+          {seg->index->RadiusSearchBatch(sub), &seg->global_ids});
+    } else {
+      // Tombstones ride inside the pushed-down selector; the local view is
+      // only consulted during this synchronous sub-search.
+      const LocalSelector local(filter, seg->global_ids, tombstones_);
+      sub.options.filter = &local;
+      per_segment.push_back(
+          {seg->index->RadiusSearchBatch(sub), &seg->global_ids});
+    }
+  }
+
+  const size_t write_rows = write_ids_.size();
+  RadiusResult write_hits;  // num_queries() == 0 when the scan was skipped
+  size_t write_scored = 0;
+  size_t write_filtered = 0;
+  std::unique_ptr<IdSelectorBitmap> write_filter;
+  if (write_rows > 0) {
+    const MatrixView write_view(write_data_.data(), write_rows, dim_);
+    if (filter != nullptr) {
+      write_filter = std::make_unique<IdSelectorBitmap>(write_rows);
+      for (size_t i = 0; i < write_rows; ++i) {
+        const uint32_t gid = write_ids_[i];
+        if (filter->is_member(gid) && tombstones_.count(gid) == 0) {
+          write_filter->Set(static_cast<uint32_t>(i));
+          ++write_scored;
+        }
+      }
+      write_filtered = write_rows - write_scored;
+      if (write_scored > 0) {
+        write_hits =
+            BruteForceRadius(write_view, queries, request.radius,
+                             config_.metric, write_filter.get(),
+                             options.num_threads);
+      }
+    } else {
+      write_scored = write_rows;  // scanned exactly, as in SearchBatch
+      write_hits = BruteForceRadius(write_view, queries, request.radius,
+                                    config_.metric, /*filter=*/nullptr,
+                                    options.num_threads);
+    }
+  }
+
+  return CollectRadiusRows(nq, options, [&](size_t q, RadiusResult* out) {
+    std::vector<Neighbor> merged;
+    size_t candidates = 0;
+    uint32_t bins = 0, fout = 0, visited = 0;
+    for (const SegmentHits& hits : per_segment) {
+      const RadiusResult& r = hits.rows;
+      candidates += r.candidate_counts[q];
+      if (r.stats) {
+        bins += r.stats->bins_probed[q];
+        fout += r.stats->filtered_out[q];
+        visited += r.stats->nodes_visited[q];
+      }
+      for (size_t j = r.offsets[q]; j < r.offsets[q + 1]; ++j) {
+        const uint32_t gid = (*hits.global_ids)[r.ids[j]];
+        // Filtered hits are pre-screened by the local selector; the
+        // tombstone check only runs on the unfiltered path.
+        if (filter == nullptr && tombstones_.count(gid) > 0) {
+          ++fout;
+          continue;
+        }
+        merged.push_back(Neighbor{r.distances[j], gid});
+      }
+    }
+    if (write_hits.num_queries() > 0) {
+      candidates += write_scored;
+      for (size_t j = write_hits.offsets[q]; j < write_hits.offsets[q + 1];
+           ++j) {
+        const uint32_t gid = write_ids_[write_hits.ids[j]];
+        if (filter == nullptr && tombstones_.count(gid) > 0) {
+          ++fout;
+          continue;
+        }
+        merged.push_back(Neighbor{write_hits.distances[j], gid});
+      }
+    }
+    // Segments hold disjoint global ids, so a plain (distance, gid) sort is
+    // the whole merge — no dedupe needed.
+    std::sort(merged.begin(), merged.end());
+    out->candidate_counts[q] = static_cast<uint32_t>(candidates);
+    if (out->stats) {
+      out->stats->candidates_scored[q] = static_cast<uint32_t>(candidates);
+      out->stats->bins_probed[q] = bins;
+      out->stats->filtered_out[q] =
+          static_cast<uint32_t>(fout + write_filtered);
+      out->stats->nodes_visited[q] = visited;
+    }
+    return merged;
+  });
 }
 
 // ---------------------------------------------------------------------------

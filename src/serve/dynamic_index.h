@@ -36,6 +36,7 @@
 
 #include "dist/metric.h"
 #include "index/index.h"
+#include "index/serialize.h"  // LoadMode for container-backed sealed segments
 #include "tensor/matrix.h"
 #include "util/status.h"
 
@@ -126,6 +127,18 @@ class DynamicIndex : public Index {
   uint32_t AddSealedSegment(std::unique_ptr<Index> segment,
                             Matrix storage = Matrix());
 
+  /// Incremental bulk load: opens the index container at `path` (e.g. an
+  /// OutOfCoreBuilder product, serve/out_of_core_builder.h) and adopts it as
+  /// a sealed segment — the disk-to-serving handoff without retraining.
+  /// kMmap (the default) leaves the segment's vectors on disk and serves
+  /// straight off the mapping. Returns the first assigned global id, or an
+  /// error Status when the file cannot be opened or the container's dim,
+  /// metric, or type is incompatible (dynamic/sharded containers do not
+  /// nest) — validation happens before any state changes, so a failed call
+  /// leaves the index untouched.
+  StatusOr<uint32_t> AddSealedSegmentFromContainer(
+      const std::string& path, LoadMode mode = LoadMode::kMmap);
+
   // --- Maintenance ---------------------------------------------------------
 
   /// Trains a sealed segment from a snapshot of the write segment and
@@ -159,6 +172,17 @@ class DynamicIndex : public Index {
   /// filtered path, tombstone drops are folded into filtered_out.
   using Index::SearchBatch;
   BatchSearchResult SearchBatch(const SearchRequest& request) const override;
+
+  /// Radius search over the segment set: every sealed segment answers the
+  /// sub-request with its own RadiusSearchBatch (tombstones and the global
+  /// filter composed into the pushed-down local selector on the filtered
+  /// path, tombstoned hits dropped at the merge otherwise — range results
+  /// need no over-fetch: a radius row already holds *every* in-range hit),
+  /// the write segment is range-scanned exactly, and per-segment rows are
+  /// remapped to global ids and merged by (distance, global id). At full
+  /// budget the result is bit-identical to BruteForceRadius over the live
+  /// allowed rows.
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override;
   size_t dim() const override { return dim_; }
   /// Number of live (non-tombstoned) points.
   size_t size() const override;

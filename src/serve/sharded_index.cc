@@ -338,6 +338,89 @@ BatchSearchResult ShardedIndex::SearchBatch(const SearchRequest& request) const 
   return result;
 }
 
+RadiusResult ShardedIndex::RadiusSearchBatch(
+    const RadiusRequest& request) const {
+  const MatrixView queries = request.queries;
+  const RadiusOptions& options = request.options;
+  const IdSelector* filter = options.filter;
+  USP_CHECK(queries.empty() || queries.cols() == dim_);
+  const size_t nq = queries.rows();
+
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+
+  std::vector<size_t> live;
+  live.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].index != nullptr && shards_[s].index->size() > 0) {
+      live.push_back(s);
+    }
+  }
+
+  // Same thread-budget split as SearchBatch: the cap is the total across
+  // shards, each sub-request gets an equal slice.
+  const size_t nt = options.num_threads;
+  const bool parallel_shards = nt != 1 && live.size() > 1;
+  size_t per_shard = 1;
+  if (nt != 1) {
+    const size_t total = nt == 0 ? ThreadPool::Global().num_threads() : nt;
+    per_shard = std::max<size_t>(1, total / std::max<size_t>(1, live.size()));
+  }
+
+  std::vector<RadiusResult> hits(live.size());
+  auto search_shard = [&](size_t i) {
+    const Shard& shard = shards_[live[i]];
+    RadiusRequest sub;
+    sub.queries = queries;
+    sub.radius = request.radius;
+    sub.options = options;
+    sub.options.num_threads = per_shard;
+    if (filter == nullptr) {
+      hits[i] = shard.index->RadiusSearchBatch(sub);
+    } else {
+      // The local view is only consulted during this synchronous sub-search.
+      const LocalShardSelector local(filter, shard.local_to_global);
+      sub.options.filter = &local;
+      hits[i] = shard.index->RadiusSearchBatch(sub);
+    }
+  };
+  if (parallel_shards) {
+    ParallelInvoke(live.size(), search_shard);
+  } else {
+    for (size_t i = 0; i < live.size(); ++i) search_shard(i);
+  }
+
+  // Gather: radius rows already hold every in-range hit, so the merge is a
+  // remap + concat + (distance, global id) sort. Shards own disjoint id
+  // ranges and filter their own deletes, so no dedupe or drops happen here.
+  return CollectRadiusRows(nq, options, [&](size_t q, RadiusResult* out) {
+    std::vector<Neighbor> merged;
+    size_t candidates = 0;
+    uint32_t bins = 0, fout = 0, visited = 0;
+    for (size_t i = 0; i < live.size(); ++i) {
+      const RadiusResult& r = hits[i];
+      const std::vector<uint32_t>& to_global = shards_[live[i]].local_to_global;
+      candidates += r.candidate_counts[q];
+      if (r.stats) {
+        bins += r.stats->bins_probed[q];
+        fout += r.stats->filtered_out[q];
+        visited += r.stats->nodes_visited[q];
+      }
+      for (size_t j = r.offsets[q]; j < r.offsets[q + 1]; ++j) {
+        merged.push_back(Neighbor{r.distances[j], to_global[r.ids[j]]});
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    out->candidate_counts[q] = static_cast<uint32_t>(candidates);
+    if (out->stats) {
+      out->stats->candidates_scored[q] = static_cast<uint32_t>(candidates);
+      out->stats->bins_probed[q] = bins;
+      out->stats->filtered_out[q] = fout;
+      out->stats->nodes_visited[q] = visited;
+    }
+    return merged;
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Introspection.
 // ---------------------------------------------------------------------------

@@ -135,6 +135,14 @@ class ShardedIndex : public Index {
   /// bit-identical at every thread count and every shard count.
   using Index::SearchBatch;
   BatchSearchResult SearchBatch(const SearchRequest& request) const override;
+
+  /// Scatter-gather radius search: every live shard answers the sub-request
+  /// with its own RadiusSearchBatch (global filter translated to the lazy
+  /// per-shard selector; mutable shards compose their tombstones themselves),
+  /// then per-query rows are remapped to global ids, concatenated, and sorted
+  /// by (distance, global id). Bit-identical to one index over the union of
+  /// the shards at every shard count, and to BruteForceRadius at full budget.
+  RadiusResult RadiusSearchBatch(const RadiusRequest& request) const override;
   size_t dim() const override { return dim_; }
   /// Number of live points across all shards.
   size_t size() const override;

@@ -1,0 +1,298 @@
+#include "workload/knn_graph.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "dataset/fvecs_stream.h"
+#include "dist/distance_kernels.h"
+#include "index/index.h"
+#include "knn/top_k.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
+
+namespace usp {
+
+namespace {
+
+// Writes each row's heap, sorted ascending by (distance, id), into the flat
+// KnnResult arrays. `first_row` offsets the output for streamed blocks.
+void DrainHeaps(std::vector<TopK>* heaps, size_t first_row, size_t k,
+                KnnResult* result) {
+  for (size_t i = 0; i < heaps->size(); ++i) {
+    auto sorted = (*heaps)[i].TakeSorted();
+    const size_t row = first_row + i;
+    for (size_t j = 0; j < k; ++j) {
+      result->indices[row * k + j] = sorted[j].id;
+      result->distances[row * k + j] = sorted[j].distance;
+    }
+  }
+}
+
+}  // namespace
+
+KnnGraphBuilder::KnnGraphBuilder(KnnGraphConfig config)
+    : config_(config) {
+  USP_CHECK(config_.k > 0);
+  USP_CHECK(config_.block_rows > 0);
+}
+
+KnnResult KnnGraphBuilder::BuildExact(MatrixView data) const {
+  const size_t n = data.rows(), d = data.cols(), k = config_.k;
+  const size_t bs = config_.block_rows;
+  USP_CHECK(k < n);
+  const size_t nblocks = (n + bs - 1) / bs;
+
+  std::vector<float> norms;
+  RowSquaredNorms(data, &norms);
+  const DistanceKernels& kd = GetDistanceKernels();
+
+  // Global per-row heaps, guarded per row-block: a tile merges its bounded
+  // local heaps under at most two block locks, so the expensive scoring runs
+  // lock-free. The (distance, id) k-best set is push-order independent and
+  // the distance values are the same bits BuildKnnMatrix computes (dot and +
+  // are commutative, so d(i, j) from tile (bi, bj) equals d(j, i) bit for
+  // bit), which is what makes the tile schedule invisible in the output.
+  std::vector<TopK> heaps;
+  heaps.reserve(n);
+  for (size_t i = 0; i < n; ++i) heaps.emplace_back(k);
+  std::vector<std::mutex> locks(nblocks);
+
+  // All tile pairs of the upper triangle, diagonal included.
+  std::vector<std::pair<uint32_t, uint32_t>> tiles;
+  for (uint32_t bi = 0; bi < nblocks; ++bi) {
+    for (uint32_t bj = bi; bj < nblocks; ++bj) tiles.emplace_back(bi, bj);
+  }
+
+  ParallelFor(
+      tiles.size(), 1, config_.num_threads,
+      [&](size_t t_begin, size_t t_end, size_t) {
+        std::vector<float> dots(bs);
+        for (size_t t = t_begin; t < t_end; ++t) {
+          const uint32_t bi = tiles[t].first, bj = tiles[t].second;
+          const size_t i0 = bi * bs, i1 = std::min(n, i0 + bs);
+          const size_t j0 = bj * bs, j1 = std::min(n, j0 + bs);
+          const bool diagonal = bi == bj;
+
+          std::vector<TopK> local_i, local_j;
+          local_i.reserve(i1 - i0);
+          for (size_t i = i0; i < i1; ++i) local_i.emplace_back(k);
+          if (!diagonal) {
+            local_j.reserve(j1 - j0);
+            for (size_t j = j0; j < j1; ++j) local_j.emplace_back(k);
+          }
+
+          for (size_t i = i0; i < i1; ++i) {
+            kd.score_block_dot(data.Row(i), data.Row(j0), j1 - j0, d,
+                               dots.data());
+            for (size_t j = j0; j < j1; ++j) {
+              if (i == j) continue;
+              const float dist = std::max(
+                  0.0f, norms[i] + norms[j] - 2.0f * dots[j - j0]);
+              local_i[i - i0].Push(dist, static_cast<uint32_t>(j));
+              // A diagonal tile iterates both (i, j) and (j, i), so only
+              // off-diagonal tiles push the mirrored edge.
+              if (!diagonal) {
+                local_j[j - j0].Push(dist, static_cast<uint32_t>(i));
+              }
+            }
+          }
+
+          {
+            std::lock_guard<std::mutex> guard(locks[bi]);
+            for (size_t i = i0; i < i1; ++i) {
+              for (const Neighbor& nb : local_i[i - i0].TakeSorted()) {
+                heaps[i].Push(nb.distance, nb.id);
+              }
+            }
+          }
+          if (!diagonal) {
+            std::lock_guard<std::mutex> guard(locks[bj]);
+            for (size_t j = j0; j < j1; ++j) {
+              for (const Neighbor& nb : local_j[j - j0].TakeSorted()) {
+                heaps[j].Push(nb.distance, nb.id);
+              }
+            }
+          }
+        }
+      });
+
+  KnnResult result;
+  result.k = k;
+  result.indices.resize(n * k);
+  result.distances.resize(n * k);
+  DrainHeaps(&heaps, 0, k, &result);
+  return result;
+}
+
+KnnResult KnnGraphBuilder::BuildApproximate(const Index& index,
+                                            MatrixView data,
+                                            size_t budget) const {
+  const size_t n = data.rows(), k = config_.k;
+  USP_CHECK(k < n);
+  USP_CHECK(index.size() == n);
+  USP_CHECK(index.dim() == data.cols());
+
+  // k+1 because every row is its own nearest neighbor under any metric the
+  // index serves; the self-match is dropped below.
+  SearchRequest request;
+  request.queries = data;
+  request.options.k = k + 1;
+  request.options.budget = budget;
+  request.options.num_threads = config_.num_threads;
+  const BatchSearchResult batch = index.SearchBatch(request);
+
+  KnnResult result;
+  result.k = k;
+  result.indices.resize(n * k);
+  result.distances.resize(n * k);
+  std::vector<Neighbor> kept;
+  for (size_t q = 0; q < n; ++q) {
+    kept.clear();
+    for (size_t j = 0; j < batch.k && kept.size() < k; ++j) {
+      const uint32_t id = batch.ids[q * batch.k + j];
+      if (id == kInvalidId || id == static_cast<uint32_t>(q)) continue;
+      kept.push_back(Neighbor{batch.distances[q * batch.k + j], id});
+    }
+    // Budget-starved rows pad by cycling the real neighbors (the
+    // FilterKnnToSubset convention — BuildKnnGraph rejects sentinel ids);
+    // a row with no hits at all falls back to itself at distance 0.
+    if (kept.empty()) {
+      kept.push_back(Neighbor{0.0f, static_cast<uint32_t>(q)});
+    }
+    for (size_t j = 0; j < k; ++j) {
+      const Neighbor& nb = kept[j % kept.size()];
+      result.indices[q * k + j] = nb.id;
+      result.distances[q * k + j] = nb.distance;
+    }
+  }
+  return result;
+}
+
+StatusOr<KnnResult> KnnGraphBuilder::BuildFromStream(
+    ChunkStream* stream, size_t resident_rows) const {
+  USP_CHECK(stream != nullptr);
+  USP_CHECK(resident_rows > 0);
+  const size_t n = stream->num_rows(), d = stream->dim(), k = config_.k;
+  USP_CHECK(k < n);
+  const size_t io_rows = config_.block_rows;
+
+  // Pass 1: row norms. RowSquaredNorms is a per-row reduction, so computing
+  // it chunk by chunk yields the same bits as one whole-matrix pass — the
+  // root of the bit-identity-with-BuildExact contract.
+  std::vector<float> norms(n);
+  Status st = stream->Reset();
+  if (!st.ok()) return st;
+  size_t filled = 0;
+  std::vector<float> chunk_norms;
+  for (;;) {
+    StatusOr<MatrixView> chunk = stream->NextChunk(io_rows);
+    if (!chunk.ok()) return chunk.status();
+    const MatrixView view = chunk.value();
+    if (view.rows() == 0) break;
+    if (filled + view.rows() > n) {
+      return Status::FailedPrecondition(
+          "stream yielded more rows than advertised");
+    }
+    RowSquaredNorms(view, &chunk_norms);
+    std::copy(chunk_norms.begin(), chunk_norms.end(), norms.begin() + filled);
+    filled += view.rows();
+  }
+  // Streams are external input: a length lie is a Status, not a crash.
+  if (filled != n) {
+    return Status::FailedPrecondition(
+        "stream ended before yielding all advertised rows");
+  }
+
+  KnnResult result;
+  result.k = k;
+  result.indices.resize(n * k);
+  result.distances.resize(n * k);
+  const DistanceKernels& kd = GetDistanceKernels();
+
+  // Pass 2: one resident block at a time. For each block, rewind and copy
+  // its rows in, then rewind again and score resident-vs-chunk tiles across
+  // the whole stream. Memory is O(resident_rows * d); the stream is read
+  // ceil(n / resident_rows) + 1 times.
+  for (size_t r0 = 0; r0 < n; r0 += resident_rows) {
+    const size_t r1 = std::min(n, r0 + resident_rows);
+    Matrix resident(r1 - r0, d);
+
+    st = stream->Reset();
+    if (!st.ok()) return st;
+    size_t cursor = 0;
+    while (cursor < r1) {
+      StatusOr<MatrixView> chunk = stream->NextChunk(io_rows);
+      if (!chunk.ok()) return chunk.status();
+      const MatrixView view = chunk.value();
+      if (view.rows() == 0) {
+        return Status::FailedPrecondition(
+            "stream ended before yielding all advertised rows");
+      }
+      // Copy the overlap of [cursor, cursor + rows) with [r0, r1).
+      const size_t lo = std::max(cursor, r0);
+      const size_t hi = std::min(cursor + view.rows(), r1);
+      for (size_t g = lo; g < hi; ++g) {
+        const float* src = view.Row(g - cursor);
+        std::copy(src, src + d, resident.Row(g - r0));
+      }
+      cursor += view.rows();
+    }
+
+    std::vector<TopK> heaps;
+    heaps.reserve(r1 - r0);
+    for (size_t i = r0; i < r1; ++i) heaps.emplace_back(k);
+
+    st = stream->Reset();
+    if (!st.ok()) return st;
+    size_t b_start = 0;
+    for (;;) {
+      StatusOr<MatrixView> chunk = stream->NextChunk(io_rows);
+      if (!chunk.ok()) return chunk.status();
+      const MatrixView view = chunk.value();
+      if (view.rows() == 0) break;
+      ParallelFor(
+          r1 - r0, 8, config_.num_threads,
+          [&](size_t begin, size_t end, size_t) {
+            std::vector<float> dots(view.rows());
+            for (size_t i = begin; i < end; ++i) {
+              const size_t gi = r0 + i;
+              kd.score_block_dot(resident.Row(i), view.data(), view.rows(), d,
+                                 dots.data());
+              for (size_t j = 0; j < view.rows(); ++j) {
+                const size_t gj = b_start + j;
+                if (gi == gj) continue;
+                const float dist = std::max(
+                    0.0f, norms[gi] + norms[gj] - 2.0f * dots[j]);
+                heaps[i].Push(dist, static_cast<uint32_t>(gj));
+              }
+            }
+          });
+      b_start += view.rows();
+    }
+    DrainHeaps(&heaps, r0, k, &result);
+  }
+  return result;
+}
+
+double KnnGraphBuilder::GraphRecall(const KnnResult& graph,
+                                    const KnnResult& exact) {
+  USP_CHECK(graph.k == exact.k);
+  USP_CHECK(graph.indices.size() == exact.indices.size());
+  const size_t k = exact.k;
+  USP_CHECK(k > 0);
+  const size_t n = exact.indices.size() / k;
+  size_t hits = 0;
+  std::vector<uint32_t> row;
+  for (size_t q = 0; q < n; ++q) {
+    row.assign(graph.Row(q), graph.Row(q) + k);
+    std::sort(row.begin(), row.end());
+    for (size_t j = 0; j < k; ++j) {
+      if (std::binary_search(row.begin(), row.end(), exact.Row(q)[j])) ++hits;
+    }
+  }
+  return n == 0 ? 1.0 : static_cast<double>(hits) / static_cast<double>(n * k);
+}
+
+}  // namespace usp

@@ -1,0 +1,167 @@
+// Round-trips an OutOfCoreBuilder product into DynamicIndex as a sealed
+// segment (DynamicIndex::AddSealedSegmentFromContainer): the disk-to-serving
+// handoff must answer k-NN and radius queries bit-identically to brute force
+// over the union of the bulk-loaded rows and the live write segment, through
+// both load modes, and must reject incompatible containers with a Status
+// (never a crash) while leaving the index untouched.
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/fvecs_stream.h"
+#include "util/rng.h"
+#include "index/id_selector.h"
+#include "index/serialize.h"
+#include "knn/brute_force.h"
+#include "serve/dynamic_index.h"
+#include "serve/out_of_core_builder.h"
+#include "tensor/matrix.h"
+
+namespace usp {
+namespace {
+
+constexpr size_t kFullBudget = 1u << 20;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Matrix RandomData(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomGaussian(n, dim, &rng);
+}
+
+// Streams `base` through the disk-direct writer and returns the container
+// path — the same pipeline an out-of-core .fvecs build runs.
+std::string BuildContainer(const Matrix& base, const std::string& name) {
+  OutOfCoreConfig config;
+  config.nlist = 8;
+  config.chunk_rows = 100;
+  config.sample_rows = base.rows();
+  const std::string path = TempPath(name);
+  MatrixStream stream(base);
+  auto stats = OutOfCoreBuilder(config).BuildFromStream(&stream, path);
+  EXPECT_TRUE(stats.ok()) << stats.status().message();
+  return path;
+}
+
+void ExpectSameKnn(const BatchSearchResult& got, const BatchSearchResult& want,
+                   const char* label) {
+  ASSERT_EQ(got.k, want.k) << label;
+  EXPECT_EQ(got.ids, want.ids) << label;
+  EXPECT_EQ(got.distances, want.distances) << label;
+}
+
+TEST(DynamicBulkLoadTest, ContainerServesNextToWriteSegment) {
+  const size_t dim = 32;
+  const Matrix bulk = RandomData(300, dim, 21);
+  const Matrix fresh = RandomData(40, dim, 22);
+  const Matrix queries = RandomData(10, dim, 23);
+  const std::string path = BuildContainer(bulk, "bulk_segment.uspidx");
+
+  for (const LoadMode mode : {LoadMode::kMmap, LoadMode::kHeap}) {
+    SCOPED_TRACE(mode == LoadMode::kMmap ? "mmap" : "heap");
+    DynamicIndex index(dim);
+    auto first = index.AddSealedSegmentFromContainer(path, mode);
+    ASSERT_TRUE(first.ok()) << first.status().message();
+    EXPECT_EQ(first.value(), 0u);  // bulk rows take global ids 0..299
+    EXPECT_EQ(index.size(), bulk.rows());
+
+    // Fresh rows land in the write segment after the bulk ids.
+    const std::vector<uint32_t> fresh_ids = index.AddBatch(fresh);
+    ASSERT_EQ(fresh_ids.size(), fresh.rows());
+    EXPECT_EQ(fresh_ids.front(), bulk.rows());
+
+    // Reference: one matrix holding bulk rows then fresh rows, ids aligned.
+    Matrix combined(bulk.rows() + fresh.rows(), dim);
+    std::memcpy(combined.Row(0), bulk.data(), bulk.size() * sizeof(float));
+    std::memcpy(combined.Row(bulk.rows()), fresh.data(),
+                fresh.size() * sizeof(float));
+
+    // Bit-identity is pinned through the filtered path on both sides (an
+    // all-pass selector): that routes every row — bulk segment and write
+    // segment alike — through the gather-score (ScoreIds) kernels, whereas
+    // the unfiltered write-segment scan takes the norm-trick tiles, which
+    // round differently from any brute-force reference.
+    IdSelectorBitmap everything(combined.rows());
+    for (uint32_t id = 0; id < combined.rows(); ++id) everything.Set(id);
+    SearchRequest request;
+    request.queries = queries;
+    request.options.k = 10;
+    request.options.budget = kFullBudget;
+    request.options.filter = &everything;
+    // Pin the pushdown plan (the convention of the filtered-search bit-
+    // identity suite): under kAuto a dense selector reroutes to post-filter,
+    // whose unfiltered write-segment scan takes the norm-trick tiles.
+    request.options.plan = PlanMode::kForcePushdown;
+    ExpectSameKnn(index.SearchBatch(request),
+                  [&] {
+                    BatchSearchResult r;
+                    const KnnResult knn = BruteForceKnn(
+                        combined, queries, 10, index.metric(), &everything);
+                    r.k = knn.k;
+                    r.ids = knn.indices;
+                    r.distances = knn.distances;
+                    return r;
+                  }(),
+                  "knn");
+
+    // Radius rows must span both the bulk-loaded segment and the write
+    // segment, bit-identical to the brute-force reference.
+    const KnnResult knn = BruteForceKnn(combined, queries, 3);
+    const float radius = knn.distances[knn.k];  // some mid-range distance
+    RadiusOptions options;
+    options.budget = kFullBudget;
+    const RadiusResult got = index.RadiusSearch(queries, radius, options);
+    const RadiusResult expected =
+        BruteForceRadius(combined, queries, radius, index.metric());
+    EXPECT_EQ(got.offsets, expected.offsets);
+    EXPECT_EQ(got.ids, expected.ids);
+    EXPECT_EQ(got.distances, expected.distances);
+
+    // Bulk-loaded ids are first-class: deletable like any other row.
+    ASSERT_TRUE(index.Contains(5));
+    ASSERT_TRUE(index.Delete(5));
+    EXPECT_FALSE(index.Contains(5));
+  }
+}
+
+TEST(DynamicBulkLoadTest, RejectsMissingFile) {
+  DynamicIndex index(16);
+  auto result =
+      index.AddSealedSegmentFromContainer(TempPath("no_such.uspidx"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(DynamicBulkLoadTest, RejectsDimMismatchBeforeAnyStateChange) {
+  const Matrix bulk = RandomData(200, 24, 31);
+  const std::string path = BuildContainer(bulk, "dim24_segment.uspidx");
+  DynamicIndex index(32);
+  const Matrix keep = RandomData(5, 32, 32);
+  index.AddBatch(keep);
+  auto result = index.AddSealedSegmentFromContainer(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(index.size(), keep.rows());  // failed load left the index alone
+}
+
+TEST(DynamicBulkLoadTest, RejectsNestedDynamicContainer) {
+  const size_t dim = 16;
+  DynamicIndex inner(dim);
+  inner.AddBatch(RandomData(50, dim, 33));
+  inner.Seal();
+  const std::string path = TempPath("nested_dynamic.uspidx");
+  ASSERT_TRUE(SaveIndex(inner, path).ok());
+
+  DynamicIndex outer(dim);
+  auto result = outer.AddSealedSegmentFromContainer(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(outer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace usp

@@ -1,0 +1,124 @@
+// Pins BuildMultiLabelBinTargets (core/loss.h) and its plumbing through
+// Neural LSH training (NeuralLshConfig::label_top_m):
+//
+//   - top_m == 0 reproduces the historical one-hot rows bit for bit (the
+//     default path existing models train on must be unchanged).
+//   - top_m > 0 rows are normalized histograms over the point's own bin plus
+//     its first top_m k-NN-graph neighbors' bins; rows always sum to 1.
+//   - top_m is capped at the graph's k.
+//   - A NeuralLsh trained with label_top_m > 0 still produces balanced
+//     labels, valid probability rows, and a working partition index.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/loss.h"
+#include "core/partition_index.h"
+#include "dataset/workload.h"
+#include "graphpart/neural_lsh.h"
+
+namespace usp {
+namespace {
+
+TEST(MultiLabelTargetsTest, TopMZeroIsOneHotBitwise) {
+  const std::vector<uint32_t> labels = {2, 0, 1, 1, 3};
+  const std::vector<uint32_t> ids = {4, 0, 2};
+  const Matrix targets =
+      BuildMultiLabelBinTargets(labels, ids, /*knn_indices=*/nullptr,
+                                /*knn_k=*/0, /*top_m=*/0, /*num_bins=*/4);
+  ASSERT_EQ(targets.rows(), ids.size());
+  ASSERT_EQ(targets.cols(), 4u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t b = 0; b < 4; ++b) {
+      EXPECT_EQ(targets(i, b), b == labels[ids[i]] ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MultiLabelTargetsTest, HistogramOverOwnAndNeighborBins) {
+  // 4 points, k = 2 neighbors each, 3 bins.
+  const std::vector<uint32_t> labels = {0, 1, 2, 0};
+  const std::vector<uint32_t> knn = {1, 2,   // point 0 -> bins {1, 2}
+                                     0, 3,   // point 1 -> bins {0, 0}
+                                     3, 1,   // point 2 -> bins {0, 1}
+                                     2, 1};  // point 3 -> bins {2, 1}
+  const std::vector<uint32_t> ids = {0, 1, 2, 3};
+  const Matrix targets = BuildMultiLabelBinTargets(labels, ids, knn.data(),
+                                                   /*knn_k=*/2, /*top_m=*/2,
+                                                   /*num_bins=*/3);
+  const float third = 1.0f / 3.0f;
+  // Point 0: own bin 0 + neighbor bins {1, 2} -> uniform thirds.
+  EXPECT_EQ(targets(0, 0), third);
+  EXPECT_EQ(targets(0, 1), third);
+  EXPECT_EQ(targets(0, 2), third);
+  // Point 1: own bin 1 + neighbor bins {0, 0} -> 2/3 mass on bin 0.
+  EXPECT_EQ(targets(1, 0), 2 * third);
+  EXPECT_EQ(targets(1, 1), third);
+  EXPECT_EQ(targets(1, 2), 0.0f);
+  // Rows sum to 1 (exact float sums of thirds wobble; allow 1 ulp-ish).
+  for (size_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (size_t b = 0; b < 3; ++b) sum += targets(i, b);
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+}
+
+TEST(MultiLabelTargetsTest, TopMCappedAtGraphK) {
+  const std::vector<uint32_t> labels = {0, 1};
+  const std::vector<uint32_t> knn = {1, 0};  // k = 1
+  const std::vector<uint32_t> ids = {0};
+  // top_m = 10 with k = 1 uses just the single neighbor: halves.
+  const Matrix targets = BuildMultiLabelBinTargets(labels, ids, knn.data(),
+                                                   /*knn_k=*/1, /*top_m=*/10,
+                                                   /*num_bins=*/2);
+  EXPECT_EQ(targets(0, 0), 0.5f);
+  EXPECT_EQ(targets(0, 1), 0.5f);
+}
+
+TEST(MultiLabelTargetsTest, NeuralLshTrainsWithMultiLabelTargets) {
+  WorkloadSpec spec;
+  spec.kind = WorkloadKind::kGaussian;
+  spec.num_base = 1000;
+  spec.num_queries = 60;
+  spec.gt_k = 10;
+  spec.knn_k = 10;
+  spec.seed = 13;
+  const Workload w = MakeWorkload(spec);
+
+  NeuralLshConfig config;
+  config.num_bins = 8;
+  config.hidden_dim = 64;
+  config.epochs = 40;
+  config.batch_size = 128;
+  config.seed = 2;
+  config.label_top_m = 3;
+  NeuralLsh nlsh(config);
+  nlsh.Train(w.base, w.knn_matrix);
+
+  // Stage-1 labels are unaffected by the target softening and stay balanced.
+  std::vector<size_t> sizes(8, 0);
+  for (uint32_t l : nlsh.training_labels()) ++sizes[l];
+  for (size_t s : sizes) EXPECT_GT(s, 60u);
+
+  // ScoreBins rows are valid distributions.
+  const Matrix probs = nlsh.ScoreBins(w.queries);
+  for (size_t q = 0; q < w.queries.rows(); ++q) {
+    float sum = 0.0f;
+    for (size_t b = 0; b < 8; ++b) {
+      EXPECT_GE(probs(q, b), 0.0f);
+      sum += probs(q, b);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+
+  // The soft-labeled router still beats random routing at 1 probe.
+  PartitionIndex index(&w.base, &nlsh);
+  const auto result = index.SearchBatch(w.queries, 10, 1);
+  EXPECT_GT(KnnAccuracy(result, w.ground_truth.indices, w.ground_truth.k),
+            0.4);
+}
+
+}  // namespace
+}  // namespace usp
